@@ -1,0 +1,16 @@
+//! Regenerates the headline claims of §I / §IV-B1.
+
+use aging_cache::experiment::claims;
+use repro_bench::{context, default_config};
+
+fn main() {
+    let cfg = default_config();
+    let ctx = context();
+    match claims(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("claims failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! §IV-B2: Probing and Scrambling are "de facto identical".
+
+use aging_cache::experiment::policy_equivalence;
+use repro_bench::{context, default_config};
+
+fn main() {
+    let cfg = default_config();
+    let ctx = context();
+    match policy_equivalence(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("policy_equivalence failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Runs the complete reproduction: Tables I–IV, the headline claims, the
+//! RNG-error study and the policy-equivalence check, in paper order.
+//!
+//! `cargo run --release -p repro-bench --bin repro_all | tee repro.txt`
+
+use aging_cache::experiment::{
+    claims, policy_equivalence, rng_error, table1, table2, table3, table4,
+};
+use repro_bench::{context, default_config, section};
+
+fn main() {
+    let cfg = default_config();
+    let ctx = context();
+
+    section("Table I - idleness distribution (16 kB, 16 B lines, M = 4)");
+    match table1(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => eprintln!("table1 failed: {e}"),
+    }
+
+    section("Table II - Esav / LT0 / LT vs cache size");
+    match table2(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => eprintln!("table2 failed: {e}"),
+    }
+
+    section("Table III - Esav / LT vs line size");
+    match table3(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => eprintln!("table3 failed: {e}"),
+    }
+
+    section("Table IV - idleness / LT vs cache size and banks");
+    match table4(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => eprintln!("table4 failed: {e}"),
+    }
+
+    section("Headline claims (Sec. IV-B1)");
+    match claims(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => eprintln!("claims failed: {e}"),
+    }
+
+    section("RNG repetition error (Sec. IV-B2)");
+    match rng_error(2, &[16, 64, 256, 1024, 4096, 16384, 65536]) {
+        Ok(t) => println!("{t}"),
+        Err(e) => eprintln!("rng_error failed: {e}"),
+    }
+
+    section("Probing vs Scrambling (Sec. IV-B2)");
+    match policy_equivalence(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => eprintln!("policy_equivalence failed: {e}"),
+    }
+}

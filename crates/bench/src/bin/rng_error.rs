@@ -1,0 +1,16 @@
+//! Regenerates the §IV-B2 RNG repetition-error study.
+
+use aging_cache::experiment::rng_error;
+
+fn main() {
+    let draws = [16u64, 64, 256, 1024, 4096, 16384, 65536];
+    for bits in [2u32, 3, 4] {
+        match rng_error(bits, &draws) {
+            Ok(t) => println!("{t}"),
+            Err(e) => {
+                eprintln!("rng_error failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

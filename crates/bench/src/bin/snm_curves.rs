@@ -1,0 +1,37 @@
+//! SNM degradation trajectories: read SNM vs time for several sleep
+//! fractions — the curve family behind the paper's "lifetime = 20 % SNM
+//! degradation" criterion (its Fig.-style companion to Table II).
+
+use aging_cache::report::Table;
+use nbti_model::{CellDesign, LifetimeSolver, SleepMode, StressProfile};
+
+fn main() {
+    let solver =
+        LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).expect("calibration");
+    let fresh = solver.fresh_snm();
+    let failure = solver.failure_snm();
+
+    let sleeps = [0.0, 0.25, 0.5, 0.75, 0.95];
+    let mut t = Table::new(
+        "Read SNM vs time (mV), by sleep fraction (drowsy sleep, p0 = 0.5)",
+        std::iter::once("years".to_string())
+            .chain(sleeps.iter().map(|s| format!("S={s:.2}")))
+            .collect(),
+    );
+    for year in [0.0f64, 0.5, 1.0, 2.0, 2.93, 4.0, 6.0, 8.0, 12.0] {
+        let mut row = vec![format!("{year:.2}")];
+        for &s in &sleeps {
+            let p = StressProfile::new(0.5, s, SleepMode::VoltageScaled).expect("profile");
+            let snm = solver.snm_after(&p, year).expect("snm");
+            let marker = if snm < failure { " !" } else { "" };
+            row.push(format!("{:.1}{marker}", 1000.0 * snm));
+        }
+        t.push_row(row);
+    }
+    t.push_note(format!(
+        "fresh SNM {:.1} mV; failure below {:.1} mV (20 % degradation); '!' marks dead cells",
+        1000.0 * fresh,
+        1000.0 * failure
+    ));
+    println!("{t}");
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table I: distribution of idleness in a 4-bank cache.
+
+use aging_cache::experiment::table1;
+use repro_bench::{context, default_config};
+
+fn main() {
+    let cfg = default_config();
+    let ctx = context();
+    match table1(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

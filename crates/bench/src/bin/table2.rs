@@ -1,0 +1,16 @@
+//! Regenerates Table II: energy savings and lifetime vs cache size.
+
+use aging_cache::experiment::table2;
+use repro_bench::{context, default_config};
+
+fn main() {
+    let cfg = default_config();
+    let ctx = context();
+    match table2(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("table2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

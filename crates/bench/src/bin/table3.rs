@@ -1,0 +1,16 @@
+//! Regenerates Table III: energy savings and lifetime vs line size.
+
+use aging_cache::experiment::table3;
+use repro_bench::{context, default_config};
+
+fn main() {
+    let cfg = default_config();
+    let ctx = context();
+    match table3(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("table3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

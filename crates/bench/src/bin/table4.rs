@@ -1,0 +1,16 @@
+//! Regenerates Table IV: idleness and lifetime vs cache size and banks.
+
+use aging_cache::experiment::table4;
+use repro_bench::{context, default_config};
+
+fn main() {
+    let cfg = default_config();
+    let ctx = context();
+    match table4(&cfg, &ctx) {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("table4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

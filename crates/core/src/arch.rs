@@ -1,0 +1,213 @@
+//! The assembled architecture: geometry + policy + simulator.
+
+use crate::control::BlockControlSpec;
+use crate::decoder::Decoder;
+use crate::error::CoreError;
+use crate::policy::PolicyKind;
+use crate::selector::BlockSelector;
+use cache_sim::{Access, CacheGeometry, SimConfig, SimOutcome, Simulator};
+
+/// When to pulse the dynamic-indexing `update` signal during a simulated
+/// trace.
+///
+/// At real timescales updates are rare (the paper suggests daily, bound to
+/// a flush), far apart compared to any simulable trace; the main pipeline
+/// therefore simulates with [`UpdateSchedule::Never`] and applies the
+/// rotation analytically over the device lifetime
+/// ([`AgingAnalysis`](crate::aging::AgingAnalysis)). The periodic variants
+/// exist to measure the *cost* of updating (flush-induced misses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateSchedule {
+    /// Never update during the trace (the production setting).
+    Never,
+    /// Update (and flush) every `n` cycles.
+    EveryCycles(u64),
+}
+
+/// An `M`-bank uniformly partitioned cache with a dynamic-indexing policy
+/// (the paper's Fig. 1 architecture).
+///
+/// # Examples
+///
+/// ```
+/// use aging_cache::{PartitionedCache, PolicyKind};
+/// use aging_cache::arch::UpdateSchedule;
+/// use cache_sim::CacheGeometry;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let geom = CacheGeometry::direct_mapped(16 * 1024, 16, 4)?;
+/// let cache = PartitionedCache::new(geom, PolicyKind::Probing)?;
+/// let profile = trace_synth::suite::by_name("CRC32").unwrap();
+/// let out = cache.simulate(profile.trace(7).take(50_000), UpdateSchedule::Never)?;
+/// assert_eq!(out.accesses, 50_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionedCache {
+    geometry: CacheGeometry,
+    policy: PolicyKind,
+    seed: u16,
+}
+
+impl PartitionedCache {
+    /// Creates the architecture description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the geometry has fewer
+    /// than 2 banks (the architecture is pointless for a monolith).
+    pub fn new(geometry: CacheGeometry, policy: PolicyKind) -> Result<Self, CoreError> {
+        if geometry.banks() < 2 {
+            return Err(CoreError::InvalidParameter {
+                name: "banks",
+                value: geometry.banks() as f64,
+                expected: "at least 2 banks",
+            });
+        }
+        Ok(Self {
+            geometry,
+            policy,
+            seed: 1,
+        })
+    }
+
+    /// Sets the LFSR seed used by the Scrambling policy.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u16) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// The indexing policy kind.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Builds a fresh decoder `D` for inspection or custom loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy/encoder construction errors.
+    pub fn decoder(&self) -> Result<Decoder, CoreError> {
+        Decoder::new(
+            self.geometry,
+            self.policy.build(self.geometry.banks(), self.seed)?,
+        )
+    }
+
+    /// Sizes the Block Control for this geometry (counter widths etc.).
+    ///
+    /// # Errors
+    ///
+    /// Propagates power-model errors.
+    pub fn block_control(&self) -> Result<BlockControlSpec, CoreError> {
+        let cfg = SimConfig::new(self.geometry)?;
+        BlockControlSpec::new(self.geometry.banks(), cfg.breakeven())
+    }
+
+    /// The Block Selector for this geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter errors.
+    pub fn block_selector(&self) -> Result<BlockSelector, CoreError> {
+        BlockSelector::new(self.geometry.banks())
+    }
+
+    /// Runs a trace through the power-managed cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction/update errors.
+    pub fn simulate(
+        &self,
+        trace: impl IntoIterator<Item = Access>,
+        update: UpdateSchedule,
+    ) -> Result<SimOutcome, CoreError> {
+        let config = SimConfig::new(self.geometry)?;
+        let mapping = self.policy.build(self.geometry.banks(), self.seed)?;
+        let mut sim = Simulator::new(config, mapping)?;
+        for access in trace {
+            sim.step(access);
+            if let UpdateSchedule::EveryCycles(n) = update {
+                if n > 0 && sim.cycles() % n == 0 {
+                    sim.update_mapping()?;
+                }
+            }
+        }
+        Ok(sim.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_synth::suite;
+
+    fn arch(policy: PolicyKind) -> PartitionedCache {
+        let geom = CacheGeometry::direct_mapped(16 * 1024, 16, 4).unwrap();
+        PartitionedCache::new(geom, policy).unwrap()
+    }
+
+    #[test]
+    fn rejects_monolithic_geometry() {
+        let geom = CacheGeometry::direct_mapped(16 * 1024, 16, 1).unwrap();
+        assert!(PartitionedCache::new(geom, PolicyKind::Identity).is_err());
+    }
+
+    #[test]
+    fn miss_rate_identical_across_policies_without_updates() {
+        // Between updates every policy is a fixed bijection, so hit/miss
+        // behaviour must be identical (paper: no miss-rate degradation).
+        let profile = suite::by_name("dijkstra").unwrap();
+        let mut rates = Vec::new();
+        for kind in PolicyKind::ALL {
+            let out = arch(kind)
+                .simulate(profile.trace(3).take(100_000), UpdateSchedule::Never)
+                .unwrap();
+            out.validate().unwrap();
+            rates.push(out.miss_rate());
+        }
+        assert_eq!(rates[0], rates[1]);
+        assert_eq!(rates[0], rates[2]);
+    }
+
+    #[test]
+    fn frequent_updates_cost_bounded_misses() {
+        let profile = suite::by_name("CRC32").unwrap();
+        let baseline = arch(PolicyKind::Probing)
+            .simulate(profile.trace(3).take(100_000), UpdateSchedule::Never)
+            .unwrap();
+        let updated = arch(PolicyKind::Probing)
+            .simulate(
+                profile.trace(3).take(100_000),
+                UpdateSchedule::EveryCycles(10_000),
+            )
+            .unwrap();
+        assert_eq!(updated.updates, 10);
+        // Each update costs at most one refill of the cache's live lines.
+        let max_extra = updated.updates * baseline.per_bank.len() as u64 * 256;
+        assert!(updated.misses <= baseline.misses + max_extra);
+        assert!(
+            updated.misses > baseline.misses,
+            "flushes must cost something on a cache-resident workload"
+        );
+    }
+
+    #[test]
+    fn hardware_specs_materialize() {
+        let a = arch(PolicyKind::Scrambling);
+        let ctl = a.block_control().unwrap();
+        assert!(ctl.in_paper_regime());
+        let sel = a.block_selector().unwrap();
+        assert_eq!(sel.banks(), 4);
+        let dec = a.decoder().unwrap();
+        assert_eq!(dec.geometry().banks(), 4);
+    }
+}

@@ -1,0 +1,124 @@
+//! Block Control hardware sizing (paper §III-A1, Fig. 1).
+//!
+//! The cycle-accurate counter *dynamics* are simulated by
+//! [`cache_sim::BankPower`]; this module captures the hardware the paper
+//! describes — "Block Control contains M counters which are incremented
+//! upon a non-access [...] and reset upon an access. When a counter
+//! saturates, its terminal count signal is used as the output selection
+//! signal [...] 5- or 6-bit counters suffice" — and estimates its cost.
+
+use crate::error::CoreError;
+use sram_power::BreakevenAnalysis;
+
+/// Static description of a Block Control instance.
+///
+/// # Examples
+///
+/// ```
+/// use aging_cache::control::BlockControlSpec;
+/// use sram_power::BreakevenAnalysis;
+///
+/// let be = BreakevenAnalysis::from_cycles(41)?;
+/// let spec = BlockControlSpec::new(4, &be)?;
+/// assert_eq!(spec.counter_bits(), 6); // "5- or 6-bit counters suffice"
+/// assert_eq!(spec.flip_flops(), 4 * 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockControlSpec {
+    banks: u32,
+    breakeven_cycles: u32,
+    counter_bits: u32,
+}
+
+impl BlockControlSpec {
+    /// Sizes the Block Control for `banks` banks and a breakeven analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `banks` is zero.
+    pub fn new(banks: u32, breakeven: &BreakevenAnalysis) -> Result<Self, CoreError> {
+        if banks == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "banks",
+                value: 0.0,
+                expected: "at least one bank",
+            });
+        }
+        Ok(Self {
+            banks,
+            breakeven_cycles: breakeven.cycles(),
+            counter_bits: breakeven.counter_bits(),
+        })
+    }
+
+    /// Number of saturating counters (one per bank).
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Saturation (terminal-count) value, in cycles.
+    pub fn breakeven_cycles(&self) -> u32 {
+        self.breakeven_cycles
+    }
+
+    /// Width of each counter in bits.
+    pub fn counter_bits(&self) -> u32 {
+        self.counter_bits
+    }
+
+    /// Total state: `M` counters of `counter_bits` each.
+    pub fn flip_flops(&self) -> u32 {
+        self.banks * self.counter_bits
+    }
+
+    /// Rough combinational gate estimate: an incrementer (≈ `w` half
+    /// adders), a reset mux and a terminal-count AND per counter.
+    pub fn gate_estimate(&self) -> u32 {
+        self.banks * (2 * self.counter_bits + 2)
+    }
+
+    /// Whether this instance matches the paper's "few tens of cycles,
+    /// 5–6 bit counters" regime.
+    pub fn in_paper_regime(&self) -> bool {
+        (2..=7).contains(&self.counter_bits) && self.breakeven_cycles <= 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_regime_for_reference_banks() {
+        // Breakeven derived for the paper's reference configuration is
+        // ~41 cycles -> 6-bit counters.
+        let be = BreakevenAnalysis::from_cycles(41).unwrap();
+        let spec = BlockControlSpec::new(4, &be).unwrap();
+        assert!(spec.in_paper_regime());
+        assert_eq!(spec.counter_bits(), 6);
+        assert_eq!(spec.flip_flops(), 24);
+        assert!(spec.gate_estimate() > 0);
+    }
+
+    #[test]
+    fn scaling_with_banks() {
+        let be = BreakevenAnalysis::from_cycles(32).unwrap();
+        let s4 = BlockControlSpec::new(4, &be).unwrap();
+        let s16 = BlockControlSpec::new(16, &be).unwrap();
+        assert_eq!(s16.flip_flops(), 4 * s4.flip_flops());
+    }
+
+    #[test]
+    fn rejects_zero_banks() {
+        let be = BreakevenAnalysis::from_cycles(32).unwrap();
+        assert!(BlockControlSpec::new(0, &be).is_err());
+    }
+
+    #[test]
+    fn out_of_regime_detection() {
+        let be = BreakevenAnalysis::from_cycles(5000).unwrap();
+        let spec = BlockControlSpec::new(4, &be).unwrap();
+        assert!(!spec.in_paper_regime());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the architectural (core) crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the partitioned-cache architecture and its
+/// experiment pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A structural parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the accepted range.
+        expected: &'static str,
+    },
+    /// An underlying cache-simulator error.
+    Sim(cache_sim::SimError),
+    /// An underlying NBTI-model error.
+    Nbti(nbti_model::NbtiError),
+    /// An underlying power-model error.
+    Power(sram_power::PowerError),
+    /// The aging pipeline exceeded its search horizon without a failure.
+    HorizonExceeded {
+        /// The horizon that was searched, in years.
+        horizon_years: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "parameter `{name}` = {value} is invalid (expected {expected})"),
+            CoreError::Sim(e) => write!(f, "cache simulator error: {e}"),
+            CoreError::Nbti(e) => write!(f, "NBTI model error: {e}"),
+            CoreError::Power(e) => write!(f, "power model error: {e}"),
+            CoreError::HorizonExceeded { horizon_years } => {
+                write!(f, "no bank failed within the {horizon_years}-year horizon")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::Nbti(e) => Some(e),
+            CoreError::Power(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cache_sim::SimError> for CoreError {
+    fn from(e: cache_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<nbti_model::NbtiError> for CoreError {
+    fn from(e: nbti_model::NbtiError) -> Self {
+        CoreError::Nbti(e)
+    }
+}
+
+impl From<sram_power::PowerError> for CoreError {
+    fn from(e: sram_power::PowerError) -> Self {
+        CoreError::Power(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain() {
+        let e = CoreError::from(nbti_model::NbtiError::SolverDiverged { context: "x" });
+        assert!(e.source().is_some());
+        let e = CoreError::HorizonExceeded {
+            horizon_years: 50.0,
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

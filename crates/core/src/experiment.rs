@@ -1,0 +1,716 @@
+//! Experiment runners: every table of the paper's evaluation section.
+//!
+//! Each `tableN` function simulates the full benchmark suite at the
+//! paper's configurations and renders a [`Table`] with measured values
+//! next to the published ones ([`crate::paper`]). The raw data variants
+//! (`tableN_data`) feed the test suite and the benchmark harness.
+
+use crate::aging::AgingAnalysis;
+use crate::arch::{PartitionedCache, UpdateSchedule};
+use crate::error::CoreError;
+use crate::lfsr::Lfsr;
+use crate::paper;
+use crate::policy::PolicyKind;
+use crate::report::{factor, pct, years, Table};
+use cache_sim::CacheGeometry;
+use nbti_model::{CellDesign, LifetimeSolver};
+use trace_synth::rng::SplitMix64;
+use trace_synth::suite;
+use trace_synth::WorkloadProfile;
+
+/// A cache configuration plus simulation horizon for one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Number of uniform banks `M`.
+    pub banks: u32,
+    /// Trace length in cycles.
+    pub trace_cycles: u64,
+    /// Base seed; benchmark `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's reference configuration: 16 kB, 16 B lines, M = 4.
+    pub fn paper_reference() -> Self {
+        Self {
+            cache_bytes: 16 * 1024,
+            line_bytes: 16,
+            banks: 4,
+            trace_cycles: 320_000,
+            seed: 1000,
+        }
+    }
+
+    /// Overrides the cache size (kB).
+    #[must_use]
+    pub fn with_cache_kb(mut self, kb: u64) -> Self {
+        self.cache_bytes = kb * 1024;
+        self
+    }
+
+    /// Overrides the line size (bytes).
+    #[must_use]
+    pub fn with_line_bytes(mut self, bytes: u32) -> Self {
+        self.line_bytes = bytes;
+        self
+    }
+
+    /// Overrides the bank count.
+    #[must_use]
+    pub fn with_banks(mut self, banks: u32) -> Self {
+        self.banks = banks;
+        self
+    }
+
+    /// Overrides the simulated trace length.
+    #[must_use]
+    pub fn with_trace_cycles(mut self, cycles: u64) -> Self {
+        self.trace_cycles = cycles;
+        self
+    }
+
+    /// The geometry this configuration describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation errors.
+    pub fn geometry(&self) -> Result<CacheGeometry, CoreError> {
+        Ok(CacheGeometry::direct_mapped(
+            self.cache_bytes,
+            self.line_bytes,
+            self.banks,
+        )?)
+    }
+
+    /// Builds the shared experiment context (calibrated aging model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NBTI-model calibration errors.
+    pub fn build_context(&self) -> Result<ExperimentContext, CoreError> {
+        ExperimentContext::new()
+    }
+}
+
+/// Heavy shared state: the calibrated SNM/lifetime solver. Build once and
+/// reuse across tables.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The rotation-aware aging analysis, calibrated to the paper's
+    /// 2.93-year cell.
+    pub aging: AgingAnalysis,
+}
+
+impl ExperimentContext {
+    /// Calibrates the aging model to the paper's anchor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NBTI-model calibration errors.
+    pub fn new() -> Result<Self, CoreError> {
+        let solver =
+            LifetimeSolver::calibrated(CellDesign::default_45nm(), paper::CELL_LIFETIME_YEARS)?;
+        Ok(Self {
+            aging: AgingAnalysis::new(solver),
+        })
+    }
+}
+
+/// Per-benchmark results at one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Energy saving vs the monolithic always-on cache.
+    pub esav: f64,
+    /// Lifetime without re-indexing (identity policy), years.
+    pub lt0_years: f64,
+    /// Lifetime with Probing re-indexing, years.
+    pub lt_years: f64,
+    /// Per-bank useful idleness (Table I's metric).
+    pub useful_idleness: Vec<f64>,
+    /// Per-bank sleep fractions (what the aging model consumes).
+    pub sleep_fractions: Vec<f64>,
+    /// Cache miss rate on the trace.
+    pub miss_rate: f64,
+}
+
+impl BenchResult {
+    /// Average useful idleness over the banks.
+    pub fn avg_useful_idleness(&self) -> f64 {
+        self.useful_idleness.iter().sum::<f64>() / self.useful_idleness.len() as f64
+    }
+}
+
+/// Runs one benchmark at one configuration: simulate (identity mapping,
+/// no mid-trace updates), then evaluate LT0 and LT from the measured
+/// sleep fractions.
+///
+/// # Errors
+///
+/// Propagates simulator and aging-model errors.
+pub fn run_benchmark(
+    profile: &WorkloadProfile,
+    cfg: &ExperimentConfig,
+    ctx: &ExperimentContext,
+) -> Result<BenchResult, CoreError> {
+    let geom = cfg.geometry()?;
+    let arch = PartitionedCache::new(geom, PolicyKind::Identity)?;
+    let out = arch.simulate(
+        profile.trace(cfg.seed).take(cfg.trace_cycles as usize),
+        UpdateSchedule::Never,
+    )?;
+    debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
+    let sleep = out.sleep_fraction_all();
+    let lt0 = ctx
+        .aging
+        .cache_lifetime(&sleep, profile.p0(), PolicyKind::Identity)?;
+    let lt = ctx
+        .aging
+        .cache_lifetime(&sleep, profile.p0(), PolicyKind::Probing)?;
+    Ok(BenchResult {
+        name: profile.name().to_string(),
+        esav: out.energy_saving(),
+        lt0_years: lt0,
+        lt_years: lt,
+        useful_idleness: out.useful_idleness_all(),
+        sleep_fractions: sleep,
+        miss_rate: out.miss_rate(),
+    })
+}
+
+/// Runs the whole 18-benchmark suite at one configuration.
+///
+/// # Errors
+///
+/// Propagates per-benchmark errors.
+pub fn run_suite(
+    cfg: &ExperimentConfig,
+    ctx: &ExperimentContext,
+) -> Result<Vec<BenchResult>, CoreError> {
+    suite::mediabench()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut c = *cfg;
+            c.seed = cfg.seed + i as u64;
+            run_benchmark(p, &c, ctx)
+        })
+        .collect()
+}
+
+fn mean<'a>(values: impl Iterator<Item = &'a f64>) -> f64 {
+    let v: Vec<f64> = values.copied().collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// **Table I**: distribution of useful idleness in a 4-bank 16 kB cache,
+/// measured next to the paper's published row.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn table1(cfg: &ExperimentConfig, ctx: &ExperimentContext) -> Result<Table, CoreError> {
+    let results = run_suite(cfg, ctx)?;
+    let mut t = Table::new(
+        "Table I - distribution of idleness in a 4-bank cache (measured | paper)",
+        vec![
+            "bench".into(),
+            "I0".into(),
+            "I1".into(),
+            "I2".into(),
+            "I3".into(),
+            "Average".into(),
+            "paper avg".into(),
+        ],
+    );
+    for (i, r) in results.iter().enumerate() {
+        let (_, paper_row) = suite::table1_reference()[i];
+        let paper_avg = paper_row.iter().sum::<f64>() / 4.0;
+        t.push_row(vec![
+            r.name.clone(),
+            pct(r.useful_idleness[0]),
+            pct(r.useful_idleness[1]),
+            pct(r.useful_idleness[2]),
+            pct(r.useful_idleness[3]),
+            pct(r.avg_useful_idleness()),
+            pct(paper_avg),
+        ]);
+    }
+    let overall_esav = mean(results.iter().map(|r| &r.esav));
+    let avg_idle =
+        results.iter().map(|r| r.avg_useful_idleness()).sum::<f64>() / results.len() as f64;
+    t.push_note(format!(
+        "suite average idleness {} % (paper: 41.71 %); Esav at this configuration {} %",
+        pct(avg_idle),
+        pct(overall_esav)
+    ));
+    Ok(t)
+}
+
+/// Raw data for Table II: suite results at 8, 16 and 32 kB.
+///
+/// # Errors
+///
+/// Propagates per-benchmark errors.
+pub fn table2_data(
+    base: &ExperimentConfig,
+    ctx: &ExperimentContext,
+) -> Result<Vec<(u64, Vec<BenchResult>)>, CoreError> {
+    [8u64, 16, 32]
+        .iter()
+        .map(|&kb| Ok((kb, run_suite(&base.with_cache_kb(kb), ctx)?)))
+        .collect()
+}
+
+/// **Table II**: energy savings and lifetime when varying cache size
+/// (16 B lines, M = 4).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn table2(base: &ExperimentConfig, ctx: &ExperimentContext) -> Result<Table, CoreError> {
+    let data = table2_data(base, ctx)?;
+    let mut headers = vec!["bench".into()];
+    for kb in [8, 16, 32] {
+        headers.push(format!("{kb}k Esav%"));
+        headers.push(format!("{kb}k LT0"));
+        headers.push(format!("{kb}k LT"));
+    }
+    let mut t = Table::new(
+        "Table II - energy savings and lifetime vs cache size (measured)",
+        headers,
+    );
+    for i in 0..18 {
+        let mut row = vec![data[0].1[i].name.clone()];
+        for (_, results) in &data {
+            let r = &results[i];
+            row.push(pct(r.esav));
+            row.push(years(r.lt0_years));
+            row.push(years(r.lt_years));
+        }
+        t.push_row(row);
+    }
+    let mut avg_row = vec!["Average".to_string()];
+    let mut paper_row = vec!["(paper avg)".to_string()];
+    for (s, (_, results)) in data.iter().enumerate() {
+        avg_row.push(pct(mean(results.iter().map(|r| &r.esav))));
+        avg_row.push(years(mean(results.iter().map(|r| &r.lt0_years))));
+        avg_row.push(years(mean(results.iter().map(|r| &r.lt_years))));
+        paper_row.push(pct(paper::TABLE2_AVG.0[s]));
+        paper_row.push(years(paper::TABLE2_AVG.1[s]));
+        paper_row.push(years(paper::TABLE2_AVG.2[s]));
+    }
+    t.push_row(avg_row);
+    t.push_row(paper_row);
+    t.push_note("paper averages: Esav 32.2/44.3/55.5 %, LT0 3.22/3.19/3.20 y, LT 4.34/4.31/4.62 y");
+    Ok(t)
+}
+
+/// Raw data for Table III: suite results at 16 B and 32 B lines (16 kB).
+///
+/// # Errors
+///
+/// Propagates per-benchmark errors.
+pub fn table3_data(
+    base: &ExperimentConfig,
+    ctx: &ExperimentContext,
+) -> Result<Vec<(u32, Vec<BenchResult>)>, CoreError> {
+    [16u32, 32]
+        .iter()
+        .map(|&ls| {
+            Ok((
+                ls,
+                run_suite(&base.with_cache_kb(16).with_line_bytes(ls), ctx)?,
+            ))
+        })
+        .collect()
+}
+
+/// **Table III**: energy savings and lifetime when varying line size
+/// (16 kB cache, M = 4).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn table3(base: &ExperimentConfig, ctx: &ExperimentContext) -> Result<Table, CoreError> {
+    let data = table3_data(base, ctx)?;
+    let mut t = Table::new(
+        "Table III - energy savings and lifetime vs line size (measured)",
+        vec![
+            "bench".into(),
+            "LS16 Esav%".into(),
+            "LS16 LT".into(),
+            "LS32 Esav%".into(),
+            "LS32 LT".into(),
+        ],
+    );
+    for i in 0..18 {
+        t.push_row(vec![
+            data[0].1[i].name.clone(),
+            pct(data[0].1[i].esav),
+            years(data[0].1[i].lt_years),
+            pct(data[1].1[i].esav),
+            years(data[1].1[i].lt_years),
+        ]);
+    }
+    t.push_row(vec![
+        "Average".into(),
+        pct(mean(data[0].1.iter().map(|r| &r.esav))),
+        years(mean(data[0].1.iter().map(|r| &r.lt_years))),
+        pct(mean(data[1].1.iter().map(|r| &r.esav))),
+        years(mean(data[1].1.iter().map(|r| &r.lt_years))),
+    ]);
+    t.push_note(format!(
+        "paper averages: Esav {} / {} %, LT {} / {} y",
+        pct(paper::TABLE3_AVG[0]),
+        pct(paper::TABLE3_AVG[2]),
+        years(paper::TABLE3_AVG[1]),
+        years(paper::TABLE3_AVG[3]),
+    ));
+    Ok(t)
+}
+
+/// Raw data for Table IV: `(size_kb, banks, avg idleness, avg LT)`.
+///
+/// # Errors
+///
+/// Propagates per-benchmark errors.
+pub fn table4_data(
+    base: &ExperimentConfig,
+    ctx: &ExperimentContext,
+) -> Result<Vec<(u64, u32, f64, f64)>, CoreError> {
+    let mut rows = Vec::new();
+    for kb in [8u64, 16, 32] {
+        for banks in [2u32, 4, 8] {
+            let results = run_suite(&base.with_cache_kb(kb).with_banks(banks), ctx)?;
+            let idle = results
+                .iter()
+                .map(|r| r.avg_useful_idleness())
+                .sum::<f64>()
+                / results.len() as f64;
+            let lt = mean(results.iter().map(|r| &r.lt_years));
+            rows.push((kb, banks, idle, lt));
+        }
+    }
+    Ok(rows)
+}
+
+/// **Table IV**: average idleness and lifetime when varying cache size
+/// and number of blocks.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn table4(base: &ExperimentConfig, ctx: &ExperimentContext) -> Result<Table, CoreError> {
+    let data = table4_data(base, ctx)?;
+    let mut t = Table::new(
+        "Table IV - average idleness and lifetime vs cache size and banks (measured | paper)",
+        vec![
+            "size".into(),
+            "M=2 idl%".into(),
+            "M=2 LT".into(),
+            "M=4 idl%".into(),
+            "M=4 LT".into(),
+            "M=8 idl%".into(),
+            "M=8 LT".into(),
+        ],
+    );
+    for (row_idx, kb) in [8u64, 16, 32].iter().enumerate() {
+        let cells: Vec<&(u64, u32, f64, f64)> =
+            data.iter().filter(|(k, _, _, _)| k == kb).collect();
+        let mut row = vec![format!("{kb}kB")];
+        for c in &cells {
+            row.push(pct(c.2));
+            row.push(years(c.3));
+        }
+        t.push_row(row);
+        let p = paper::TABLE4[row_idx];
+        t.push_row(vec![
+            format!("(paper {}kB)", p.size_kb),
+            pct(p.per_banks[0].0),
+            years(p.per_banks[0].1),
+            pct(p.per_banks[1].0),
+            years(p.per_banks[1].1),
+            pct(p.per_banks[2].0),
+            years(p.per_banks[2].1),
+        ]);
+    }
+    Ok(t)
+}
+
+/// The headline quantities of §IV-B1, computed from measured data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimsSummary {
+    /// Mean LT0 / 2.93 − 1 at 8 kB (paper: ≈ 9 %).
+    pub lt0_gain_8k: f64,
+    /// Mean (LT − LT0)/LT0 at 8 kB (paper: ≈ 38 %).
+    pub reindex_further_gain_8k: f64,
+    /// Mean LT / 2.93 − 1 per size (paper: 48 / 47.1 / 57.6 %).
+    pub extension_per_size: [f64; 3],
+    /// The largest single LT / 2.93 across suite and sizes with its
+    /// benchmark (paper: sha, ≈ 2x).
+    pub best_case: (String, f64),
+    /// The smallest single LT / 2.93 across suite and sizes (paper: ≥ 22 %
+    /// gain for the worst configuration).
+    pub worst_case: (String, f64),
+}
+
+/// Computes the headline claims from a Table II dataset.
+pub fn claims_from(data: &[(u64, Vec<BenchResult>)]) -> ClaimsSummary {
+    let base = paper::CELL_LIFETIME_YEARS;
+    let eight = &data[0].1;
+    let lt0_gain_8k = mean(eight.iter().map(|r| &r.lt0_years)) / base - 1.0;
+    let reindex_further_gain_8k = eight
+        .iter()
+        .map(|r| (r.lt_years - r.lt0_years) / r.lt0_years)
+        .sum::<f64>()
+        / eight.len() as f64;
+    let mut extension = [0.0; 3];
+    for (i, (_, results)) in data.iter().enumerate() {
+        extension[i] = mean(results.iter().map(|r| &r.lt_years)) / base - 1.0;
+    }
+    let mut best = (String::new(), 0.0f64);
+    let mut worst = (String::new(), f64::INFINITY);
+    for (_, results) in data {
+        for r in results {
+            let f = r.lt_years / base;
+            if f > best.1 {
+                best = (r.name.clone(), f);
+            }
+            if f < worst.1 {
+                worst = (r.name.clone(), f);
+            }
+        }
+    }
+    ClaimsSummary {
+        lt0_gain_8k,
+        reindex_further_gain_8k,
+        extension_per_size: extension,
+        best_case: best,
+        worst_case: worst,
+    }
+}
+
+/// Renders the headline-claims comparison (§I and §IV-B1 prose).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn claims(base: &ExperimentConfig, ctx: &ExperimentContext) -> Result<Table, CoreError> {
+    let data = table2_data(base, ctx)?;
+    let s = claims_from(&data);
+    let mut t = Table::new(
+        "Headline claims (measured vs paper)",
+        vec!["claim".into(), "measured".into(), "paper".into()],
+    );
+    t.push_row(vec![
+        "LT0 gain from power mgmt alone (8kB)".into(),
+        format!("{} %", pct(s.lt0_gain_8k)),
+        format!("{} %", pct(paper::claims::LT0_IMPROVEMENT)),
+    ]);
+    t.push_row(vec![
+        "further gain from re-indexing (8kB)".into(),
+        format!("{} %", pct(s.reindex_further_gain_8k)),
+        format!("{} %", pct(paper::claims::REINDEX_FURTHER_IMPROVEMENT)),
+    ]);
+    for (i, kb) in [8, 16, 32].iter().enumerate() {
+        t.push_row(vec![
+            format!("lifetime extension at {kb} kB"),
+            format!("{} %", pct(s.extension_per_size[i])),
+            format!("{} %", pct(paper::claims::EXTENSION_PER_SIZE[i])),
+        ]);
+    }
+    t.push_row(vec![
+        format!("best case ({})", s.best_case.0),
+        factor(s.best_case.1),
+        format!("{} (sha)", factor(paper::claims::BEST_CASE_FACTOR)),
+    ]);
+    t.push_row(vec![
+        format!("worst case ({})", s.worst_case.0),
+        factor(s.worst_case.1),
+        format!(">= {}", factor(1.0 + paper::claims::WORST_CASE_GAIN)),
+    ]);
+    Ok(t)
+}
+
+/// §IV-B2: RNG repetition error vs number of updates, for the Scrambling
+/// LFSR against an ideal uniform generator. The paper argues the error of
+/// a uniform RNG shrinks as `1/√N` and is therefore negligible over a
+/// lifetime of updates; a maximal-length LFSR is even better (its counts
+/// are exactly balanced every period).
+pub fn rng_error(bank_bits: u32, draws: &[u64]) -> Result<Table, CoreError> {
+    let m = 1u32 << bank_bits;
+    let mut t = Table::new(
+        format!("RNG repetition error vs updates (M = {m})"),
+        vec![
+            "N updates".into(),
+            "LFSR err".into(),
+            "uniform err".into(),
+            "1/sqrt(N)".into(),
+        ],
+    );
+    for &n in draws {
+        // LFSR mask stream.
+        let mut lfsr = Lfsr::new(bank_bits, 1)?;
+        let mut counts = vec![0u64; m as usize];
+        for _ in 0..n {
+            counts[(lfsr.next_value() as u32 & (m - 1)) as usize] += 1;
+        }
+        let lfsr_err = rel_error(&counts[1..], n); // 0 never drawn
+        // Ideal uniform generator over all M values.
+        let mut rng = SplitMix64::new(0x5eed ^ n);
+        let mut counts = vec![0u64; m as usize];
+        for _ in 0..n {
+            counts[rng.next_below(m as u64) as usize] += 1;
+        }
+        let uni_err = rel_error(&counts, n);
+        t.push_row(vec![
+            n.to_string(),
+            format!("{lfsr_err:.4}"),
+            format!("{uni_err:.4}"),
+            format!("{:.4}", 1.0 / (n as f64).sqrt()),
+        ]);
+    }
+    t.push_note("uniform error tracks 1/sqrt(N); the LFSR is exactly balanced each period");
+    Ok(t)
+}
+
+/// Root-mean-square relative deviation of `counts` from a uniform share
+/// of `n` draws.
+fn rel_error(counts: &[u64], n: u64) -> f64 {
+    let ideal = n as f64 / counts.len() as f64;
+    if ideal == 0.0 {
+        return 0.0;
+    }
+    let ss: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - ideal;
+            d * d
+        })
+        .sum();
+    (ss / counts.len() as f64).sqrt() / ideal
+}
+
+/// §IV-B2's conclusion: Probing and Scrambling are "de facto identical".
+/// Per-benchmark LT under both policies.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn policy_equivalence(
+    cfg: &ExperimentConfig,
+    ctx: &ExperimentContext,
+) -> Result<Table, CoreError> {
+    let mut t = Table::new(
+        "Probing vs Scrambling lifetimes",
+        vec![
+            "bench".into(),
+            "LT probing".into(),
+            "LT scrambling".into(),
+            "delta %".into(),
+        ],
+    );
+    for (i, p) in suite::mediabench().iter().enumerate() {
+        let mut c = *cfg;
+        c.seed = cfg.seed + i as u64;
+        let geom = c.geometry()?;
+        let arch = PartitionedCache::new(geom, PolicyKind::Identity)?;
+        let out = arch.simulate(
+            p.trace(c.seed).take(c.trace_cycles as usize),
+            UpdateSchedule::Never,
+        )?;
+        let sleep = out.sleep_fraction_all();
+        let probing = ctx
+            .aging
+            .cache_lifetime(&sleep, p.p0(), PolicyKind::Probing)?;
+        let scrambling = ctx
+            .aging
+            .cache_lifetime(&sleep, p.p0(), PolicyKind::Scrambling)?;
+        t.push_row(vec![
+            p.name().to_string(),
+            years(probing),
+            years(scrambling),
+            format!("{:+.2}", 100.0 * (scrambling - probing) / probing),
+        ]);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ExperimentConfig {
+        // Shorter traces keep debug-mode tests fast; two full macro
+        // periods are enough for stable idleness statistics.
+        ExperimentConfig::paper_reference().with_trace_cycles(160_000)
+    }
+
+    #[test]
+    fn reference_benchmark_run_reproduces_sha_shape() {
+        let cfg = quick_cfg();
+        let ctx = cfg.build_context().unwrap();
+        let sha = suite::by_name("sha").unwrap();
+        let r = run_benchmark(&sha, &cfg, &ctx).unwrap();
+        // sha: banks 1-2 nearly always idle, banks 0,3 busy.
+        assert!(r.useful_idleness[1] > 0.9);
+        assert!(r.useful_idleness[2] > 0.9);
+        assert!(r.useful_idleness[0] < 0.15);
+        assert!(r.lt_years > r.lt0_years);
+        assert!((r.esav - 0.443).abs() < 0.05, "esav {}", r.esav);
+    }
+
+    #[test]
+    fn table1_structure() {
+        let cfg = quick_cfg();
+        let ctx = cfg.build_context().unwrap();
+        let t = table1(&cfg, &ctx).unwrap();
+        assert_eq!(t.rows().len(), 18);
+        assert!(t.to_string().contains("adpcm.dec"));
+        assert!(t.to_markdown().contains("| bench |"));
+    }
+
+    #[test]
+    fn rng_error_decays_with_n() {
+        let t = rng_error(2, &[64, 4096]).unwrap();
+        let rows = t.rows();
+        let err_small: f64 = rows[0][2].parse().unwrap();
+        let err_large: f64 = rows[1][2].parse().unwrap();
+        assert!(
+            err_large < err_small,
+            "uniform error must decay: {err_small} -> {err_large}"
+        );
+        let lfsr_large: f64 = rows[1][1].parse().unwrap();
+        assert!(lfsr_large <= err_large, "LFSR is at least as balanced");
+    }
+
+    #[test]
+    fn claims_math_is_consistent() {
+        // Synthetic dataset exercising the aggregation.
+        let mk = |name: &str, lt0: f64, lt: f64| BenchResult {
+            name: name.into(),
+            esav: 0.4,
+            lt0_years: lt0,
+            lt_years: lt,
+            useful_idleness: vec![0.5; 4],
+            sleep_fractions: vec![0.5; 4],
+            miss_rate: 0.1,
+        };
+        let data = vec![
+            (8u64, vec![mk("a", 3.0, 4.0), mk("b", 3.2, 6.0)]),
+            (16u64, vec![mk("a", 3.0, 4.4), mk("b", 3.1, 4.5)]),
+            (32u64, vec![mk("a", 3.0, 4.6), mk("b", 3.2, 4.9)]),
+        ];
+        let s = claims_from(&data);
+        assert!((s.lt0_gain_8k - (3.1 / 2.93 - 1.0)).abs() < 1e-9);
+        assert_eq!(s.best_case.0, "b");
+        assert!((s.best_case.1 - 6.0 / 2.93).abs() < 1e-9);
+        assert_eq!(s.worst_case.0, "a");
+    }
+}

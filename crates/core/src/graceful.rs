@@ -1,0 +1,210 @@
+//! The "graceful degradation" alternative the paper rejects (§III-A2).
+//!
+//! Instead of balancing idleness, one could let unbalanced aging run its
+//! course and *disable* each bank as it becomes unreliable. The paper
+//! dismisses this because (i) the application then runs on a shrinking
+//! cache, hurting performance, and (ii) it requires an aging detector.
+//! This module quantifies (i): it computes the failure timeline of an
+//! un-reindexed cache and the miss rate at each degradation stage, with
+//! accesses to dead banks modelled as uncached (always-miss) traffic.
+
+use crate::aging::AgingAnalysis;
+use crate::error::CoreError;
+use cache_sim::{AccessKind, CacheArray, CacheGeometry};
+use trace_synth::WorkloadProfile;
+
+/// One stage of the degradation timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationStage {
+    /// Time at which this stage begins (a bank just died), years.
+    pub starts_at_years: f64,
+    /// Banks still alive.
+    pub alive_banks: u32,
+    /// Miss rate of the workload on the degraded cache.
+    pub miss_rate: f64,
+}
+
+/// Graceful-degradation analysis for one cache geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct GracefulDegradation {
+    geometry: CacheGeometry,
+    trace_cycles: u64,
+}
+
+impl GracefulDegradation {
+    /// Creates the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the geometry is
+    /// monolithic (nothing to disable).
+    pub fn new(geometry: CacheGeometry, trace_cycles: u64) -> Result<Self, CoreError> {
+        if geometry.banks() < 2 {
+            return Err(CoreError::InvalidParameter {
+                name: "banks",
+                value: geometry.banks() as f64,
+                expected: "at least 2 banks",
+            });
+        }
+        Ok(Self {
+            geometry,
+            trace_cycles,
+        })
+    }
+
+    /// Miss rate of `profile` with the given banks disabled: an access to
+    /// a dead bank can never hit and allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the mask width differs
+    /// from the bank count.
+    pub fn miss_rate_with_dead_banks(
+        &self,
+        profile: &WorkloadProfile,
+        dead: &[bool],
+        seed: u64,
+    ) -> Result<f64, CoreError> {
+        if dead.len() != self.geometry.banks() as usize {
+            return Err(CoreError::InvalidParameter {
+                name: "dead",
+                value: dead.len() as f64,
+                expected: "one flag per bank",
+            });
+        }
+        let mut cache = CacheArray::new(self.geometry);
+        let mut misses = 0u64;
+        let mut total = 0u64;
+        for acc in profile.trace(seed).take(self.trace_cycles as usize) {
+            total += 1;
+            let set = self.geometry.set_of(acc.addr);
+            let bank = self.geometry.bank_of_set(set);
+            if dead[bank as usize] {
+                misses += 1; // uncached territory
+                continue;
+            }
+            let kind = if acc.kind == AccessKind::Write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            if !cache.access(set, self.geometry.tag_of(acc.addr), kind).hit {
+                misses += 1;
+            }
+        }
+        Ok(misses as f64 / total as f64)
+    }
+
+    /// The full degradation timeline: banks die in order of their
+    /// (un-reindexed) lifetimes; each stage reports the miss rate of the
+    /// surviving configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates aging-model and parameter errors.
+    pub fn timeline(
+        &self,
+        profile: &WorkloadProfile,
+        sleep_fractions: &[f64],
+        aging: &AgingAnalysis,
+        seed: u64,
+    ) -> Result<Vec<DegradationStage>, CoreError> {
+        let banks = self.geometry.banks() as usize;
+        if sleep_fractions.len() != banks {
+            return Err(CoreError::InvalidParameter {
+                name: "sleep_fractions",
+                value: sleep_fractions.len() as f64,
+                expected: "one sleep fraction per bank",
+            });
+        }
+        // Per-bank lifetimes without re-indexing.
+        let mut deaths: Vec<(usize, f64)> = sleep_fractions
+            .iter()
+            .enumerate()
+            .map(|(b, &s)| Ok((b, aging.bank_lifetime(s, profile.p0())?)))
+            .collect::<Result<_, CoreError>>()?;
+        deaths.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite lifetimes"));
+
+        let mut dead = vec![false; banks];
+        let mut stages = vec![DegradationStage {
+            starts_at_years: 0.0,
+            alive_banks: banks as u32,
+            miss_rate: self.miss_rate_with_dead_banks(profile, &dead, seed)?,
+        }];
+        for (bank, year) in deaths {
+            dead[bank] = true;
+            let alive = banks as u32 - dead.iter().filter(|&&d| d).count() as u32;
+            stages.push(DegradationStage {
+                starts_at_years: year,
+                alive_banks: alive,
+                miss_rate: self.miss_rate_with_dead_banks(profile, &dead, seed)?,
+            });
+        }
+        Ok(stages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbti_model::{CellDesign, LifetimeSolver};
+    use trace_synth::suite;
+
+    fn degradation() -> GracefulDegradation {
+        let geom = CacheGeometry::direct_mapped(16 * 1024, 16, 4).unwrap();
+        GracefulDegradation::new(geom, 80_000).unwrap()
+    }
+
+    fn aging() -> AgingAnalysis {
+        AgingAnalysis::new(
+            LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).unwrap(),
+        )
+    }
+
+    #[test]
+    fn dead_banks_strictly_increase_misses() {
+        let g = degradation();
+        let p = suite::by_name("dijkstra").unwrap();
+        let all_alive = g
+            .miss_rate_with_dead_banks(&p, &[false; 4], 7)
+            .unwrap();
+        let one_dead = g
+            .miss_rate_with_dead_banks(&p, &[true, false, false, false], 7)
+            .unwrap();
+        let all_dead = g.miss_rate_with_dead_banks(&p, &[true; 4], 7).unwrap();
+        assert!(one_dead > all_alive);
+        assert_eq!(all_dead, 1.0);
+    }
+
+    #[test]
+    fn timeline_is_monotone_in_time_and_misses() {
+        let g = degradation();
+        let p = suite::by_name("sha").unwrap();
+        let sleep = [0.05, 0.98, 0.94, 0.03];
+        let stages = g.timeline(&p, &sleep, &aging(), 3).unwrap();
+        assert_eq!(stages.len(), 5);
+        for w in stages.windows(2) {
+            assert!(w[1].starts_at_years >= w[0].starts_at_years);
+            assert!(w[1].alive_banks < w[0].alive_banks);
+            assert!(w[1].miss_rate >= w[0].miss_rate - 1e-9);
+        }
+        // The busy banks (0, 3) die first, around the 2.93-year cell
+        // lifetime; the near-always-idle banks outlive them by years.
+        assert!(stages[1].starts_at_years < 3.2);
+        assert!(stages.last().unwrap().starts_at_years > 5.0);
+    }
+
+    #[test]
+    fn mask_width_is_validated() {
+        let g = degradation();
+        let p = suite::by_name("sha").unwrap();
+        assert!(g.miss_rate_with_dead_banks(&p, &[false; 3], 1).is_err());
+        assert!(g.timeline(&p, &[0.5; 3], &aging(), 1).is_err());
+    }
+
+    #[test]
+    fn monolithic_geometry_rejected() {
+        let geom = CacheGeometry::direct_mapped(16 * 1024, 16, 1).unwrap();
+        assert!(GracefulDegradation::new(geom, 1000).is_err());
+    }
+}

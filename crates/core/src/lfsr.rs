@@ -1,0 +1,181 @@
+//! Galois linear-feedback shift registers.
+//!
+//! The Scrambling policy XORs the bank-select bits with "a randomly
+//! generated number (e.g., by means of a LFSR)" (paper §III-A3, Fig. 3b).
+//! A `p`-bit maximal-length LFSR steps through all `2^p − 1` non-zero
+//! states, so over a full period every non-zero XOR mask appears exactly
+//! once — the "repeated values" structure behind the paper's RNG-error
+//! analysis (§IV-B2).
+
+use crate::error::CoreError;
+
+/// Maximal-length Galois tap masks for widths 1..=16 (index = width).
+/// Width 1 degenerates to the single-state register `1`.
+const TAPS: [u16; 17] = [
+    0x0000, // width 0: unused
+    0x0001, 0x0003, 0x0006, 0x000C, 0x0014, 0x0030, 0x0060, 0x00B8, 0x0110, 0x0240, 0x0500,
+    0x0E08, 0x1C80, 0x3802, 0x6000, 0xD008,
+];
+
+/// A Galois LFSR of width 1..=16 bits.
+///
+/// # Examples
+///
+/// ```
+/// use aging_cache::Lfsr;
+///
+/// let mut lfsr = Lfsr::new(3, 0b101)?;
+/// // A maximal-length 3-bit LFSR visits all 7 non-zero states.
+/// let mut seen = std::collections::HashSet::new();
+/// for _ in 0..7 {
+///     seen.insert(lfsr.next_value());
+/// }
+/// assert_eq!(seen.len(), 7);
+/// assert!(!seen.contains(&0));
+/// # Ok::<(), aging_cache::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lfsr {
+    width: u32,
+    state: u16,
+    taps: u16,
+}
+
+impl Lfsr {
+    /// Creates an LFSR of the given width with a non-zero seed (the seed
+    /// is masked to the width; a masked-to-zero seed is replaced by 1,
+    /// since the all-zero state is absorbing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `width` is not in
+    /// `1..=16`.
+    pub fn new(width: u32, seed: u16) -> Result<Self, CoreError> {
+        if !(1..=16).contains(&width) {
+            return Err(CoreError::InvalidParameter {
+                name: "width",
+                value: width as f64,
+                expected: "1..=16 bits",
+            });
+        }
+        let mask = Self::mask_for(width);
+        let mut state = seed & mask;
+        if state == 0 {
+            state = 1;
+        }
+        Ok(Self {
+            width,
+            state,
+            taps: TAPS[width as usize],
+        })
+    }
+
+    fn mask_for(width: u32) -> u16 {
+        if width == 16 {
+            u16::MAX
+        } else {
+            (1u16 << width) - 1
+        }
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current register state (never zero).
+    pub fn state(&self) -> u16 {
+        self.state
+    }
+
+    /// The sequence period: `2^width − 1`.
+    pub fn period(&self) -> u64 {
+        (1u64 << self.width) - 1
+    }
+
+    /// Advances one step and returns the new state.
+    pub fn next_value(&mut self) -> u16 {
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb != 0 {
+            self.state ^= self.taps;
+        }
+        // Galois form keeps the state within the width by construction,
+        // but mask anyway to make the invariant explicit.
+        self.state &= Self::mask_for(self.width);
+        debug_assert_ne!(self.state, 0, "maximal-length LFSR never reaches 0");
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_supported_widths_have_maximal_period() {
+        for width in 1..=12u32 {
+            let mut l = Lfsr::new(width, 1).unwrap();
+            let start = l.state();
+            let period = l.period();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..period {
+                seen.insert(l.next_value());
+            }
+            assert_eq!(
+                seen.len() as u64,
+                period,
+                "width {width}: sequence must visit every non-zero state"
+            );
+            assert_eq!(l.state(), start, "width {width}: period must close");
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let l = Lfsr::new(4, 0).unwrap();
+        assert_ne!(l.state(), 0);
+        let l = Lfsr::new(2, 0b100).unwrap(); // masks to zero -> fixed to 1
+        assert_eq!(l.state(), 1);
+    }
+
+    #[test]
+    fn rejects_unsupported_widths() {
+        assert!(Lfsr::new(0, 1).is_err());
+        assert!(Lfsr::new(17, 1).is_err());
+        assert!(Lfsr::new(16, 1).is_ok());
+    }
+
+    #[test]
+    fn deterministic_sequence() {
+        let mut a = Lfsr::new(5, 7).unwrap();
+        let mut b = Lfsr::new(5, 7).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.next_value(), b.next_value());
+        }
+    }
+
+    #[test]
+    fn width_one_alternates_trivially() {
+        let mut l = Lfsr::new(1, 1).unwrap();
+        assert_eq!(l.period(), 1);
+        assert_eq!(l.next_value(), 1);
+        assert_eq!(l.next_value(), 1);
+    }
+
+    #[test]
+    fn value_distribution_is_balanced_over_many_periods() {
+        // The paper's §IV-B2: over N draws each non-zero value repeats
+        // ~N/(2^p - 1) times.
+        let mut l = Lfsr::new(4, 3).unwrap();
+        let n = 15 * 1000;
+        let mut counts = [0u32; 16];
+        for _ in 0..n {
+            counts[l.next_value() as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for (v, &count) in counts.iter().enumerate().skip(1) {
+            assert_eq!(count, 1000, "value {v} should repeat exactly N/15");
+        }
+    }
+}

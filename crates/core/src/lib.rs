@@ -1,0 +1,77 @@
+//! Partitioned cache architectures for reduced NBTI-induced aging.
+//!
+//! This crate is the primary contribution of the DATE 2011 paper by
+//! Calimera, Loghi, Macii and Poncino: a direct-mapped cache partitioned
+//! into `M = 2^p` **uniform banks** (standard memory-compiler blocks),
+//! power-managed per bank, whose bank-select index bits pass through a
+//! **time-varying indexing function** `f()` so that idleness — and with it
+//! the NBTI recovery opportunity — is spread uniformly over the banks:
+//!
+//! * [`onehot`] — the 1-hot encoder of decoder `D` (paper Fig. 1b);
+//! * [`lfsr`] — Galois LFSRs backing the Scrambling policy;
+//! * [`policy`] — the indexing functions: `Identity` (a conventional
+//!   power-managed partitioned cache), `Probing` (modular increment,
+//!   Fig. 3a) and `Scrambling` (LFSR XOR, Fig. 3b);
+//! * [`decoder`] — decoder `D` with the dynamic-indexing stage (Fig. 2);
+//! * [`control`] / [`selector`] — Block Control counter sizing and the
+//!   per-bank supply-rail selector (Fig. 1);
+//! * [`arch`] — [`arch::PartitionedCache`], tying the
+//!   pieces to the trace-driven simulator;
+//! * [`aging`] — the lifetime pipeline: per-bank sleep fractions → policy
+//!   rotation over update periods → SNM-based cache lifetime;
+//! * [`experiment`] / [`report`] — runners that regenerate every table of
+//!   the paper's evaluation, with the published values embedded for
+//!   side-by-side comparison ([`paper`]);
+//! * [`flip`] / [`graceful`] — ablations: word-level cell flipping
+//!   (ref. \[15\]) and the "progressively disable aged banks" alternative
+//!   the paper argues against (§III-A2).
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use aging_cache::experiment::{ExperimentConfig, run_benchmark};
+//! use aging_cache::policy::PolicyKind;
+//!
+//! # fn main() -> Result<(), aging_cache::CoreError> {
+//! let cfg = ExperimentConfig::paper_reference(); // 16 kB, 16 B lines, M=4
+//! let ctx = cfg.build_context()?;
+//! let sha = trace_synth::suite::by_name("sha").expect("in suite");
+//! let r = run_benchmark(&sha, &cfg, &ctx)?;
+//! println!(
+//!     "sha: Esav {:.1}%  LT0 {:.2}y  LT {:.2}y",
+//!     100.0 * r.esav,
+//!     r.lt0_years,
+//!     r.lt_years
+//! );
+//! assert!(r.lt_years > r.lt0_years);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aging;
+pub mod arch;
+pub mod control;
+pub mod decoder;
+pub mod error;
+pub mod experiment;
+pub mod fine_grain;
+pub mod flip;
+pub mod graceful;
+pub mod lfsr;
+pub mod onehot;
+pub mod paper;
+pub mod policy;
+pub mod report;
+pub mod selector;
+
+pub use aging::AgingAnalysis;
+pub use arch::PartitionedCache;
+pub use decoder::Decoder;
+pub use error::CoreError;
+pub use lfsr::Lfsr;
+pub use onehot::OneHotEncoder;
+pub use policy::{PolicyKind, Probing, Scrambling};
+pub use selector::{BlockSelector, Rail};

@@ -1,0 +1,165 @@
+//! The 1-hot encoder of decoder `D` (paper Fig. 1b).
+//!
+//! The `p` bank-select MSBs are "transformed into a 1-hot code onto `2^p`
+//! bits (e.g., Bank 0 corresponds to the M-bit encoding 00…1, Bank M−1
+//! corresponds to 100…0)". The paper notes the performance overhead is
+//! negligible: "the longest combinational input/output delay in the 1-hot
+//! encoder goes through a single logic gate corresponding to the binary
+//! encoding of the corresponding minterm."
+
+use crate::error::CoreError;
+
+/// Encoder/decoder between `p`-bit bank ids and `2^p`-bit one-hot codes,
+/// with the gate-level cost estimates the paper argues from.
+///
+/// # Examples
+///
+/// ```
+/// use aging_cache::OneHotEncoder;
+///
+/// let enc = OneHotEncoder::new(4)?;
+/// assert_eq!(enc.encode(0)?, 0b0001);
+/// assert_eq!(enc.encode(3)?, 0b1000);
+/// assert_eq!(enc.decode(0b0100)?, 2);
+/// // One AND gate per minterm, one gate level deep.
+/// assert_eq!(enc.gate_levels(), 1);
+/// # Ok::<(), aging_cache::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OneHotEncoder {
+    banks: u32,
+}
+
+impl OneHotEncoder {
+    /// Creates an encoder for `banks = 2^p` outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless `banks` is a power
+    /// of two in `2..=65536`... practically `2..=16` for the paper's
+    /// feasible partitionings, but any power of two up to 2^16 encodes.
+    pub fn new(banks: u32) -> Result<Self, CoreError> {
+        if !(2..=1 << 16).contains(&banks) || !banks.is_power_of_two() {
+            return Err(CoreError::InvalidParameter {
+                name: "banks",
+                value: banks as f64,
+                expected: "a power of two in 2..=65536",
+            });
+        }
+        Ok(Self { banks })
+    }
+
+    /// Number of one-hot outputs.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Number of select input bits `p`.
+    pub fn select_bits(&self) -> u32 {
+        self.banks.trailing_zeros()
+    }
+
+    /// Encodes a bank id into its one-hot code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `bank >= banks`.
+    pub fn encode(&self, bank: u32) -> Result<u32, CoreError> {
+        if bank >= self.banks {
+            return Err(CoreError::InvalidParameter {
+                name: "bank",
+                value: bank as f64,
+                expected: "bank < banks",
+            });
+        }
+        Ok(1u32 << bank)
+    }
+
+    /// Decodes a one-hot code back to its bank id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `code` is not a valid
+    /// one-hot value for this width (zero, multiple bits, or out of
+    /// range).
+    pub fn decode(&self, code: u32) -> Result<u32, CoreError> {
+        if code.count_ones() != 1 {
+            return Err(CoreError::InvalidParameter {
+                name: "code",
+                value: code as f64,
+                expected: "exactly one bit set within the bank width",
+            });
+        }
+        let bank = code.trailing_zeros();
+        if bank >= self.banks {
+            return Err(CoreError::InvalidParameter {
+                name: "code",
+                value: code as f64,
+                expected: "exactly one bit set within the bank width",
+            });
+        }
+        Ok(bank)
+    }
+
+    /// Combinational depth of the encoder: one AND-gate level (each output
+    /// is a single minterm of the `p` select bits).
+    pub fn gate_levels(&self) -> u32 {
+        1
+    }
+
+    /// Gate count estimate: one `p`-input AND per output.
+    pub fn gate_count(&self) -> u32 {
+        self.banks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_encoding_examples() {
+        // "Bank 0 corresponds to the M-bit encoding 00...1,
+        //  Bank M-1 corresponds to 100...0."
+        let enc = OneHotEncoder::new(8).unwrap();
+        assert_eq!(enc.encode(0).unwrap(), 0b0000_0001);
+        assert_eq!(enc.encode(7).unwrap(), 0b1000_0000);
+    }
+
+    #[test]
+    fn roundtrip_all_banks() {
+        for banks in [2u32, 4, 8, 16] {
+            let enc = OneHotEncoder::new(banks).unwrap();
+            for b in 0..banks {
+                let code = enc.encode(b).unwrap();
+                assert_eq!(code.count_ones(), 1);
+                assert_eq!(enc.decode(code).unwrap(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let enc = OneHotEncoder::new(4).unwrap();
+        assert!(enc.encode(4).is_err());
+        assert!(enc.decode(0).is_err());
+        assert!(enc.decode(0b0011).is_err());
+        assert!(enc.decode(0b10000).is_err(), "bit beyond bank width");
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(OneHotEncoder::new(0).is_err());
+        assert!(OneHotEncoder::new(1).is_err());
+        assert!(OneHotEncoder::new(3).is_err());
+        assert!(OneHotEncoder::new(4).is_ok());
+    }
+
+    #[test]
+    fn cost_model_is_single_level() {
+        let enc = OneHotEncoder::new(16).unwrap();
+        assert_eq!(enc.gate_levels(), 1);
+        assert_eq!(enc.gate_count(), 16);
+        assert_eq!(enc.select_bits(), 4);
+    }
+}

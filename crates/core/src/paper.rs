@@ -1,0 +1,205 @@
+//! The paper's published numbers, embedded for side-by-side reporting.
+//!
+//! Source: A. Calimera, M. Loghi, E. Macii, M. Poncino, *"Partitioned
+//! Cache Architectures for Reduced NBTI-Induced Aging"*, DATE 2011,
+//! Tables I–IV and §IV prose. Energy savings are fractions (the paper
+//! prints percents), lifetimes are years.
+
+/// Lifetime of a standard (always-on, monolithic) memory cell in the
+/// paper's 45 nm technology.
+pub const CELL_LIFETIME_YEARS: f64 = 2.93;
+
+/// The paper's benchmark names, in Table order.
+pub const BENCHMARKS: [&str; 18] = [
+    "adpcm.dec",
+    "cjpeg",
+    "CRC32",
+    "dijkstra",
+    "djpeg",
+    "fft_1",
+    "fft_2",
+    "gsmd",
+    "gsme",
+    "ispell",
+    "lame",
+    "mad",
+    "rijndael_i",
+    "rijndael_o",
+    "say",
+    "search",
+    "sha",
+    "tiff2bw",
+];
+
+/// One row of Table II: `(Esav, LT0, LT)` for 8 kB, 16 kB, 32 kB caches
+/// (16 B lines, M = 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Energy saving fraction per cache size `[8k, 16k, 32k]`.
+    pub esav: [f64; 3],
+    /// Lifetime without re-indexing, years, per cache size.
+    pub lt0: [f64; 3],
+    /// Lifetime with re-indexing, years, per cache size.
+    pub lt: [f64; 3],
+}
+
+/// Table II: energy savings and lifetime when varying cache size.
+pub const TABLE2: [Table2Row; 18] = [
+    Table2Row { name: "adpcm.dec",  esav: [0.306, 0.438, 0.557], lt0: [2.98, 3.04, 3.04], lt: [4.82, 3.76, 4.03] },
+    Table2Row { name: "cjpeg",      esav: [0.315, 0.440, 0.556], lt0: [3.18, 3.17, 3.11], lt: [4.07, 4.32, 4.75] },
+    Table2Row { name: "CRC32",      esav: [0.333, 0.450, 0.561], lt0: [2.98, 2.93, 2.93], lt: [3.40, 3.88, 4.00] },
+    Table2Row { name: "dijkstra",   esav: [0.312, 0.444, 0.555], lt0: [3.26, 3.31, 3.29], lt: [3.99, 4.31, 3.99] },
+    Table2Row { name: "djpeg",      esav: [0.322, 0.442, 0.552], lt0: [3.61, 3.36, 3.52], lt: [4.12, 4.02, 4.35] },
+    Table2Row { name: "fft_1",      esav: [0.322, 0.442, 0.556], lt0: [3.17, 2.96, 3.24], lt: [4.30, 4.46, 4.44] },
+    Table2Row { name: "fft_2",      esav: [0.322, 0.442, 0.556], lt0: [3.11, 2.97, 3.18], lt: [4.34, 4.42, 4.40] },
+    Table2Row { name: "gsmd",       esav: [0.313, 0.442, 0.552], lt0: [2.94, 3.08, 3.03], lt: [4.59, 3.81, 5.10] },
+    Table2Row { name: "gsme",       esav: [0.315, 0.439, 0.551], lt0: [2.94, 2.94, 3.03], lt: [4.90, 4.50, 4.37] },
+    Table2Row { name: "ispell",     esav: [0.336, 0.452, 0.559], lt0: [3.50, 3.40, 3.42], lt: [4.55, 4.74, 4.75] },
+    Table2Row { name: "lame",       esav: [0.321, 0.444, 0.557], lt0: [3.31, 3.55, 3.33], lt: [4.06, 4.12, 4.49] },
+    Table2Row { name: "mad",        esav: [0.321, 0.437, 0.550], lt0: [3.73, 3.74, 3.72], lt: [4.10, 4.76, 4.59] },
+    Table2Row { name: "rijndael_i", esav: [0.329, 0.444, 0.550], lt0: [3.02, 3.11, 3.26], lt: [4.02, 4.10, 4.90] },
+    Table2Row { name: "rijndael_o", esav: [0.331, 0.444, 0.552], lt0: [3.01, 3.13, 2.96], lt: [3.96, 4.16, 5.23] },
+    Table2Row { name: "say",        esav: [0.319, 0.439, 0.554], lt0: [3.27, 3.06, 3.38], lt: [4.92, 5.09, 4.43] },
+    Table2Row { name: "search",     esav: [0.334, 0.453, 0.561], lt0: [3.57, 3.58, 3.07], lt: [4.67, 4.27, 4.24] },
+    Table2Row { name: "sha",        esav: [0.311, 0.436, 0.550], lt0: [3.00, 3.03, 3.02], lt: [4.74, 4.48, 6.09] },
+    Table2Row { name: "tiff2bw",    esav: [0.334, 0.447, 0.556], lt0: [3.41, 3.13, 3.09], lt: [4.57, 4.31, 4.98] },
+];
+
+/// Table II averages: `(Esav, LT0, LT)` per cache size.
+pub const TABLE2_AVG: ([f64; 3], [f64; 3], [f64; 3]) = (
+    [0.322, 0.443, 0.555],
+    [3.22, 3.19, 3.20],
+    [4.34, 4.31, 4.62],
+);
+
+/// One row of Table III: `(Esav, LT)` at 16 B and 32 B line sizes
+/// (16 kB cache, M = 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// `[Esav @16B, LT @16B, Esav @32B, LT @32B]`.
+    pub values: [f64; 4],
+}
+
+/// Table III: energy savings and lifetime when varying line size.
+pub const TABLE3: [Table3Row; 18] = [
+    Table3Row { name: "adpcm.dec",  values: [0.438, 3.76, 0.310, 3.61] },
+    Table3Row { name: "cjpeg",      values: [0.440, 4.32, 0.312, 4.26] },
+    Table3Row { name: "CRC32",      values: [0.450, 3.88, 0.335, 3.82] },
+    Table3Row { name: "dijkstra",   values: [0.444, 4.31, 0.310, 4.17] },
+    Table3Row { name: "djpeg",      values: [0.442, 4.02, 0.317, 3.95] },
+    Table3Row { name: "fft_1",      values: [0.442, 4.46, 0.319, 4.38] },
+    Table3Row { name: "fft_2",      values: [0.442, 4.42, 0.319, 4.35] },
+    Table3Row { name: "gsmd",       values: [0.442, 3.81, 0.316, 3.71] },
+    Table3Row { name: "gsme",       values: [0.439, 4.50, 0.317, 4.46] },
+    Table3Row { name: "ispell",     values: [0.452, 4.74, 0.333, 4.66] },
+    Table3Row { name: "lame",       values: [0.444, 4.12, 0.321, 4.07] },
+    Table3Row { name: "mad",        values: [0.437, 4.76, 0.312, 4.66] },
+    Table3Row { name: "rijndael_i", values: [0.444, 4.10, 0.316, 3.99] },
+    Table3Row { name: "rijndael_o", values: [0.444, 4.16, 0.316, 4.03] },
+    Table3Row { name: "say",        values: [0.439, 5.09, 0.314, 5.05] },
+    Table3Row { name: "search",     values: [0.453, 4.27, 0.331, 4.17] },
+    Table3Row { name: "sha",        values: [0.436, 4.48, 0.312, 4.47] },
+    Table3Row { name: "tiff2bw",    values: [0.448, 4.31, 0.330, 4.32] },
+];
+
+/// Table III averages: `[Esav @16B, LT @16B, Esav @32B, LT @32B]`.
+pub const TABLE3_AVG: [f64; 4] = [0.443, 4.31, 0.319, 4.23];
+
+/// Table IV: average idleness (fraction) and lifetime (years) per
+/// `(cache size, M)`. Rows: 8 kB, 16 kB, 32 kB; columns: M = 2, 4, 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table4Row {
+    /// Cache size in kB.
+    pub size_kb: u32,
+    /// `(idleness fraction, lifetime years)` for M = 2, 4, 8.
+    pub per_banks: [(f64, f64); 3],
+}
+
+/// Table IV: average idleness and lifetime when varying cache size and
+/// number of blocks.
+pub const TABLE4: [Table4Row; 3] = [
+    Table4Row { size_kb: 8,  per_banks: [(0.15, 3.34), (0.42, 4.34), (0.58, 5.30)] },
+    Table4Row { size_kb: 16, per_banks: [(0.15, 3.35), (0.41, 4.31), (0.64, 5.69)] },
+    Table4Row { size_kb: 32, per_banks: [(0.25, 3.68), (0.47, 4.62), (0.68, 5.98)] },
+];
+
+/// Headline claims (§I, §IV-B1):
+pub mod claims {
+    /// Power management alone extends lifetime by "a modest 9 %".
+    pub const LT0_IMPROVEMENT: f64 = 0.09;
+    /// Re-indexing adds "a further 38 %" over the power-managed cache.
+    pub const REINDEX_FURTHER_IMPROVEMENT: f64 = 0.38;
+    /// Per-size lifetime extension over the monolithic cell:
+    /// 48 % (8 kB), 47.1 % (16 kB), 57.6 % (32 kB).
+    pub const EXTENSION_PER_SIZE: [f64; 3] = [0.48, 0.471, 0.576];
+    /// Best case: sha reaches a 2x lifetime extension.
+    pub const BEST_CASE_FACTOR: f64 = 2.0;
+    /// Worst configuration still gains at least ~22 %.
+    pub const WORST_CASE_GAIN: f64 = 0.22;
+    /// M = 2 yields "no more than a 26 % lifetime extension".
+    pub const M2_MAX_GAIN: f64 = 0.26;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_all_benchmarks_in_order() {
+        assert_eq!(TABLE2.len(), 18);
+        assert_eq!(TABLE3.len(), 18);
+        for (i, name) in BENCHMARKS.iter().enumerate() {
+            assert_eq!(TABLE2[i].name, *name);
+            assert_eq!(TABLE3[i].name, *name);
+        }
+    }
+
+    #[test]
+    fn published_averages_match_rows() {
+        // Recompute the column averages from the rows; they must match
+        // the paper's printed averages to rounding.
+        for size in 0..3 {
+            let esav: f64 = TABLE2.iter().map(|r| r.esav[size]).sum::<f64>() / 18.0;
+            let lt0: f64 = TABLE2.iter().map(|r| r.lt0[size]).sum::<f64>() / 18.0;
+            let lt: f64 = TABLE2.iter().map(|r| r.lt[size]).sum::<f64>() / 18.0;
+            assert!((esav - TABLE2_AVG.0[size]).abs() < 0.005, "esav size {size}");
+            assert!((lt0 - TABLE2_AVG.1[size]).abs() < 0.05, "lt0 size {size}");
+            assert!((lt - TABLE2_AVG.2[size]).abs() < 0.05, "lt size {size}");
+        }
+        for (col, &published) in TABLE3_AVG.iter().enumerate() {
+            let avg: f64 = TABLE3.iter().map(|r| r.values[col]).sum::<f64>() / 18.0;
+            assert!((avg - published).abs() < 0.05, "table3 col {col}");
+        }
+    }
+
+    #[test]
+    fn re_indexing_always_wins_in_the_paper_too() {
+        for row in TABLE2 {
+            for size in 0..3 {
+                assert!(row.lt[size] > row.lt0[size], "{}", row.name);
+                assert!(row.lt0[size] >= CELL_LIFETIME_YEARS - 0.01, "{}", row.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table4_trends_hold() {
+        for row in TABLE4 {
+            // Idleness and lifetime increase with M.
+            assert!(row.per_banks[0].0 < row.per_banks[1].0);
+            assert!(row.per_banks[1].0 < row.per_banks[2].0);
+            assert!(row.per_banks[0].1 < row.per_banks[1].1);
+            assert!(row.per_banks[1].1 < row.per_banks[2].1);
+        }
+    }
+
+    #[test]
+    fn sha_is_the_paper_best_case() {
+        let sha = TABLE2.iter().find(|r| r.name == "sha").unwrap();
+        assert!(sha.lt[2] / CELL_LIFETIME_YEARS > claims::BEST_CASE_FACTOR);
+    }
+}

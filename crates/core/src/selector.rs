@@ -1,0 +1,125 @@
+//! The Block Selector: per-bank supply-rail switching (paper Fig. 1).
+//!
+//! "Block Selector drives the correct value of supply voltage (Vdd or
+//! Vdd,low) to each block according to the encoding on the select
+//! signals." The selector is purely combinational: select bit high →
+//! drowsy rail.
+
+use crate::error::CoreError;
+
+/// Which supply rail a bank is connected to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rail {
+    /// Full `Vdd`: the bank is accessible.
+    Vdd,
+    /// Retention `Vdd,low`: contents kept, access requires a wake-up.
+    VddLow,
+}
+
+/// Maps the Block Control select word to per-bank rails.
+///
+/// # Examples
+///
+/// ```
+/// use aging_cache::{BlockSelector, Rail};
+///
+/// let sel = BlockSelector::new(4)?;
+/// // Select word 0b0110: banks 1 and 2 asleep.
+/// let rails = sel.rails(0b0110)?;
+/// assert_eq!(rails, vec![Rail::Vdd, Rail::VddLow, Rail::VddLow, Rail::Vdd]);
+/// # Ok::<(), aging_cache::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockSelector {
+    banks: u32,
+}
+
+impl BlockSelector {
+    /// Creates a selector for `banks` banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `banks` is zero or
+    /// exceeds 32 (the select word width).
+    pub fn new(banks: u32) -> Result<Self, CoreError> {
+        if banks == 0 || banks > 32 {
+            return Err(CoreError::InvalidParameter {
+                name: "banks",
+                value: banks as f64,
+                expected: "1..=32 banks",
+            });
+        }
+        Ok(Self { banks })
+    }
+
+    /// Number of banks driven.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Decodes a select word (bit `b` set = bank `b` sleeps) into rails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `select` has bits set
+    /// beyond the bank count.
+    pub fn rails(&self, select: u32) -> Result<Vec<Rail>, CoreError> {
+        let mask = if self.banks == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.banks) - 1
+        };
+        if select & !mask != 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "select",
+                value: select as f64,
+                expected: "select bits within the bank count",
+            });
+        }
+        Ok((0..self.banks)
+            .map(|b| {
+                if select & (1 << b) != 0 {
+                    Rail::VddLow
+                } else {
+                    Rail::Vdd
+                }
+            })
+            .collect())
+    }
+
+    /// Number of rail-switch (power-mux) cells: one per bank.
+    pub fn switch_count(&self) -> u32 {
+        self.banks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_awake_and_all_asleep() {
+        let sel = BlockSelector::new(4).unwrap();
+        assert!(sel.rails(0).unwrap().iter().all(|&r| r == Rail::Vdd));
+        assert!(sel.rails(0b1111).unwrap().iter().all(|&r| r == Rail::VddLow));
+    }
+
+    #[test]
+    fn rejects_select_bits_beyond_banks() {
+        let sel = BlockSelector::new(4).unwrap();
+        assert!(sel.rails(0b10000).is_err());
+        assert!(sel.rails(0b1111).is_ok());
+    }
+
+    #[test]
+    fn bounds_on_bank_count() {
+        assert!(BlockSelector::new(0).is_err());
+        assert!(BlockSelector::new(33).is_err());
+        assert!(BlockSelector::new(32).is_ok());
+    }
+
+    #[test]
+    fn one_switch_per_bank() {
+        assert_eq!(BlockSelector::new(16).unwrap().switch_count(), 16);
+    }
+}

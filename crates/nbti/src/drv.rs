@@ -1,0 +1,221 @@
+//! Data-retention-voltage (DRV) analysis for the drowsy state.
+//!
+//! Voltage-scaled sleep only works if the lowered rail still lets the cell
+//! *hold* its datum: below the DRV the hold SNM collapses and the drowsy
+//! state destroys state, defeating the paper's argument for preferring
+//! voltage scaling over power gating (§III-A1). Aging raises the DRV over
+//! the cache's life, so a drowsy voltage chosen at time zero must keep
+//! margin against the *end-of-life* DRV. This module computes:
+//!
+//! * the hold SNM at an arbitrary retention voltage and aging state, and
+//! * the minimum retention voltage that keeps a required hold margin,
+//!   fresh or aged.
+
+use crate::error::NbtiError;
+use crate::lifetime::CellDesign;
+use crate::snm::SnmSolver;
+use crate::vtc::ReadInverter;
+
+/// Default hold-margin requirement: 40 mV of hold SNM.
+pub const DEFAULT_MARGIN_V: f64 = 0.040;
+
+/// Data-retention analysis for one cell design.
+///
+/// # Examples
+///
+/// ```
+/// use nbti_model::{CellDesign, DrvAnalysis};
+///
+/// # fn main() -> Result<(), nbti_model::NbtiError> {
+/// let drv = DrvAnalysis::new(CellDesign::default_45nm());
+/// // The paper's 0.75 V drowsy rail holds data comfortably when fresh...
+/// assert!(drv.holds_at(0.75, 0.0, 0.0)?);
+/// // ...and the minimum retention voltage is far below it.
+/// let min_v = drv.min_retention_voltage(0.0, 0.0)?;
+/// assert!(min_v < 0.75);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DrvAnalysis {
+    design: CellDesign,
+    snm: SnmSolver,
+    margin_v: f64,
+}
+
+impl DrvAnalysis {
+    /// Creates the analysis with the default 40 mV hold-margin
+    /// requirement.
+    pub fn new(design: CellDesign) -> Self {
+        Self {
+            design,
+            snm: SnmSolver::new(),
+            margin_v: DEFAULT_MARGIN_V,
+        }
+    }
+
+    /// Overrides the required hold margin, in volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin_v` is not positive.
+    #[must_use]
+    pub fn with_margin(mut self, margin_v: f64) -> Self {
+        assert!(margin_v > 0.0, "margin must be positive");
+        self.margin_v = margin_v;
+        self
+    }
+
+    /// The required hold margin, volts.
+    pub fn margin_v(&self) -> f64 {
+        self.margin_v
+    }
+
+    /// Hold SNM (wordline off — no access transistors) at retention
+    /// voltage `v_ret` with the two pull-ups aged by `dv_a`, `dv_b` volts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VTC solver failures or an invalid (non-positive)
+    /// retention voltage.
+    pub fn hold_snm(&self, v_ret: f64, dv_a: f64, dv_b: f64) -> Result<f64, NbtiError> {
+        let inv = |dv: f64| -> Result<ReadInverter, NbtiError> {
+            ReadInverter::new(
+                self.design.pullup().with_vth_shift(dv),
+                self.design.pulldown(),
+                None, // hold condition: access devices off
+                v_ret,
+            )
+        };
+        Ok(self.snm.extract(&inv(dv_a)?, &inv(dv_b)?)?.snm)
+    }
+
+    /// Whether the cell holds data (hold SNM ≥ margin) at `v_ret` with
+    /// the given aging.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn holds_at(&self, v_ret: f64, dv_a: f64, dv_b: f64) -> Result<bool, NbtiError> {
+        Ok(self.hold_snm(v_ret, dv_a, dv_b)? >= self.margin_v)
+    }
+
+    /// The minimum retention voltage keeping the hold margin, via
+    /// bisection over `(0.1 V, Vdd)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NbtiError::SolverDiverged`] if even the full rail cannot
+    /// hold the margin (a destroyed cell).
+    pub fn min_retention_voltage(&self, dv_a: f64, dv_b: f64) -> Result<f64, NbtiError> {
+        let mut lo = 0.1_f64;
+        let mut hi = self.design.vdd();
+        if !self.holds_at(hi, dv_a, dv_b)? {
+            return Err(NbtiError::SolverDiverged {
+                context: "cell cannot hold data even at full rail",
+            });
+        }
+        if self.holds_at(lo, dv_a, dv_b)? {
+            return Ok(lo);
+        }
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if self.holds_at(mid, dv_a, dv_b)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if hi - lo < 1e-4 {
+                break;
+            }
+        }
+        Ok(hi)
+    }
+
+    /// Drowsy-voltage safety margin at a given aging state: the distance
+    /// between the design's `Vdd,low` and the aged DRV (negative =
+    /// unsafe).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn drowsy_margin(&self, dv_a: f64, dv_b: f64) -> Result<f64, NbtiError> {
+        Ok(self.design.vdd_low() - self.min_retention_voltage(dv_a, dv_b)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drv() -> DrvAnalysis {
+        DrvAnalysis::new(CellDesign::default_45nm())
+    }
+
+    #[test]
+    fn hold_snm_grows_with_voltage() {
+        let d = drv();
+        let lo = d.hold_snm(0.4, 0.0, 0.0).unwrap();
+        let hi = d.hold_snm(1.1, 0.0, 0.0).unwrap();
+        assert!(hi > lo, "hold margin must grow with the rail: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn aging_raises_the_drv() {
+        let d = drv();
+        let fresh = d.min_retention_voltage(0.0, 0.0).unwrap();
+        let aged = d.min_retention_voltage(0.08, 0.02).unwrap();
+        assert!(
+            aged >= fresh,
+            "an aged cell needs at least as much retention voltage: {fresh} vs {aged}"
+        );
+    }
+
+    #[test]
+    fn paper_drowsy_voltage_is_safe_at_end_of_life() {
+        // At the 20 % read-SNM failure point the drowsy rail must still
+        // hold data — otherwise the paper's scheme would lose state
+        // before it loses read margin.
+        let d = drv();
+        // ~ the critical shift at failure for the default design.
+        let margin = d.drowsy_margin(0.08, 0.08).unwrap();
+        assert!(
+            margin > 0.0,
+            "0.75 V drowsy rail must stay above the aged DRV (margin {margin})"
+        );
+    }
+
+    #[test]
+    fn destroyed_cell_reports_divergence() {
+        let d = drv().with_margin(0.5); // absurd margin requirement
+        assert!(d.min_retention_voltage(0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn margin_knob_is_monotone() {
+        let strict = DrvAnalysis::new(CellDesign::default_45nm())
+            .with_margin(0.08)
+            .min_retention_voltage(0.0, 0.0)
+            .unwrap();
+        let lax = DrvAnalysis::new(CellDesign::default_45nm())
+            .with_margin(0.02)
+            .min_retention_voltage(0.0, 0.0)
+            .unwrap();
+        assert!(strict > lax, "stricter margin needs more voltage");
+    }
+
+    #[test]
+    fn hold_beats_read_snm_at_same_rail() {
+        let design = CellDesign::default_45nm();
+        let d = DrvAnalysis::new(design.clone());
+        let hold = d.hold_snm(design.vdd(), 0.0, 0.0).unwrap();
+        let read = SnmSolver::new()
+            .extract(
+                &ReadInverter::from_design(&design, 0.0),
+                &ReadInverter::from_design(&design, 0.0),
+            )
+            .unwrap()
+            .snm;
+        assert!(hold > read, "hold SNM ({hold}) must exceed read SNM ({read})");
+    }
+}

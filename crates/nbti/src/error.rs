@@ -1,0 +1,115 @@
+//! Error type for the NBTI model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the NBTI characterization framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NbtiError {
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A voltage parameter was non-positive or non-finite.
+    InvalidVoltage {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A model parameter was outside its physical range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the accepted range.
+        expected: &'static str,
+    },
+    /// The VTC/SNM numerical solver failed to bracket or converge.
+    SolverDiverged {
+        /// Which solver failed.
+        context: &'static str,
+    },
+    /// The requested stress never degrades the cell to the failure
+    /// criterion within the search horizon (e.g. a fully power-gated,
+    /// never-active cell).
+    NoFailureWithinHorizon {
+        /// Search horizon in years.
+        horizon_years: f64,
+    },
+    /// A lookup-table query was outside the tabulated grid.
+    LutOutOfRange {
+        /// Name of the axis that was exceeded.
+        axis: &'static str,
+        /// The rejected coordinate.
+        value: f64,
+    },
+}
+
+impl fmt::Display for NbtiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NbtiError::InvalidProbability { name, value } => {
+                write!(f, "probability `{name}` = {value} is outside [0, 1]")
+            }
+            NbtiError::InvalidVoltage { name, value } => {
+                write!(f, "voltage `{name}` = {value} must be finite and positive")
+            }
+            NbtiError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => {
+                write!(f, "parameter `{name}` = {value} is invalid (expected {expected})")
+            }
+            NbtiError::SolverDiverged { context } => {
+                write!(f, "numerical solver failed to converge in {context}")
+            }
+            NbtiError::NoFailureWithinHorizon { horizon_years } => {
+                write!(
+                    f,
+                    "cell never reaches the failure criterion within {horizon_years} years"
+                )
+            }
+            NbtiError::LutOutOfRange { axis, value } => {
+                write!(f, "lookup on axis `{axis}` = {value} is outside the tabulated grid")
+            }
+        }
+    }
+}
+
+impl Error for NbtiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NbtiError::InvalidProbability {
+            name: "p0",
+            value: 1.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("p0"));
+        assert!(s.contains("1.5"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NbtiError>();
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let e: Box<dyn Error> = Box::new(NbtiError::SolverDiverged { context: "vtc" });
+        assert!(e.source().is_none());
+    }
+}

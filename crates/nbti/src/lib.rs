@@ -1,0 +1,72 @@
+//! NBTI aging physics for 6T SRAM cells.
+//!
+//! This crate is the analytical stand-in for the HSPICE + 45 nm design-kit
+//! characterization flow used by the DATE 2011 paper *"Partitioned Cache
+//! Architectures for Reduced NBTI-Induced Aging"* (Calimera, Loghi, Macii,
+//! Poncino). It provides:
+//!
+//! * an [alpha-power-law MOSFET model](device) (Sakurai–Newton) for the six
+//!   transistors of a 6T SRAM cell,
+//! * a [numerical voltage-transfer-curve solver](vtc) for the cell inverters
+//!   with the access transistors conducting (read condition),
+//! * a [butterfly-curve read-SNM extractor](snm) (largest embedded square),
+//! * a [long-term reaction–diffusion ΔVth model](rd) with power-law voltage
+//!   acceleration and Arrhenius temperature acceleration,
+//! * a [6T-cell stress bookkeeping model](stress) keyed on the probability of
+//!   storing a logic '0' (`p0`) and the fraction of time spent in a low-power
+//!   state,
+//! * a [lifetime solver](lifetime) that finds the time at which the read SNM
+//!   has degraded by 20 % (the paper's failure criterion), calibrated so that
+//!   an always-on balanced cell lives **2.93 years**, and
+//! * a [characterization lookup table](lut) over `(p0, sleep fraction)` with
+//!   bilinear interpolation — the artifact the paper's cache simulator
+//!   consumes.
+//!
+//! # Quick start
+//!
+//! ```
+//! use nbti_model::{CellDesign, LifetimeSolver, SleepMode, StressProfile};
+//!
+//! # fn main() -> Result<(), nbti_model::NbtiError> {
+//! let design = CellDesign::default_45nm();
+//! let solver = LifetimeSolver::calibrated(design, 2.93)?;
+//!
+//! // An always-on cell with balanced content lives exactly the calibration
+//! // target.
+//! let base = solver.lifetime_years(&StressProfile::always_on(0.5))?;
+//! assert!((base - 2.93).abs() < 0.01);
+//!
+//! // Sleeping half of the time in a voltage-scaled state extends lifetime.
+//! let drowsy = StressProfile::new(0.5, 0.5, SleepMode::VoltageScaled)?;
+//! assert!(solver.lifetime_years(&drowsy)? > base);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod drv;
+pub mod error;
+pub mod lifetime;
+pub mod lut;
+pub mod rd;
+pub mod snm;
+pub mod stress;
+pub mod variation;
+pub mod vtc;
+
+pub use device::{Mosfet, MosfetKind};
+pub use drv::DrvAnalysis;
+pub use error::NbtiError;
+pub use lifetime::{CellDesign, LifetimeSolver};
+pub use lut::AgingLut;
+pub use rd::RdModel;
+pub use snm::{ButterflyCurves, SnmExtraction, SnmSolver};
+pub use stress::{SleepMode, StressProfile};
+pub use variation::{VariationModel, VariationTable};
+pub use vtc::{ReadInverter, VtcSolver};
+
+/// Seconds in one (Julian) year, used for time unit conversions throughout.
+pub const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;

@@ -1,0 +1,236 @@
+//! Stress bookkeeping for the two pMOS devices of a 6T cell.
+//!
+//! A 6T cell stresses exactly one of its two pull-up pMOS devices at any
+//! time: the one whose gate sees the '0'-holding storage node. With `p0`
+//! the probability of storing a logic '0', the two devices carry stress
+//! duty cycles `1 − p0` and `p0` of the cell's *active* time (paper §II-A,
+//! ref. \[11\]: balanced content, `p0 = 0.5`, is the best case because the
+//! worst device then carries the least duty).
+//!
+//! Low-power states modulate the stress further:
+//!
+//! * **Voltage scaling** (the paper's choice, §III-A1): contents are
+//!   retained, both devices keep their roles, but the reduced rail voltage
+//!   decelerates trap generation by the R–D voltage-acceleration ratio.
+//! * **Power gating** (the alternative evaluated as an ablation): internal
+//!   nodes float to '1', removing stress from *both* devices entirely
+//!   (and actually boosting recovery, ref. \[3\]; modelled as an optional
+//!   recovery credit).
+
+use crate::error::NbtiError;
+use crate::rd::RdModel;
+
+/// The low-power mechanism applied during a cell's idle (sleep) time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SleepMode {
+    /// Drowsy / DVS sleep: the rail drops to the design's `Vdd,low`.
+    /// State-preserving; aging continues at the reduced-voltage rate.
+    VoltageScaled,
+    /// Footer-transistor power gating: internal nodes pull to '1',
+    /// nullifying NBTI stress. State-destroying. `recovery_credit` ∈ [0, 1]
+    /// additionally *removes* previously accumulated effective stress at
+    /// that fraction of the sleep time (0 = plain stress pause).
+    PowerGated {
+        /// Fraction of sleep time credited as active recovery.
+        recovery_credit: f64,
+    },
+}
+
+impl SleepMode {
+    /// Plain power gating without a recovery credit.
+    pub const fn power_gated() -> Self {
+        SleepMode::PowerGated {
+            recovery_credit: 0.0,
+        }
+    }
+}
+
+/// Long-run stress statistics of one SRAM cell (or of a homogeneous
+/// population such as a cache bank).
+///
+/// # Examples
+///
+/// ```
+/// use nbti_model::{SleepMode, StressProfile};
+///
+/// // A bank asleep 60 % of the time in the drowsy state, balanced data.
+/// let p = StressProfile::new(0.5, 0.6, SleepMode::VoltageScaled)?;
+/// assert_eq!(p.sleep_fraction(), 0.6);
+/// # Ok::<(), nbti_model::NbtiError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressProfile {
+    p0: f64,
+    sleep_fraction: f64,
+    mode: SleepMode,
+}
+
+impl StressProfile {
+    /// Creates a profile.
+    ///
+    /// * `p0` — probability that the cell stores a logic '0'.
+    /// * `sleep_fraction` — fraction of wall-clock time spent in the
+    ///   low-power state.
+    /// * `mode` — which low-power mechanism the sleep time uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NbtiError::InvalidProbability`] if `p0`, `sleep_fraction`
+    /// or a power-gating recovery credit is outside `[0, 1]`.
+    pub fn new(p0: f64, sleep_fraction: f64, mode: SleepMode) -> Result<Self, NbtiError> {
+        if !(0.0..=1.0).contains(&p0) || !p0.is_finite() {
+            return Err(NbtiError::InvalidProbability {
+                name: "p0",
+                value: p0,
+            });
+        }
+        if !(0.0..=1.0).contains(&sleep_fraction) || !sleep_fraction.is_finite() {
+            return Err(NbtiError::InvalidProbability {
+                name: "sleep_fraction",
+                value: sleep_fraction,
+            });
+        }
+        if let SleepMode::PowerGated { recovery_credit } = mode {
+            if !(0.0..=1.0).contains(&recovery_credit) || !recovery_credit.is_finite() {
+                return Err(NbtiError::InvalidProbability {
+                    name: "recovery_credit",
+                    value: recovery_credit,
+                });
+            }
+        }
+        Ok(Self {
+            p0,
+            sleep_fraction,
+            mode,
+        })
+    }
+
+    /// An always-active cell (no power management) storing '0' with
+    /// probability `p0`; the paper's monolithic-cache reference point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p0` is outside `[0, 1]` (use [`StressProfile::new`] for
+    /// fallible construction).
+    pub fn always_on(p0: f64) -> Self {
+        Self::new(p0, 0.0, SleepMode::VoltageScaled)
+            .expect("always_on requires p0 in [0, 1]")
+    }
+
+    /// Probability of storing a logic '0'.
+    pub fn p0(&self) -> f64 {
+        self.p0
+    }
+
+    /// Fraction of time in the low-power state.
+    pub fn sleep_fraction(&self) -> f64 {
+        self.sleep_fraction
+    }
+
+    /// The low-power mechanism in use.
+    pub fn mode(&self) -> SleepMode {
+        self.mode
+    }
+
+    /// The *stress-rate modulation factor* `m`: effective stress years
+    /// accumulate per wall-clock year at rate `duty · m`.
+    ///
+    /// * Voltage scaling: `m = (1 − S) + S · a_V(Vdd,low)`.
+    /// * Power gating: `m = max((1 − S) − S · χ, 0)` where `χ` is the
+    ///   recovery credit.
+    pub fn rate_modulation(&self, rd: &RdModel, vdd_low: f64) -> f64 {
+        let s = self.sleep_fraction;
+        match self.mode {
+            SleepMode::VoltageScaled => (1.0 - s) + s * rd.voltage_acceleration(vdd_low),
+            SleepMode::PowerGated { recovery_credit } => {
+                ((1.0 - s) - s * recovery_credit).max(0.0)
+            }
+        }
+    }
+
+    /// Per-device effective stress rates `(rate_a, rate_b)` in effective
+    /// years per wall-clock year.
+    ///
+    /// Device A is the pull-up stressed while the cell stores '1'
+    /// (duty `1 − p0`), device B the one stressed while storing '0'
+    /// (duty `p0`).
+    pub fn stress_rates(&self, rd: &RdModel, vdd_low: f64) -> (f64, f64) {
+        let m = self.rate_modulation(rd, vdd_low);
+        ((1.0 - self.p0) * m, self.p0 * m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rd() -> RdModel {
+        RdModel::default_45nm()
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        assert!(StressProfile::new(-0.1, 0.0, SleepMode::VoltageScaled).is_err());
+        assert!(StressProfile::new(1.1, 0.0, SleepMode::VoltageScaled).is_err());
+        assert!(StressProfile::new(0.5, -0.1, SleepMode::VoltageScaled).is_err());
+        assert!(StressProfile::new(0.5, 1.5, SleepMode::VoltageScaled).is_err());
+        assert!(StressProfile::new(0.5, 0.5, SleepMode::PowerGated { recovery_credit: 2.0 }).is_err());
+        assert!(StressProfile::new(f64::NAN, 0.0, SleepMode::VoltageScaled).is_err());
+    }
+
+    #[test]
+    fn always_on_has_unit_modulation() {
+        let p = StressProfile::always_on(0.5);
+        assert!((p.rate_modulation(&rd(), 0.75) - 1.0).abs() < 1e-12);
+        let (a, b) = p.stress_rates(&rd(), 0.75);
+        assert!((a - 0.5).abs() < 1e-12);
+        assert!((b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_scaled_sleep_decelerates_but_does_not_stop_aging() {
+        let p = StressProfile::new(0.5, 1.0, SleepMode::VoltageScaled).unwrap();
+        let m = p.rate_modulation(&rd(), 0.75);
+        assert!(m > 0.0 && m < 1.0, "m = {m}");
+    }
+
+    #[test]
+    fn power_gated_sleep_stops_aging() {
+        let p = StressProfile::new(0.5, 1.0, SleepMode::power_gated()).unwrap();
+        assert_eq!(p.rate_modulation(&rd(), 0.75), 0.0);
+    }
+
+    #[test]
+    fn recovery_credit_clamps_at_zero() {
+        let p = StressProfile::new(0.5, 0.9, SleepMode::PowerGated { recovery_credit: 1.0 })
+            .unwrap();
+        assert_eq!(p.rate_modulation(&rd(), 0.75), 0.0);
+    }
+
+    #[test]
+    fn more_sleep_means_lower_rates() {
+        let low = StressProfile::new(0.5, 0.2, SleepMode::VoltageScaled).unwrap();
+        let high = StressProfile::new(0.5, 0.8, SleepMode::VoltageScaled).unwrap();
+        assert!(
+            high.rate_modulation(&rd(), 0.75) < low.rate_modulation(&rd(), 0.75),
+            "sleeping more must slow aging"
+        );
+    }
+
+    #[test]
+    fn duty_split_follows_p0() {
+        let p = StressProfile::always_on(0.8);
+        let (a, b) = p.stress_rates(&rd(), 0.75);
+        assert!((a - 0.2).abs() < 1e-12, "device A duty = 1 - p0");
+        assert!((b - 0.8).abs() < 1e-12, "device B duty = p0");
+    }
+
+    #[test]
+    fn gated_mode_ignores_rail_voltage() {
+        let p = StressProfile::new(0.5, 0.5, SleepMode::power_gated()).unwrap();
+        assert_eq!(
+            p.rate_modulation(&rd(), 0.3),
+            p.rate_modulation(&rd(), 1.0)
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Energy accounting ledger.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Itemized energy totals accumulated during a simulation, in femtojoules.
+///
+/// The ledger is a passive data structure (public fields by design): the
+/// cache simulator adds to it on every event, and the experiment harness
+/// reads the breakdown when computing `Esav`.
+///
+/// # Examples
+///
+/// ```
+/// use sram_power::EnergyLedger;
+///
+/// let mut ledger = EnergyLedger::default();
+/// ledger.dynamic_fj += 120.0;
+/// ledger.leakage_fj += 30.0;
+/// assert_eq!(ledger.total_fj(), 150.0);
+///
+/// let doubled = ledger + ledger;
+/// assert_eq!(doubled.total_fj(), 300.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyLedger {
+    /// Per-access dynamic energy (data + tag reads/writes).
+    pub dynamic_fj: f64,
+    /// Leakage integrated over cycles (active + drowsy states).
+    pub leakage_fj: f64,
+    /// Bank reactivation (wake-up) energy.
+    pub wake_fj: f64,
+    /// Partitioning overhead (decoder, buses, rail muxes).
+    pub overhead_fj: f64,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger (same as `default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of all categories, fJ.
+    pub fn total_fj(&self) -> f64 {
+        self.dynamic_fj + self.leakage_fj + self.wake_fj + self.overhead_fj
+    }
+
+    /// Relative energy saving of `self` against a `baseline` ledger:
+    /// `1 − total/total_baseline`. Returns 0 for an empty baseline.
+    pub fn saving_vs(&self, baseline: &EnergyLedger) -> f64 {
+        let base = baseline.total_fj();
+        if base <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.total_fj() / base
+        }
+    }
+
+    /// Fraction of the total attributable to leakage.
+    pub fn leakage_share(&self) -> f64 {
+        let t = self.total_fj();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.leakage_fj / t
+        }
+    }
+}
+
+impl Add for EnergyLedger {
+    type Output = EnergyLedger;
+
+    fn add(self, rhs: EnergyLedger) -> EnergyLedger {
+        EnergyLedger {
+            dynamic_fj: self.dynamic_fj + rhs.dynamic_fj,
+            leakage_fj: self.leakage_fj + rhs.leakage_fj,
+            wake_fj: self.wake_fj + rhs.wake_fj,
+            overhead_fj: self.overhead_fj + rhs.overhead_fj,
+        }
+    }
+}
+
+impl AddAssign for EnergyLedger {
+    fn add_assign(&mut self, rhs: EnergyLedger) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dyn {:.1} fJ + leak {:.1} fJ + wake {:.1} fJ + ovh {:.1} fJ = {:.1} fJ",
+            self.dynamic_fj,
+            self.leakage_fj,
+            self.wake_fj,
+            self.overhead_fj,
+            self.total_fj()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_shares() {
+        let l = EnergyLedger {
+            dynamic_fj: 60.0,
+            leakage_fj: 30.0,
+            wake_fj: 5.0,
+            overhead_fj: 5.0,
+        };
+        assert_eq!(l.total_fj(), 100.0);
+        assert!((l.leakage_share() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saving_vs_baseline() {
+        let base = EnergyLedger {
+            dynamic_fj: 100.0,
+            ..Default::default()
+        };
+        let part = EnergyLedger {
+            dynamic_fj: 55.0,
+            ..Default::default()
+        };
+        assert!((part.saving_vs(&base) - 0.45).abs() < 1e-12);
+        assert_eq!(part.saving_vs(&EnergyLedger::default()), 0.0);
+    }
+
+    #[test]
+    fn add_and_add_assign_agree() {
+        let a = EnergyLedger {
+            dynamic_fj: 1.0,
+            leakage_fj: 2.0,
+            wake_fj: 3.0,
+            overhead_fj: 4.0,
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b, a + a);
+        assert_eq!(b.total_fj(), 20.0);
+    }
+
+    #[test]
+    fn display_lists_all_categories() {
+        let s = EnergyLedger::default().to_string();
+        for word in ["dyn", "leak", "wake", "ovh"] {
+            assert!(s.contains(word), "missing {word} in {s}");
+        }
+    }
+}

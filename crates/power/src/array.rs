@@ -1,0 +1,152 @@
+//! Bit-count bookkeeping for SRAM bank arrays.
+
+use crate::error::PowerError;
+
+/// The dimensions of one SRAM bank: a data array and a tag array sharing
+/// the same depth (one tag entry per line).
+///
+/// # Examples
+///
+/// ```
+/// use sram_power::BankArray;
+///
+/// // 256 lines of 16 B (128 bits) with 19 tag bits each.
+/// let bank = BankArray::new(256, 128, 19)?;
+/// assert_eq!(bank.data_bits(), 256 * 128);
+/// assert_eq!(bank.tag_bits(), 256 * 19);
+/// assert_eq!(bank.total_bits(), 256 * 147);
+/// # Ok::<(), sram_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BankArray {
+    depth_lines: u64,
+    line_bits: u64,
+    tag_bits_per_line: u64,
+}
+
+impl BankArray {
+    /// Creates a bank array description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidGeometry`] if `depth_lines` or
+    /// `line_bits` is zero (a tag-less array — e.g. a scratchpad — may pass
+    /// `tag_bits_per_line = 0`).
+    pub fn new(
+        depth_lines: u64,
+        line_bits: u64,
+        tag_bits_per_line: u64,
+    ) -> Result<Self, PowerError> {
+        if depth_lines == 0 {
+            return Err(PowerError::InvalidGeometry {
+                name: "depth_lines",
+                value: 0,
+                expected: "a positive line count",
+            });
+        }
+        if line_bits == 0 {
+            return Err(PowerError::InvalidGeometry {
+                name: "line_bits",
+                value: 0,
+                expected: "a positive line width",
+            });
+        }
+        Ok(Self {
+            depth_lines,
+            line_bits,
+            tag_bits_per_line,
+        })
+    }
+
+    /// Number of lines (rows) in the bank.
+    pub fn depth_lines(&self) -> u64 {
+        self.depth_lines
+    }
+
+    /// Width of a data line in bits.
+    pub fn line_bits(&self) -> u64 {
+        self.line_bits
+    }
+
+    /// Tag bits stored per line (including valid/dirty bits).
+    pub fn tag_bits_per_line(&self) -> u64 {
+        self.tag_bits_per_line
+    }
+
+    /// Total data-array bits.
+    pub fn data_bits(&self) -> u64 {
+        self.depth_lines * self.line_bits
+    }
+
+    /// Total tag-array bits.
+    pub fn tag_bits(&self) -> u64 {
+        self.depth_lines * self.tag_bits_per_line
+    }
+
+    /// Total storage bits (data + tag).
+    pub fn total_bits(&self) -> u64 {
+        self.data_bits() + self.tag_bits()
+    }
+
+    /// Accessed width per cache access, in bits (one line plus its tag).
+    pub fn access_width_bits(&self) -> u64 {
+        self.line_bits + self.tag_bits_per_line
+    }
+
+    /// Splits this array into `banks` uniform sub-banks (same width,
+    /// `depth / banks` lines each).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidGeometry`] if `banks` is zero or does
+    /// not divide the depth evenly.
+    pub fn split(&self, banks: u32) -> Result<BankArray, PowerError> {
+        if banks == 0 || !self.depth_lines.is_multiple_of(banks as u64) {
+            return Err(PowerError::InvalidGeometry {
+                name: "banks",
+                value: banks as u64,
+                expected: "a positive divisor of the line count",
+            });
+        }
+        BankArray::new(
+            self.depth_lines / banks as u64,
+            self.line_bits,
+            self.tag_bits_per_line,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_accounting_adds_up() {
+        let b = BankArray::new(1024, 128, 19).unwrap();
+        assert_eq!(b.total_bits(), b.data_bits() + b.tag_bits());
+        assert_eq!(b.access_width_bits(), 147);
+    }
+
+    #[test]
+    fn split_preserves_total_bits() {
+        let mono = BankArray::new(1024, 128, 19).unwrap();
+        let bank = mono.split(4).unwrap();
+        assert_eq!(bank.depth_lines(), 256);
+        assert_eq!(bank.total_bits() * 4, mono.total_bits());
+    }
+
+    #[test]
+    fn split_rejects_bad_divisors() {
+        let mono = BankArray::new(1024, 128, 19).unwrap();
+        assert!(mono.split(0).is_err());
+        assert!(mono.split(3).is_err());
+        assert!(mono.split(2048).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(BankArray::new(0, 128, 19).is_err());
+        assert!(BankArray::new(64, 0, 19).is_err());
+        assert!(BankArray::new(64, 128, 0).is_ok(), "tag-less arrays are fine");
+    }
+}

@@ -1,0 +1,167 @@
+//! Breakeven-time analysis for bank sleep decisions.
+//!
+//! "The value of the breakeven time depends essentially on (i) the size of
+//! the block to be turned off, and (ii) the ratio between the energy spent
+//! in the off and in the on state. [...] in our case \[it\] is in the order
+//! of a few tens of cycles [...] Therefore, 5- or 6-bit counters suffice."
+//! (paper §III-A1).
+
+use crate::array::BankArray;
+use crate::energy::EnergyModel;
+use crate::error::PowerError;
+
+/// The result of a breakeven computation for one bank.
+///
+/// # Examples
+///
+/// ```
+/// use sram_power::{BankArray, BreakevenAnalysis, EnergyModel, Technology};
+///
+/// # fn main() -> Result<(), sram_power::PowerError> {
+/// let model = EnergyModel::new(Technology::default_45nm())?;
+/// let bank = BankArray::new(256, 128, 19)?; // one bank of a 16 kB / M=4 cache
+/// let be = BreakevenAnalysis::for_bank(&model, &bank)?;
+/// // The paper's regime: a few tens of cycles, 5-6 bit counters.
+/// assert!(be.cycles() >= 8 && be.cycles() <= 256);
+/// assert!(be.counter_bits() <= 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BreakevenAnalysis {
+    cycles: u32,
+    counter_bits: u32,
+}
+
+impl BreakevenAnalysis {
+    /// Computes the breakeven time for `bank`: the smallest number of idle
+    /// cycles after which entering the drowsy state saves net energy,
+    /// i.e. `ceil(E_wake / ΔP_leak_per_cycle)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if the technology's sleep
+    /// saving is non-positive (a degenerate drowsy factor of ~1).
+    pub fn for_bank(model: &EnergyModel, bank: &BankArray) -> Result<Self, PowerError> {
+        let saving = model.sleep_saving_fj_per_cycle(bank);
+        if saving <= 0.0 {
+            return Err(PowerError::InvalidParameter {
+                name: "sleep_saving_fj_per_cycle",
+                value: saving,
+                expected: "a positive per-cycle saving (drowsy_leak_factor < 1)",
+            });
+        }
+        let wake = model.wake_energy_fj(bank);
+        let cycles = (wake / saving).ceil().max(1.0) as u32;
+        Ok(Self {
+            cycles,
+            counter_bits: 32 - cycles.leading_zeros(),
+        })
+    }
+
+    /// Constructs an explicit breakeven value (for what-if studies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if `cycles` is zero.
+    pub fn from_cycles(cycles: u32) -> Result<Self, PowerError> {
+        if cycles == 0 {
+            return Err(PowerError::InvalidParameter {
+                name: "cycles",
+                value: 0.0,
+                expected: "a positive cycle count",
+            });
+        }
+        Ok(Self {
+            cycles,
+            counter_bits: 32 - cycles.leading_zeros(),
+        })
+    }
+
+    /// The breakeven time in cycles.
+    pub fn cycles(&self) -> u32 {
+        self.cycles
+    }
+
+    /// Width of the Block Control saturating counter able to count to the
+    /// breakeven time.
+    pub fn counter_bits(&self) -> u32 {
+        self.counter_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::Technology;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(Technology::default_45nm()).unwrap()
+    }
+
+    #[test]
+    fn paper_regime_few_tens_of_cycles() {
+        let m = model();
+        // Banks of the paper's three cache sizes at M = 4, 16 B lines.
+        for (lines, tag) in [(128u64, 20u64), (256, 19), (512, 18)] {
+            let bank = BankArray::new(lines, 128, tag).unwrap();
+            let be = BreakevenAnalysis::for_bank(&m, &bank).unwrap();
+            assert!(
+                (8..=128).contains(&be.cycles()),
+                "breakeven {} cycles out of the paper's regime for {lines} lines",
+                be.cycles()
+            );
+            assert!(
+                be.counter_bits() <= 7,
+                "counter should be 5-6 bits-ish, got {}",
+                be.counter_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn breakeven_is_size_insensitive_when_scaling_uniformly() {
+        // Wake energy and leakage saving both scale with bits, so the
+        // breakeven time is nearly independent of the bank size.
+        let m = model();
+        let small = BankArray::new(128, 128, 20).unwrap();
+        let large = BankArray::new(1024, 128, 18).unwrap();
+        let be_s = BreakevenAnalysis::for_bank(&m, &small).unwrap().cycles();
+        let be_l = BreakevenAnalysis::for_bank(&m, &large).unwrap().cycles();
+        let ratio = be_l as f64 / be_s as f64;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn tag_heavy_arrays_need_longer_idleness() {
+        let m = model();
+        let lean = BankArray::new(256, 128, 10).unwrap();
+        let heavy = BankArray::new(256, 128, 40).unwrap();
+        let be_lean = BreakevenAnalysis::for_bank(&m, &lean).unwrap().cycles();
+        let be_heavy = BreakevenAnalysis::for_bank(&m, &heavy).unwrap().cycles();
+        assert!(
+            be_heavy > be_lean,
+            "more tag bits -> larger wake share -> longer breakeven ({be_heavy} vs {be_lean})"
+        );
+    }
+
+    #[test]
+    fn counter_bits_cover_the_count() {
+        for cycles in [1u32, 31, 32, 33, 63, 64, 100] {
+            let be = BreakevenAnalysis::from_cycles(cycles).unwrap();
+            assert!(1u64 << be.counter_bits() > cycles as u64);
+            assert!((1u64 << be.counter_bits()) / 2 <= cycles as u64);
+        }
+        assert!(BreakevenAnalysis::from_cycles(0).is_err());
+    }
+
+    #[test]
+    fn degenerate_drowsy_factor_is_rejected() {
+        let tech = Technology::builder().drowsy_leak_factor(0.0).build();
+        // factor 0 is allowed (full gating) — saving positive.
+        assert!(tech.is_ok());
+        let m = EnergyModel::new(tech.unwrap()).unwrap();
+        let bank = BankArray::new(256, 128, 19).unwrap();
+        assert!(BreakevenAnalysis::for_bank(&m, &bank).is_ok());
+    }
+}

@@ -1,0 +1,152 @@
+//! The core analytical energy model.
+
+use crate::array::BankArray;
+use crate::error::PowerError;
+use crate::tech::Technology;
+
+/// Per-access, leakage and reactivation energy for SRAM arrays.
+///
+/// The dynamic model is `E_access = width_bits · (D0 + D1 · depth)`:
+/// the fixed term covers sense amplifiers/drivers/I/O per accessed bit,
+/// the depth term the bitline capacitance each accessed bit swings. This
+/// linear-in-depth form is what makes partitioning profitable (a bank has
+/// `depth / M` rows) and makes the savings grow with cache *depth* — the
+/// paper's Tables II and III both follow from it.
+///
+/// # Examples
+///
+/// ```
+/// use sram_power::{BankArray, EnergyModel, Technology};
+///
+/// # fn main() -> Result<(), sram_power::PowerError> {
+/// let model = EnergyModel::new(Technology::default_45nm())?;
+/// let mono = BankArray::new(1024, 128, 19)?;
+/// let quarter = mono.split(4)?;
+/// // Four banks leak exactly as much as the monolith they replace...
+/// assert_eq!(
+///     4.0 * model.leak_fj_per_cycle_active(&quarter),
+///     model.leak_fj_per_cycle_active(&mono),
+/// );
+/// // ...but each access touches a much shallower array.
+/// assert!(model.access_energy_fj(&quarter) < 0.6 * model.access_energy_fj(&mono));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    tech: Technology,
+}
+
+impl EnergyModel {
+    /// Wraps a validated [`Technology`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a validated `Technology`; the `Result`
+    /// keeps room for cross-parameter checks without breaking callers.
+    pub fn new(tech: Technology) -> Result<Self, PowerError> {
+        Ok(Self { tech })
+    }
+
+    /// The underlying technology parameters.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Dynamic energy of one access to `array`, in fJ.
+    ///
+    /// Covers reading/writing one line *and* its tag entry.
+    pub fn access_energy_fj(&self, array: &BankArray) -> f64 {
+        let width = array.access_width_bits() as f64;
+        let depth = array.depth_lines() as f64;
+        width
+            * (self.tech.dyn_fixed_fj_per_bit()
+                + self.tech.dyn_bitline_fj_per_bit_row() * depth)
+    }
+
+    /// Active-state leakage of `array` over one clock cycle, in fJ.
+    pub fn leak_fj_per_cycle_active(&self, array: &BankArray) -> f64 {
+        array.total_bits() as f64 * self.tech.leak_fj_per_bit_cycle()
+    }
+
+    /// Drowsy-state leakage of `array` over one clock cycle, in fJ.
+    pub fn leak_fj_per_cycle_drowsy(&self, array: &BankArray) -> f64 {
+        self.leak_fj_per_cycle_active(array) * self.tech.drowsy_leak_factor()
+    }
+
+    /// Leakage saved per cycle by a sleeping bank, in fJ.
+    pub fn sleep_saving_fj_per_cycle(&self, array: &BankArray) -> f64 {
+        self.leak_fj_per_cycle_active(array) - self.leak_fj_per_cycle_drowsy(array)
+    }
+
+    /// Reactivation energy to bring `array` back to the active rail, in fJ.
+    ///
+    /// Tags pay a larger per-bit penalty (paper §IV-B1): restoring the tag
+    /// array's peripheral state dominates its small bit count.
+    pub fn wake_energy_fj(&self, array: &BankArray) -> f64 {
+        array.data_bits() as f64 * self.tech.wake_fj_per_data_bit()
+            + array.tag_bits() as f64 * self.tech.wake_fj_per_tag_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(Technology::default_45nm()).unwrap()
+    }
+
+    fn cache_16k() -> BankArray {
+        BankArray::new(1024, 128, 19).unwrap()
+    }
+
+    #[test]
+    fn access_energy_grows_with_depth() {
+        let m = model();
+        let shallow = BankArray::new(256, 128, 19).unwrap();
+        let deep = BankArray::new(2048, 128, 19).unwrap();
+        assert!(m.access_energy_fj(&deep) > m.access_energy_fj(&shallow));
+    }
+
+    #[test]
+    fn access_energy_scales_linearly_with_width() {
+        let m = model();
+        let narrow = BankArray::new(512, 128, 0).unwrap();
+        let wide = BankArray::new(512, 256, 0).unwrap();
+        let ratio = m.access_energy_fj(&wide) / m.access_energy_fj(&narrow);
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partitioned_access_saving_matches_calibration() {
+        // At 1024 lines and M = 4 the dynamic saving should be ~45 % —
+        // the dominant contribution to the paper's 44.3 % Esav at 16 kB.
+        let m = model();
+        let mono = cache_16k();
+        let bank = mono.split(4).unwrap();
+        let save = 1.0 - m.access_energy_fj(&bank) / m.access_energy_fj(&mono);
+        assert!(
+            (0.35..0.55).contains(&save),
+            "dynamic partition saving at 16 kB/M=4 should be ~0.45, got {save}"
+        );
+    }
+
+    #[test]
+    fn drowsy_leak_is_a_strict_saving() {
+        let m = model();
+        let a = cache_16k();
+        assert!(m.leak_fj_per_cycle_drowsy(&a) < m.leak_fj_per_cycle_active(&a));
+        assert!(m.sleep_saving_fj_per_cycle(&a) > 0.0);
+    }
+
+    #[test]
+    fn wake_energy_weights_tags_heavier_per_bit() {
+        let m = model();
+        let data_only = BankArray::new(256, 128, 0).unwrap();
+        let tags_only = BankArray::new(256, 1, 127).unwrap();
+        // Same total bits, tag-heavy array costs more to wake.
+        assert_eq!(data_only.total_bits(), tags_only.total_bits());
+        assert!(m.wake_energy_fj(&tags_only) > m.wake_energy_fj(&data_only));
+    }
+}

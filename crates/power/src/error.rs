@@ -1,0 +1,79 @@
+//! Error type for the SRAM power-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SRAM power models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A technology or model parameter was outside its physical range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the accepted range.
+        expected: &'static str,
+    },
+    /// An array dimension was zero or not a power of two where required.
+    InvalidGeometry {
+        /// Name of the offending dimension.
+        name: &'static str,
+        /// The rejected value.
+        value: u64,
+        /// Human-readable description of the accepted range.
+        expected: &'static str,
+    },
+    /// A bank count exceeded the feasible partitioning range.
+    InfeasiblePartitioning {
+        /// The requested number of banks.
+        banks: u32,
+        /// The maximum supported by the overhead characterization.
+        max_banks: u32,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "parameter `{name}` = {value} is invalid (expected {expected})"),
+            PowerError::InvalidGeometry {
+                name,
+                value,
+                expected,
+            } => write!(f, "geometry `{name}` = {value} is invalid (expected {expected})"),
+            PowerError::InfeasiblePartitioning { banks, max_banks } => write!(
+                f,
+                "partitioning into {banks} banks exceeds the characterized maximum of {max_banks}"
+            ),
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = PowerError::InfeasiblePartitioning {
+            banks: 32,
+            max_banks: 16,
+        };
+        assert!(e.to_string().contains("32"));
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<PowerError>();
+    }
+}

@@ -1,0 +1,58 @@
+//! Analytical SRAM energy/power models for partitioned caches.
+//!
+//! This crate stands in for the energy numbers the DATE 2011 paper
+//! characterized from an STMicroelectronics 45 nm design kit and from the
+//! partitioning-overhead data of Loghi et al. (ref. \[10\]). It provides:
+//!
+//! * a [`tech::Technology`] parameter set (calibrated 45 nm-like
+//!   defaults),
+//! * [`array::BankArray`] bit-count bookkeeping for data + tag
+//!   arrays,
+//! * an [`energy::EnergyModel`] with CACTI-flavoured capacity
+//!   scaling: per-access dynamic energy `width · (D0 + D1 · depth)`,
+//!   leakage proportional to bit count, a drowsy-state leakage factor,
+//!   and reactivation (wake-up) energies with the paper's "tags have a
+//!   larger reactivation penalty" asymmetry,
+//! * [`breakeven`] analysis: the idle-cycle threshold after which sleeping
+//!   a bank pays off, and the Block Control counter width it implies,
+//! * a [`overhead::PartitionOverhead`] model for the
+//!   wiring/decoder cost of splitting a cache into `M` uniform banks, and
+//! * an [`account::EnergyLedger`] used by the cache simulator
+//!   to account dynamic/leakage/wake/overhead energy.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sram_power::{BankArray, EnergyModel, Technology};
+//!
+//! # fn main() -> Result<(), sram_power::PowerError> {
+//! let tech = Technology::default_45nm();
+//! let model = EnergyModel::new(tech)?;
+//! // A 16 kB direct-mapped cache with 16 B lines: 1024 lines of
+//! // 128 data bits + 19 tag bits (32-bit addresses, valid bit included).
+//! let mono = BankArray::new(1024, 128, 19)?;
+//! let bank = BankArray::new(256, 128, 19)?;
+//! // Partitioning shrinks the per-access energy.
+//! assert!(model.access_energy_fj(&bank) < model.access_energy_fj(&mono));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod array;
+pub mod breakeven;
+pub mod energy;
+pub mod error;
+pub mod overhead;
+pub mod tech;
+
+pub use account::EnergyLedger;
+pub use array::BankArray;
+pub use breakeven::BreakevenAnalysis;
+pub use energy::EnergyModel;
+pub use error::PowerError;
+pub use overhead::PartitionOverhead;
+pub use tech::Technology;

@@ -1,0 +1,133 @@
+//! Partitioning overhead characterization.
+//!
+//! Splitting a memory into `M` blocks is not free: address/data buses and
+//! control signals must be routed to every block, the decoder `D` and the
+//! per-bank rail muxes add logic, and the floorplan grows. The paper
+//! inherits overhead numbers from Loghi et al. (ref. \[10\]) and argues that
+//! while *non-uniform* partitions stop paying off beyond 4–5 blocks,
+//! *uniform* blocks floorplan so much better that up to `M = 16` is
+//! feasible (§IV-B3). This module is a parametric stand-in for that
+//! characterization (substitution S4 in `DESIGN.md`).
+
+use crate::error::PowerError;
+
+/// Maximum bank count the characterization covers.
+pub const MAX_BANKS: u32 = 16;
+
+/// Parametric wiring/decoder overhead model for an `M`-bank uniform
+/// partition.
+///
+/// # Examples
+///
+/// ```
+/// use sram_power::PartitionOverhead;
+///
+/// let ovh4 = PartitionOverhead::for_banks(4)?;
+/// let ovh16 = PartitionOverhead::for_banks(16)?;
+/// // Overhead grows with the number of banks...
+/// assert!(ovh16.access_energy_factor() > ovh4.access_energy_factor());
+/// // ...and 32 banks is beyond the characterized range.
+/// assert!(PartitionOverhead::for_banks(32).is_err());
+/// # Ok::<(), sram_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionOverhead {
+    banks: u32,
+    access_energy_factor: f64,
+    leakage_factor: f64,
+    area_factor: f64,
+}
+
+impl PartitionOverhead {
+    /// Characterizes the overhead of an `banks`-way uniform partition.
+    ///
+    /// The factors are multiplicative adders over the un-partitioned
+    /// baseline:
+    ///
+    /// * per-access energy: `+0.8 % · M` (bus fan-out, decoder D, rail mux
+    ///   switching),
+    /// * leakage: `+0.3 % · M` (repeaters, rail-mux and control logic),
+    /// * area: `+1.2 % · M` (uniform blocks tile well; non-uniform ones
+    ///   would be far worse, which is the paper's argument for uniformity).
+    ///
+    /// `banks = 1` (no partitioning) has zero overhead by definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InfeasiblePartitioning`] if `banks` exceeds
+    /// [`MAX_BANKS`] or is zero, matching the paper's feasibility claim.
+    pub fn for_banks(banks: u32) -> Result<Self, PowerError> {
+        if banks == 0 || banks > MAX_BANKS {
+            return Err(PowerError::InfeasiblePartitioning {
+                banks,
+                max_banks: MAX_BANKS,
+            });
+        }
+        let extra = (banks - 1) as f64;
+        Ok(Self {
+            banks,
+            access_energy_factor: 1.0 + 0.008 * extra,
+            leakage_factor: 1.0 + 0.003 * extra,
+            area_factor: 1.0 + 0.012 * extra,
+        })
+    }
+
+    /// Number of banks characterized.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Multiplier on per-access dynamic energy.
+    pub fn access_energy_factor(&self) -> f64 {
+        self.access_energy_factor
+    }
+
+    /// Multiplier on total leakage.
+    pub fn leakage_factor(&self) -> f64 {
+        self.leakage_factor
+    }
+
+    /// Multiplier on array area.
+    pub fn area_factor(&self) -> f64 {
+        self.area_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_partitioning_no_overhead() {
+        let o = PartitionOverhead::for_banks(1).unwrap();
+        assert_eq!(o.access_energy_factor(), 1.0);
+        assert_eq!(o.leakage_factor(), 1.0);
+        assert_eq!(o.area_factor(), 1.0);
+    }
+
+    #[test]
+    fn overhead_monotone_in_banks() {
+        let mut last = 0.0;
+        for m in [1u32, 2, 4, 8, 16] {
+            let o = PartitionOverhead::for_banks(m).unwrap();
+            assert!(o.access_energy_factor() > last);
+            last = o.access_energy_factor();
+        }
+    }
+
+    #[test]
+    fn matches_paper_feasibility_range() {
+        assert!(PartitionOverhead::for_banks(16).is_ok());
+        assert!(PartitionOverhead::for_banks(17).is_err());
+        assert!(PartitionOverhead::for_banks(0).is_err());
+    }
+
+    #[test]
+    fn overhead_stays_small_within_range() {
+        // Even at M = 16 the energy overhead must not eat the ~45 % dynamic
+        // partitioning gain (the paper's argument for uniform banks).
+        let o = PartitionOverhead::for_banks(16).unwrap();
+        assert!(o.access_energy_factor() < 1.20);
+        assert!(o.leakage_factor() < 1.10);
+    }
+}

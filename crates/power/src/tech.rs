@@ -1,0 +1,260 @@
+//! Technology parameters for the analytical SRAM models.
+
+use crate::error::PowerError;
+
+/// A named bundle of technology constants.
+///
+/// All energies are in femtojoules, powers are implied per clock cycle
+/// (energy per cycle = power × cycle time), and geometric quantities are in
+/// bits. The defaults are calibrated so that the full pipeline lands near
+/// the operating points of the paper's STM 45 nm characterization (see
+/// `DESIGN.md` §6, substitution S2).
+///
+/// # Examples
+///
+/// ```
+/// let tech = sram_power::Technology::default_45nm();
+/// assert!(tech.vdd() > tech.vdd_low());
+/// assert!(tech.drowsy_leak_factor() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    vdd: f64,
+    vdd_low: f64,
+    cycle_ns: f64,
+    dyn_fixed_fj_per_bit: f64,
+    dyn_bitline_fj_per_bit_row: f64,
+    leak_fj_per_bit_cycle: f64,
+    drowsy_leak_factor: f64,
+    wake_fj_per_data_bit: f64,
+    wake_fj_per_tag_bit: f64,
+    addr_bits: u32,
+}
+
+/// Builder for [`Technology`] values.
+///
+/// Start from [`Technology::builder`] (pre-seeded with the 45 nm defaults)
+/// and override the fields under study:
+///
+/// ```
+/// use sram_power::Technology;
+///
+/// let tech = Technology::builder()
+///     .drowsy_leak_factor(0.10)
+///     .cycle_ns(0.8)
+///     .build()?;
+/// assert_eq!(tech.cycle_ns(), 0.8);
+/// # Ok::<(), sram_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TechnologyBuilder {
+    inner: Technology,
+}
+
+impl Technology {
+    /// The calibrated 45 nm-flavoured default parameter set.
+    ///
+    /// * `Vdd = 1.1 V`, drowsy rail `0.75 V`, 1 ns cycle;
+    /// * per-access dynamic energy `width_bits · (D0 + D1 · depth)` with
+    ///   `D0 = 12.8 fJ`, `D1 = 0.02 fJ/row` (bitline capacitance grows
+    ///   linearly with array depth; `D0/D1 = 640` reproduces the paper's
+    ///   size-dependent savings);
+    /// * leakage `2 nW/bit` (LP process at 85 °C), drowsy retention at 15 %
+    ///   of active leakage;
+    /// * reactivation `0.05 fJ/bit` for data, `0.2 fJ/bit` for tags
+    ///   (the paper's "larger reactivation penalty" on tag arrays);
+    /// * 32-bit physical addresses.
+    pub fn default_45nm() -> Self {
+        Self {
+            vdd: 1.1,
+            vdd_low: 0.75,
+            cycle_ns: 1.0,
+            dyn_fixed_fj_per_bit: 12.8,
+            dyn_bitline_fj_per_bit_row: 0.02,
+            leak_fj_per_bit_cycle: 0.002,
+            drowsy_leak_factor: 0.15,
+            wake_fj_per_data_bit: 0.05,
+            wake_fj_per_tag_bit: 0.2,
+            addr_bits: 32,
+        }
+    }
+
+    /// Starts a builder seeded with [`Technology::default_45nm`].
+    pub fn builder() -> TechnologyBuilder {
+        TechnologyBuilder {
+            inner: Self::default_45nm(),
+        }
+    }
+
+    /// Nominal supply voltage (V).
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Drowsy (retention) supply voltage (V).
+    pub fn vdd_low(&self) -> f64 {
+        self.vdd_low
+    }
+
+    /// Clock cycle time (ns).
+    pub fn cycle_ns(&self) -> f64 {
+        self.cycle_ns
+    }
+
+    /// Fixed per-access energy per bit of accessed width (fJ): sense
+    /// amplifiers, drivers, I/O.
+    pub fn dyn_fixed_fj_per_bit(&self) -> f64 {
+        self.dyn_fixed_fj_per_bit
+    }
+
+    /// Bitline energy per bit of accessed width per row of array depth
+    /// (fJ): the capacity-dependent term.
+    pub fn dyn_bitline_fj_per_bit_row(&self) -> f64 {
+        self.dyn_bitline_fj_per_bit_row
+    }
+
+    /// Active leakage energy per bit per cycle (fJ).
+    pub fn leak_fj_per_bit_cycle(&self) -> f64 {
+        self.leak_fj_per_bit_cycle
+    }
+
+    /// Fraction of active leakage that remains in the drowsy state.
+    pub fn drowsy_leak_factor(&self) -> f64 {
+        self.drowsy_leak_factor
+    }
+
+    /// Reactivation energy per data bit (fJ).
+    pub fn wake_fj_per_data_bit(&self) -> f64 {
+        self.wake_fj_per_data_bit
+    }
+
+    /// Reactivation energy per tag bit (fJ); larger than the data-bit cost
+    /// per the paper's §IV-B1 observation.
+    pub fn wake_fj_per_tag_bit(&self) -> f64 {
+        self.wake_fj_per_tag_bit
+    }
+
+    /// Physical address width in bits (used for tag sizing).
+    pub fn addr_bits(&self) -> u32 {
+        self.addr_bits
+    }
+
+    fn validate(&self) -> Result<(), PowerError> {
+        let positive: [(&'static str, f64); 8] = [
+            ("vdd", self.vdd),
+            ("vdd_low", self.vdd_low),
+            ("cycle_ns", self.cycle_ns),
+            ("dyn_fixed_fj_per_bit", self.dyn_fixed_fj_per_bit),
+            ("dyn_bitline_fj_per_bit_row", self.dyn_bitline_fj_per_bit_row),
+            ("leak_fj_per_bit_cycle", self.leak_fj_per_bit_cycle),
+            ("wake_fj_per_data_bit", self.wake_fj_per_data_bit),
+            ("wake_fj_per_tag_bit", self.wake_fj_per_tag_bit),
+        ];
+        for (name, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(PowerError::InvalidParameter {
+                    name,
+                    value: v,
+                    expected: "a finite positive value",
+                });
+            }
+        }
+        if self.vdd_low >= self.vdd {
+            return Err(PowerError::InvalidParameter {
+                name: "vdd_low",
+                value: self.vdd_low,
+                expected: "vdd_low < vdd",
+            });
+        }
+        if !(0.0..1.0).contains(&self.drowsy_leak_factor) {
+            return Err(PowerError::InvalidParameter {
+                name: "drowsy_leak_factor",
+                value: self.drowsy_leak_factor,
+                expected: "0 <= factor < 1",
+            });
+        }
+        if !(8..=64).contains(&self.addr_bits) {
+            return Err(PowerError::InvalidParameter {
+                name: "addr_bits",
+                value: self.addr_bits as f64,
+                expected: "8..=64 address bits",
+            });
+        }
+        Ok(())
+    }
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.inner.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl TechnologyBuilder {
+    builder_setters! {
+        /// Sets the nominal supply voltage (V).
+        vdd: f64,
+        /// Sets the drowsy supply voltage (V).
+        vdd_low: f64,
+        /// Sets the clock cycle time (ns).
+        cycle_ns: f64,
+        /// Sets the fixed per-access energy per width bit (fJ).
+        dyn_fixed_fj_per_bit: f64,
+        /// Sets the bitline energy per width bit per row (fJ).
+        dyn_bitline_fj_per_bit_row: f64,
+        /// Sets the active leakage per bit per cycle (fJ).
+        leak_fj_per_bit_cycle: f64,
+        /// Sets the drowsy leakage fraction.
+        drowsy_leak_factor: f64,
+        /// Sets the data-array reactivation energy per bit (fJ).
+        wake_fj_per_data_bit: f64,
+        /// Sets the tag-array reactivation energy per bit (fJ).
+        wake_fj_per_tag_bit: f64,
+        /// Sets the physical address width (bits).
+        addr_bits: u32,
+    }
+
+    /// Validates and produces the [`Technology`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if any field is outside its
+    /// physical range.
+    pub fn build(self) -> Result<Technology, PowerError> {
+        self.inner.validate()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert!(Technology::default_45nm().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let t = Technology::builder().cycle_ns(2.0).build().unwrap();
+        assert_eq!(t.cycle_ns(), 2.0);
+        assert!(Technology::builder().vdd_low(2.0).build().is_err());
+        assert!(Technology::builder().drowsy_leak_factor(1.5).build().is_err());
+        assert!(Technology::builder().leak_fj_per_bit_cycle(-1.0).build().is_err());
+        assert!(Technology::builder().addr_bits(4).build().is_err());
+    }
+
+    #[test]
+    fn tags_wake_dearer_than_data_by_default() {
+        let t = Technology::default_45nm();
+        assert!(t.wake_fj_per_tag_bit() > t.wake_fj_per_data_bit());
+    }
+}

@@ -1,0 +1,315 @@
+//! Cache geometry: sizes, index/tag/offset splitting, bank extraction.
+
+use crate::error::SimError;
+use sram_power::BankArray;
+
+/// Geometric description of a banked cache.
+///
+/// Follows the paper's §III-A1 notation: a cache of `L = 2^n` lines
+/// (direct-mapped) or sets (set-associative) partitioned into `M = 2^p`
+/// uniform banks of `2^(n-p)` lines each. The bank is selected by the `p`
+/// MSBs of the index; the `n − p` LSBs address the line within the bank.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::CacheGeometry;
+///
+/// // The paper's reference configuration: 16 kB, 16 B lines, M = 4.
+/// let g = CacheGeometry::direct_mapped(16 * 1024, 16, 4)?;
+/// assert_eq!(g.sets(), 1024);
+/// assert_eq!(g.sets_per_bank(), 256);
+/// assert_eq!(g.index_bits(), 10);
+/// assert_eq!(g.bank_bits(), 2);
+///
+/// // The worked Example 1 of the paper (N = 256 lines, M = 4):
+/// // address 70 (line index) lives in bank 70 / 64 = 1, slot 70 % 64 = 6.
+/// let g = CacheGeometry::direct_mapped(256 * 16, 16, 4)?;
+/// let addr = 70 * 16;
+/// assert_eq!(g.bank_of_set(g.set_of(addr)), 1);
+/// assert_eq!(g.slot_in_bank(g.set_of(addr)), 6);
+/// # Ok::<(), cache_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    line_bytes: u32,
+    ways: u32,
+    banks: u32,
+    addr_bits: u32,
+}
+
+fn is_pow2(v: u64) -> bool {
+    v != 0 && v & (v - 1) == 0
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidGeometry`] unless all of:
+    /// * `size_bytes`, `line_bytes`, `ways`, `banks` are powers of two,
+    /// * the cache holds at least one set per bank,
+    /// * `addr_bits` (fixed at 32 here) covers the cache.
+    pub fn new(
+        size_bytes: u64,
+        line_bytes: u32,
+        ways: u32,
+        banks: u32,
+    ) -> Result<Self, SimError> {
+        if !is_pow2(size_bytes) {
+            return Err(SimError::InvalidGeometry {
+                name: "size_bytes",
+                value: size_bytes,
+                expected: "a power of two",
+            });
+        }
+        if !is_pow2(line_bytes as u64) {
+            return Err(SimError::InvalidGeometry {
+                name: "line_bytes",
+                value: line_bytes as u64,
+                expected: "a power of two",
+            });
+        }
+        if !is_pow2(ways as u64) {
+            return Err(SimError::InvalidGeometry {
+                name: "ways",
+                value: ways as u64,
+                expected: "a power of two",
+            });
+        }
+        if !is_pow2(banks as u64) {
+            return Err(SimError::InvalidGeometry {
+                name: "banks",
+                value: banks as u64,
+                expected: "a power of two",
+            });
+        }
+        let line_capacity = size_bytes / line_bytes as u64;
+        if line_capacity == 0 || !line_capacity.is_multiple_of(ways as u64) {
+            return Err(SimError::InvalidGeometry {
+                name: "ways",
+                value: ways as u64,
+                expected: "ways <= number of lines",
+            });
+        }
+        let sets = line_capacity / ways as u64;
+        if sets < banks as u64 {
+            return Err(SimError::InvalidGeometry {
+                name: "banks",
+                value: banks as u64,
+                expected: "at most one bank per set",
+            });
+        }
+        let g = Self {
+            size_bytes,
+            line_bytes,
+            ways,
+            banks,
+            addr_bits: 32,
+        };
+        if g.offset_bits() + g.index_bits() >= g.addr_bits {
+            return Err(SimError::InvalidGeometry {
+                name: "size_bytes",
+                value: size_bytes,
+                expected: "a cache smaller than the address space",
+            });
+        }
+        Ok(g)
+    }
+
+    /// Creates a direct-mapped geometry (the paper's configuration).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CacheGeometry::new`].
+    pub fn direct_mapped(size_bytes: u64, line_bytes: u32, banks: u32) -> Result<Self, SimError> {
+        Self::new(size_bytes, line_bytes, 1, banks)
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Line (block) size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Associativity (1 = direct-mapped).
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Number of uniform banks `M`.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Physical address width in bits.
+    pub fn addr_bits(&self) -> u32 {
+        self.addr_bits
+    }
+
+    /// Total number of cache lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes as u64
+    }
+
+    /// Number of sets (`lines / ways`).
+    pub fn sets(&self) -> u64 {
+        self.lines() / self.ways as u64
+    }
+
+    /// Sets held by each bank.
+    pub fn sets_per_bank(&self) -> u64 {
+        self.sets() / self.banks as u64
+    }
+
+    /// Number of byte-offset bits within a line.
+    pub fn offset_bits(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
+    /// Number of index bits `n`.
+    pub fn index_bits(&self) -> u32 {
+        self.sets().trailing_zeros()
+    }
+
+    /// Number of bank-select bits `p` (the MSBs of the index).
+    pub fn bank_bits(&self) -> u32 {
+        self.banks.trailing_zeros()
+    }
+
+    /// Number of tag bits per line.
+    pub fn tag_bits(&self) -> u32 {
+        self.addr_bits - self.offset_bits() - self.index_bits()
+    }
+
+    /// Bits per tag entry as stored (tag + valid bit).
+    pub fn tag_entry_bits(&self) -> u32 {
+        self.tag_bits() + 1
+    }
+
+    /// The set index of `addr`.
+    pub fn set_of(&self, addr: u64) -> u64 {
+        (addr >> self.offset_bits()) & (self.sets() - 1)
+    }
+
+    /// The tag of `addr`.
+    pub fn tag_of(&self, addr: u64) -> u64 {
+        addr >> (self.offset_bits() + self.index_bits())
+    }
+
+    /// The logical bank holding `set` (the `p` MSBs of the index).
+    pub fn bank_of_set(&self, set: u64) -> u32 {
+        (set >> (self.index_bits() - self.bank_bits())) as u32
+    }
+
+    /// The slot (set-within-bank) of `set` (the `n − p` LSBs).
+    pub fn slot_in_bank(&self, set: u64) -> u64 {
+        set & (self.sets_per_bank() - 1)
+    }
+
+    /// Recombines a bank id and slot into a physical set index.
+    pub fn set_from_bank_slot(&self, bank: u32, slot: u64) -> u64 {
+        ((bank as u64) << (self.index_bits() - self.bank_bits())) | slot
+    }
+
+    /// SRAM array description of one bank (for the power models).
+    pub fn bank_array(&self) -> BankArray {
+        BankArray::new(
+            self.sets_per_bank() * self.ways as u64,
+            self.line_bytes as u64 * 8,
+            self.tag_entry_bits() as u64,
+        )
+        .expect("validated geometry always yields a valid array")
+    }
+
+    /// SRAM array description of the whole cache as one monolithic block.
+    pub fn monolithic_array(&self) -> BankArray {
+        BankArray::new(
+            self.lines(),
+            self.line_bytes as u64 * 8,
+            self.tag_entry_bits() as u64,
+        )
+        .expect("validated geometry always yields a valid array")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_geometry() {
+        let g = CacheGeometry::direct_mapped(16 * 1024, 16, 4).unwrap();
+        assert_eq!(g.lines(), 1024);
+        assert_eq!(g.offset_bits(), 4);
+        assert_eq!(g.index_bits(), 10);
+        assert_eq!(g.bank_bits(), 2);
+        assert_eq!(g.tag_bits(), 18);
+        assert_eq!(g.tag_entry_bits(), 19);
+    }
+
+    #[test]
+    fn split_and_recombine_roundtrip() {
+        let g = CacheGeometry::direct_mapped(8 * 1024, 32, 8).unwrap();
+        for set in 0..g.sets() {
+            let bank = g.bank_of_set(set);
+            let slot = g.slot_in_bank(set);
+            assert_eq!(g.set_from_bank_slot(bank, slot), set);
+            assert!(bank < g.banks());
+            assert!(slot < g.sets_per_bank());
+        }
+    }
+
+    #[test]
+    fn set_of_wraps_modulo_cache() {
+        let g = CacheGeometry::direct_mapped(16 * 1024, 16, 4).unwrap();
+        // Two addresses one cache-period apart share a set but not a tag.
+        let a = 0x1230;
+        let b = a + 16 * 1024;
+        assert_eq!(g.set_of(a), g.set_of(b));
+        assert_ne!(g.tag_of(a), g.tag_of(b));
+    }
+
+    #[test]
+    fn set_associative_geometry() {
+        let g = CacheGeometry::new(16 * 1024, 16, 4, 4).unwrap();
+        assert_eq!(g.sets(), 256);
+        assert_eq!(g.sets_per_bank(), 64);
+        assert_eq!(g.index_bits(), 8);
+        assert_eq!(g.tag_bits(), 20);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_and_oversplit() {
+        assert!(CacheGeometry::direct_mapped(3000, 16, 4).is_err());
+        assert!(CacheGeometry::direct_mapped(16 * 1024, 24, 4).is_err());
+        assert!(CacheGeometry::direct_mapped(16 * 1024, 16, 3).is_err());
+        assert!(CacheGeometry::direct_mapped(64, 16, 8).is_err());
+        assert!(CacheGeometry::new(16 * 1024, 16, 3, 4).is_err());
+    }
+
+    #[test]
+    fn bank_array_bits_match_share_of_cache() {
+        let g = CacheGeometry::direct_mapped(16 * 1024, 16, 4).unwrap();
+        let bank = g.bank_array();
+        let mono = g.monolithic_array();
+        assert_eq!(bank.data_bits() * 4, mono.data_bits());
+        assert_eq!(bank.tag_bits() * 4, mono.tag_bits());
+        assert_eq!(mono.data_bits(), 16 * 1024 * 8);
+    }
+
+    #[test]
+    fn paper_example_1_mapping() {
+        // N = 256 lines, M = 4 banks, 64 lines per bank; index 70.
+        let g = CacheGeometry::direct_mapped(256 * 16, 16, 4).unwrap();
+        let set = 70u64;
+        assert_eq!(g.bank_of_set(set), 1);
+        assert_eq!(g.slot_in_bank(set), 6);
+    }
+}

@@ -1,0 +1,103 @@
+//! The bank-remapping hook for time-varying (dynamic) indexing.
+//!
+//! The paper's decoder `D` passes the `n − p` LSBs of the index straight
+//! to every bank and transforms only the `p` bank-select MSBs through a
+//! function `f()` that changes on each `update` (Fig. 2). This trait is
+//! that `f()`: the simulator consults it on every access, and the
+//! architectural layer (the `aging-cache` crate) provides the paper's
+//! Probing and Scrambling implementations.
+
+/// A (possibly time-varying) bijective remapping of logical banks onto
+/// physical banks.
+///
+/// Implementations must be bijections over `0..banks` at all times —
+/// otherwise two logical banks would collide in one physical bank and the
+/// cache would corrupt lines. The simulator debug-asserts the codomain.
+pub trait BankMapping {
+    /// Maps a logical bank id to a physical bank id. Must be a bijection
+    /// over `0..banks`.
+    fn map_bank(&self, logical: u32, banks: u32) -> u32;
+
+    /// Advances the time-varying state (the paper's `update` signal).
+    ///
+    /// Called by the simulator's
+    /// [`update_mapping`](crate::run::Simulator::update_mapping), which
+    /// also flushes the cache — after an update the old placements are
+    /// meaningless.
+    fn update(&mut self);
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// The identity mapping: a conventional power-managed partitioned cache
+/// with no re-indexing (the paper's `LT0` baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IdentityMapping;
+
+impl BankMapping for IdentityMapping {
+    fn map_bank(&self, logical: u32, _banks: u32) -> u32 {
+        logical
+    }
+
+    fn update(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+}
+
+/// Checks that `mapping` is a bijection over `0..banks`; used by tests and
+/// debug assertions.
+pub fn is_bijective(mapping: &dyn BankMapping, banks: u32) -> bool {
+    let mut seen = vec![false; banks as usize];
+    for b in 0..banks {
+        let m = mapping.map_bank(b, banks);
+        if m >= banks || seen[m as usize] {
+            return false;
+        }
+        seen[m as usize] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_bijective_and_stable() {
+        let mut m = IdentityMapping;
+        assert!(is_bijective(&m, 8));
+        m.update();
+        assert_eq!(m.map_bank(5, 8), 5);
+        assert_eq!(m.name(), "identity");
+    }
+
+    #[test]
+    fn bijectivity_checker_catches_collisions() {
+        struct Collapse;
+        impl BankMapping for Collapse {
+            fn map_bank(&self, _l: u32, _b: u32) -> u32 {
+                0
+            }
+            fn update(&mut self) {}
+        }
+        assert!(!is_bijective(&Collapse, 4));
+        assert!(is_bijective(&Collapse, 1), "trivially bijective at M=1");
+    }
+
+    #[test]
+    fn bijectivity_checker_catches_out_of_range() {
+        struct OutOfRange;
+        impl BankMapping for OutOfRange {
+            fn map_bank(&self, l: u32, banks: u32) -> u32 {
+                l + banks
+            }
+            fn update(&mut self) {}
+        }
+        assert!(!is_bijective(&OutOfRange, 4));
+    }
+}

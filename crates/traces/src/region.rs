@@ -1,0 +1,194 @@
+//! Working-set regions and their access patterns.
+
+use crate::rng::SplitMix64;
+
+/// How addresses are drawn within a region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Streaming: the cursor advances by `stride` bytes and wraps
+    /// (CRC32, sha, say — buffer scans).
+    Sequential {
+        /// Step between consecutive accesses, bytes.
+        stride: u32,
+    },
+    /// Uniform random line within the region (dijkstra, search —
+    /// pointer-chasing over a heap).
+    Random,
+    /// Skewed: a fraction `hot` of the region takes 90 % of the traffic
+    /// (rijndael S-boxes, ispell dictionary buckets).
+    Hotspot {
+        /// Fraction of the region that is hot, in `(0, 1]`.
+        hot: f64,
+    },
+    /// Short random walk: each access moves at most `max_step` bytes from
+    /// the previous one (mad/lame filter state).
+    Walk {
+        /// Maximum displacement per access, bytes.
+        max_step: u32,
+    },
+}
+
+/// A contiguous chunk of the address space with a characteristic pattern.
+///
+/// # Examples
+///
+/// ```
+/// use trace_synth::{AccessPattern, Region, SplitMix64};
+///
+/// let r = Region::new(0x4000, 2048, AccessPattern::Sequential { stride: 16 });
+/// let mut cursor = r.cursor();
+/// let mut rng = SplitMix64::new(1);
+/// let a = cursor.next_addr(&r, &mut rng);
+/// let b = cursor.next_addr(&r, &mut rng);
+/// assert_eq!(b, a + 16);
+/// assert!(r.contains(a) && r.contains(b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    base: u64,
+    size: u64,
+    pattern: AccessPattern,
+}
+
+impl Region {
+    /// Creates a region of `size` bytes at byte address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(base: u64, size: u64, pattern: AccessPattern) -> Self {
+        assert!(size > 0, "regions must be non-empty");
+        Self {
+            base,
+            size,
+            pattern,
+        }
+    }
+
+    /// Base byte address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The region's access pattern.
+    pub fn pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+
+    /// Whether `addr` falls inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.size
+    }
+
+    /// Starts a fresh cursor for this region.
+    pub fn cursor(&self) -> RegionCursor {
+        RegionCursor { offset: 0 }
+    }
+}
+
+/// Mutable iteration state over one region (owned by the generator so the
+/// same `Region` description can drive several independent traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionCursor {
+    offset: u64,
+}
+
+impl RegionCursor {
+    /// Produces the next address for `region` and advances the cursor.
+    pub fn next_addr(&mut self, region: &Region, rng: &mut SplitMix64) -> u64 {
+        let size = region.size;
+        let addr = match region.pattern {
+            AccessPattern::Sequential { stride } => {
+                let a = region.base + self.offset;
+                self.offset = (self.offset + stride as u64) % size;
+                a
+            }
+            AccessPattern::Random => region.base + rng.next_below(size),
+            AccessPattern::Hotspot { hot } => {
+                let hot_bytes = ((size as f64 * hot) as u64).max(1);
+                if rng.next_bool(0.9) {
+                    region.base + rng.next_below(hot_bytes)
+                } else {
+                    region.base + rng.next_below(size)
+                }
+            }
+            AccessPattern::Walk { max_step } => {
+                let step = rng.next_below(2 * max_step as u64 + 1) as i64 - max_step as i64;
+                let next = self.offset as i64 + step;
+                self.offset = next.rem_euclid(size as i64) as u64;
+                region.base + self.offset
+            }
+        };
+        debug_assert!(region.contains(addr));
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_wraps_at_region_end() {
+        let r = Region::new(100, 64, AccessPattern::Sequential { stride: 16 });
+        let mut c = r.cursor();
+        let mut rng = SplitMix64::new(0);
+        let addrs: Vec<u64> = (0..5).map(|_| c.next_addr(&r, &mut rng)).collect();
+        assert_eq!(addrs, vec![100, 116, 132, 148, 100]);
+    }
+
+    #[test]
+    fn random_addresses_stay_in_region() {
+        let r = Region::new(0x1000, 512, AccessPattern::Random);
+        let mut c = r.cursor();
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..1000 {
+            assert!(r.contains(c.next_addr(&r, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let r = Region::new(0, 1000, AccessPattern::Hotspot { hot: 0.1 });
+        let mut c = r.cursor();
+        let mut rng = SplitMix64::new(3);
+        let mut in_hot = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if c.next_addr(&r, &mut rng) < 100 {
+                in_hot += 1;
+            }
+        }
+        let frac = in_hot as f64 / n as f64;
+        assert!(frac > 0.85, "hot fraction {frac} should be ~0.91");
+    }
+
+    #[test]
+    fn walk_moves_locally() {
+        let r = Region::new(0x2000, 4096, AccessPattern::Walk { max_step: 32 });
+        let mut c = r.cursor();
+        let mut rng = SplitMix64::new(4);
+        let mut prev = c.next_addr(&r, &mut rng);
+        for _ in 0..1000 {
+            let next = c.next_addr(&r, &mut rng);
+            let delta = (next as i64 - prev as i64).abs();
+            // Either a small move or a wrap at the region boundary.
+            assert!(
+                delta <= 32 || delta >= 4096 - 32,
+                "walk step too large: {delta}"
+            );
+            prev = next;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_region_panics() {
+        let _ = Region::new(0, 0, AccessPattern::Random);
+    }
+}

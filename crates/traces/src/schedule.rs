@@ -1,0 +1,312 @@
+//! Phase (slot) schedules and their synthesis from idleness targets.
+//!
+//! A workload's bank-level behaviour is modelled as a cyclic sequence of
+//! fixed-length *slots*; in each slot a subset of the reference banks is
+//! active with given traffic weights. Long runs of inactive slots are what
+//! produce the *useful idleness* the paper exploits, so the builder turns a
+//! per-bank idleness target vector (a Table I row) into staggered idle arcs
+//! with two guarantees:
+//!
+//! 1. every slot keeps at least one active bank (the CPU is always doing
+//!    something), and
+//! 2. the two busiest banks never idle simultaneously, which pins the
+//!    *worst-case* idleness — the quantity that limits lifetime without
+//!    re-indexing.
+
+use crate::rng::SplitMix64;
+
+/// Number of reference banks the schedules are expressed over (M = 4 at
+/// the paper's Table I configuration).
+pub const REF_BANKS: usize = 4;
+
+/// Traffic weight given to an "almost always idle" bank (target ≥ 97 %):
+/// a trickle of touches that keeps its idleness just below 100 %, like the
+/// paper's 99.98 % rows.
+const EPSILON_WEIGHT: f64 = 0.006;
+
+/// Idleness above which a bank is modelled as epsilon-touched rather than
+/// arc-scheduled.
+const EPSILON_TARGET: f64 = 0.97;
+
+/// One schedule slot: a duration and the per-bank traffic weights
+/// (zero = inactive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slot {
+    /// Slot length in cycles.
+    pub cycles: u32,
+    /// Traffic weight per reference bank (zero means inactive).
+    pub weights: [f64; REF_BANKS],
+}
+
+/// A cyclic slot schedule.
+///
+/// # Examples
+///
+/// ```
+/// use trace_synth::ScheduleBuilder;
+///
+/// // A Table I row: bank 1 and 2 almost always idle.
+/// let s = ScheduleBuilder::new([0.02, 0.999, 0.999, 0.04]).build();
+/// assert_eq!(s.period_cycles(), 40 * 1000);
+/// // Scheduled idleness tracks the target for arc-scheduled banks.
+/// assert!((s.scheduled_idleness(0) - 0.02).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotSchedule {
+    slots: Vec<Slot>,
+    period: u64,
+}
+
+impl SlotSchedule {
+    /// The slots, in period order.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Total cycles in one period.
+    pub fn period_cycles(&self) -> u64 {
+        self.period
+    }
+
+    /// The slot active at `cycle` (taken modulo the period).
+    ///
+    /// All slots have equal length, so this is a constant-time lookup.
+    pub fn slot_at(&self, cycle: u64) -> &Slot {
+        let in_period = cycle % self.period;
+        let idx = (in_period / self.slots[0].cycles as u64) as usize;
+        &self.slots[idx.min(self.slots.len() - 1)]
+    }
+
+    /// Fraction of the period in which `bank` has zero weight.
+    ///
+    /// For epsilon-touched banks (target ≥ 97 %) this is 0 — their
+    /// idleness materializes as sparse gaps at *trace* level instead.
+    pub fn scheduled_idleness(&self, bank: usize) -> f64 {
+        let idle: u64 = self
+            .slots
+            .iter()
+            .filter(|s| s.weights[bank] == 0.0)
+            .map(|s| s.cycles as u64)
+            .sum();
+        idle as f64 / self.period as f64
+    }
+}
+
+/// Builds a [`SlotSchedule`] from a per-bank idleness target vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleBuilder {
+    targets: [f64; REF_BANKS],
+    n_slots: usize,
+    slot_cycles: u32,
+    stagger_seed: u64,
+}
+
+impl ScheduleBuilder {
+    /// Starts a builder for the given idleness targets (fractions in
+    /// `[0, 1]`, clamped).
+    pub fn new(targets: [f64; REF_BANKS]) -> Self {
+        Self {
+            targets: targets.map(|t| t.clamp(0.0, 1.0)),
+            n_slots: 40,
+            slot_cycles: 1000,
+            stagger_seed: 0,
+        }
+    }
+
+    /// Overrides the number of slots per period (default 40).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_slots` is zero.
+    #[must_use]
+    pub fn slots(mut self, n_slots: usize) -> Self {
+        assert!(n_slots > 0, "need at least one slot");
+        self.n_slots = n_slots;
+        self
+    }
+
+    /// Overrides the slot length in cycles (default 1000).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_cycles` is zero.
+    #[must_use]
+    pub fn slot_cycles(mut self, slot_cycles: u32) -> Self {
+        assert!(slot_cycles > 0, "slots must have positive length");
+        self.slot_cycles = slot_cycles;
+        self
+    }
+
+    /// Varies the placement of the idle arcs (used to decorrelate
+    /// benchmarks that share a target shape).
+    #[must_use]
+    pub fn stagger_seed(mut self, seed: u64) -> Self {
+        self.stagger_seed = seed;
+        self
+    }
+
+    /// Synthesizes the schedule.
+    pub fn build(&self) -> SlotSchedule {
+        let n = self.n_slots;
+        let mut rng = SplitMix64::new(self.stagger_seed ^ 0xabcd_1234_5678_9e3f);
+
+        // Idle arc length per bank; epsilon banks idle "everywhere" and get
+        // trickle traffic instead.
+        let mut idle_len = [0usize; REF_BANKS];
+        let mut epsilon = [false; REF_BANKS];
+        for b in 0..REF_BANKS {
+            if self.targets[b] >= EPSILON_TARGET {
+                epsilon[b] = true;
+                idle_len[b] = n;
+            } else {
+                idle_len[b] = ((self.targets[b] * n as f64).round() as usize).min(n);
+            }
+        }
+
+        // Rank banks by idle length; the two busiest get disjoint arcs.
+        let mut order: Vec<usize> = (0..REF_BANKS).collect();
+        order.sort_by_key(|&b| idle_len[b]);
+
+        let mut idle = [[false; REF_BANKS]; 64];
+        debug_assert!(n <= 64, "schedule builder supports up to 64 slots");
+        let place_arc = |bank: usize, start: usize, len: usize, idle: &mut [[bool; REF_BANKS]; 64]| {
+            for k in 0..len {
+                idle[(start + k) % n][bank] = true;
+            }
+        };
+        // Busiest bank: arc at 0. Second busiest: immediately after, so the
+        // two are disjoint whenever len0 + len1 <= n.
+        place_arc(order[0], 0, idle_len[order[0]], &mut idle);
+        place_arc(
+            order[1],
+            idle_len[order[0]],
+            idle_len[order[1]].min(n - idle_len[order[0]].min(n)),
+            &mut idle,
+        );
+        // Remaining banks: staggered pseudo-randomly.
+        for &b in &order[2..] {
+            let start = rng.next_below(n as u64) as usize;
+            place_arc(b, start, idle_len[b], &mut idle);
+        }
+
+        // Fix-up: no slot may be fully idle. Re-activate the busiest bank
+        // among the idle ones (skipping epsilon banks, which trickle).
+        for slot in idle.iter_mut().take(n) {
+            if slot.iter().all(|&i| i) {
+                let bank = (0..REF_BANKS)
+                    .filter(|&b| !epsilon[b])
+                    .min_by_key(|&b| idle_len[b])
+                    .unwrap_or(0);
+                slot[bank] = false;
+            }
+        }
+
+        // Activity weight: proportional to how busy the bank should be.
+        let weight = |b: usize| (1.0 - self.targets[b]).max(0.02);
+        let slots: Vec<Slot> = (0..n)
+            .map(|s| {
+                let mut weights = [0.0; REF_BANKS];
+                for b in 0..REF_BANKS {
+                    if epsilon[b] {
+                        weights[b] = EPSILON_WEIGHT;
+                    } else if !idle[s][b] {
+                        weights[b] = weight(b);
+                    }
+                }
+                Slot {
+                    cycles: self.slot_cycles,
+                    weights,
+                }
+            })
+            .collect();
+        let period = (n as u64) * self.slot_cycles as u64;
+        SlotSchedule { slots, period }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_idleness_tracks_targets() {
+        let targets = [0.12, 0.18, 0.50, 0.56];
+        let s = ScheduleBuilder::new(targets).build();
+        for (b, &target) in targets.iter().enumerate() {
+            let got = s.scheduled_idleness(b);
+            assert!(
+                (got - target).abs() < 0.06,
+                "bank {b}: scheduled {got} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_slot_has_an_active_bank() {
+        for targets in [
+            [0.9, 0.9, 0.9, 0.9],
+            [0.02, 0.999, 0.999, 0.04],
+            [0.5, 0.5, 0.5, 0.5],
+            [1.0, 1.0, 1.0, 0.0],
+        ] {
+            let s = ScheduleBuilder::new(targets).build();
+            for (i, slot) in s.slots().iter().enumerate() {
+                assert!(
+                    slot.weights.iter().any(|&w| w > 0.0),
+                    "slot {i} fully idle for targets {targets:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn busiest_two_banks_never_idle_together() {
+        let targets = [0.1, 0.2, 0.8, 0.9];
+        let s = ScheduleBuilder::new(targets).build();
+        for slot in s.slots() {
+            assert!(
+                slot.weights[0] > 0.0 || slot.weights[1] > 0.0,
+                "banks 0 and 1 idle simultaneously"
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_banks_get_trickle_weight_everywhere() {
+        let s = ScheduleBuilder::new([0.02, 0.999, 0.999, 0.04]).build();
+        for slot in s.slots() {
+            assert!(slot.weights[1] > 0.0 && slot.weights[1] < 0.01);
+            assert!(slot.weights[2] > 0.0 && slot.weights[2] < 0.01);
+        }
+    }
+
+    #[test]
+    fn slot_lookup_is_cyclic() {
+        let s = ScheduleBuilder::new([0.3, 0.4, 0.5, 0.6]).build();
+        let period = s.period_cycles();
+        assert_eq!(s.slot_at(0), s.slot_at(period));
+        assert_eq!(s.slot_at(1500), s.slot_at(period + 1500));
+    }
+
+    #[test]
+    fn stagger_seed_varies_placement_not_amounts() {
+        let a = ScheduleBuilder::new([0.3, 0.4, 0.5, 0.6]).build();
+        let b = ScheduleBuilder::new([0.3, 0.4, 0.5, 0.6])
+            .stagger_seed(99)
+            .build();
+        assert_ne!(a, b, "different stagger should move the arcs");
+        for bank in 0..REF_BANKS {
+            assert!((a.scheduled_idleness(bank) - b.scheduled_idleness(bank)).abs() < 0.08);
+        }
+    }
+
+    #[test]
+    fn custom_slot_shape() {
+        let s = ScheduleBuilder::new([0.5, 0.5, 0.5, 0.5])
+            .slots(20)
+            .slot_cycles(500)
+            .build();
+        assert_eq!(s.slots().len(), 20);
+        assert_eq!(s.period_cycles(), 10_000);
+    }
+}

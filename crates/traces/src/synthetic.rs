@@ -1,0 +1,112 @@
+//! Bounds workloads: analytically transparent traffic used to sanity-box
+//! the MediaBench models and the architecture's best/worst cases.
+//!
+//! * [`round_robin`] — the adversary: every bank touched every `M` cycles,
+//!   so no idle interval ever beats the breakeven time and re-indexing has
+//!   nothing to redistribute (both LT0 and LT collapse to the monolithic
+//!   lifetime).
+//! * [`single_bank`] — the dream: one bank takes all traffic, the other
+//!   `M − 1` idle forever; re-indexing approaches the `M`-way sharing
+//!   optimum.
+//! * [`uniform_random`] — IID traffic over the whole cache: short,
+//!   geometric gaps; useful idleness depends entirely on the breakeven
+//!   time.
+
+use crate::profile::WorkloadProfile;
+use crate::reference::QUARTER_BYTES;
+use crate::region::{AccessPattern, Region};
+use crate::schedule::{ScheduleBuilder, REF_BANKS};
+
+fn one_region_per_bank(size: u64, pattern: AccessPattern) -> [Vec<Region>; REF_BANKS] {
+    [0u64, 1, 2, 3].map(|b| vec![Region::new(b * QUARTER_BYTES, size, pattern)])
+}
+
+/// Every reference bank active in every slot with equal weight: bank gaps
+/// are a few cycles, never breakeven-long.
+pub fn round_robin() -> WorkloadProfile {
+    WorkloadProfile::builder(
+        "bounds.round_robin",
+        one_region_per_bank(2048, AccessPattern::Sequential { stride: 16 }),
+        ScheduleBuilder::new([0.0, 0.0, 0.0, 0.0]).build(),
+    )
+    .build()
+}
+
+/// All traffic in bank 0; banks 1–3 never touched.
+pub fn single_bank() -> WorkloadProfile {
+    WorkloadProfile::builder(
+        "bounds.single_bank",
+        one_region_per_bank(2048, AccessPattern::Sequential { stride: 16 }),
+        // Target ~100 % idleness on banks 1-3: they become epsilon-touched
+        // trickles; bank 0 carries effectively all traffic.
+        ScheduleBuilder::new([0.0, 0.999, 0.999, 0.999]).build(),
+    )
+    .build()
+}
+
+/// IID uniform traffic over all banks (random line in a random bank).
+pub fn uniform_random() -> WorkloadProfile {
+    WorkloadProfile::builder(
+        "bounds.uniform_random",
+        one_region_per_bank(QUARTER_BYTES, AccessPattern::Random),
+        ScheduleBuilder::new([0.0, 0.0, 0.0, 0.0]).build(),
+    )
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{CacheGeometry, IdentityMapping, SimConfig, Simulator};
+
+    fn simulate(profile: &WorkloadProfile) -> cache_sim::SimOutcome {
+        let geom = CacheGeometry::direct_mapped(16 * 1024, 16, 4).unwrap();
+        let mut sim =
+            Simulator::new(SimConfig::new(geom).unwrap(), Box::new(IdentityMapping)).unwrap();
+        for acc in profile.trace(3).take(120_000) {
+            sim.step(acc);
+        }
+        let out = sim.finish();
+        out.validate().unwrap();
+        out
+    }
+
+    #[test]
+    fn round_robin_has_no_useful_idleness() {
+        let out = simulate(&round_robin());
+        assert!(
+            out.avg_useful_idleness() < 0.02,
+            "adversarial traffic must defeat the breakeven: {}",
+            out.avg_useful_idleness()
+        );
+        assert!(out.avg_sleep_fraction() < 0.02);
+    }
+
+    #[test]
+    fn single_bank_idles_the_rest() {
+        let out = simulate(&single_bank());
+        assert!(out.useful_idleness(0) < 0.05, "bank 0 is the workhorse");
+        for b in 1..4 {
+            assert!(
+                out.useful_idleness(b) > 0.9,
+                "bank {b} should be ~always idle: {}",
+                out.useful_idleness(b)
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_random_sits_between_the_bounds() {
+        let rr = simulate(&round_robin()).avg_useful_idleness();
+        let un = simulate(&uniform_random()).avg_useful_idleness();
+        let sb = simulate(&single_bank()).avg_useful_idleness();
+        assert!(rr <= un + 0.02 && un <= sb, "{rr} <= {un} <= {sb}");
+    }
+
+    #[test]
+    fn bounds_traces_are_deterministic() {
+        let a: Vec<_> = uniform_random().trace(9).take(500).collect();
+        let b: Vec<_> = uniform_random().trace(9).take(500).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,77 @@
+//! Calibration gate: every benchmark's measured per-bank useful idleness
+//! at the reference configuration must track its Table I row.
+//!
+//! This is the contract of substitution S3 (DESIGN.md): the synthetic
+//! traces are valid stand-ins for the paper's MediaBench traces exactly
+//! to the extent this test passes.
+
+use cache_sim::{CacheGeometry, IdentityMapping, SimConfig, Simulator};
+use trace_synth::suite;
+
+const TRACE_CYCLES: usize = if cfg!(debug_assertions) { 160_000 } else { 320_000 };
+
+fn measure(profile: &trace_synth::WorkloadProfile, seed: u64) -> Vec<f64> {
+    let geom = CacheGeometry::direct_mapped(
+        trace_synth::reference::CACHE_BYTES,
+        trace_synth::reference::LINE_BYTES,
+        trace_synth::reference::BANKS,
+    )
+    .expect("reference geometry");
+    let mut sim = Simulator::new(SimConfig::new(geom).expect("config"), Box::new(IdentityMapping))
+        .expect("simulator");
+    for acc in profile.trace(seed).take(TRACE_CYCLES) {
+        sim.step(acc);
+    }
+    let out = sim.finish();
+    out.validate().expect("outcome invariants");
+    out.useful_idleness_all()
+}
+
+#[test]
+fn every_benchmark_tracks_its_table1_row() {
+    for (i, (name, targets)) in suite::table1_reference().iter().enumerate() {
+        let profile = suite::by_name(name).expect("profile exists");
+        let measured = measure(&profile, 1000 + i as u64);
+        for (b, (&got, &want)) in measured.iter().zip(targets.iter()).enumerate() {
+            assert!(
+                (got - want).abs() < 0.10,
+                "{name}: bank {b} idleness {got:.3} vs paper {want:.3}"
+            );
+        }
+        let avg_got = measured.iter().sum::<f64>() / 4.0;
+        let avg_want = targets.iter().sum::<f64>() / 4.0;
+        assert!(
+            (avg_got - avg_want).abs() < 0.05,
+            "{name}: average idleness {avg_got:.3} vs paper {avg_want:.3}"
+        );
+    }
+}
+
+#[test]
+fn suite_average_matches_paper() {
+    let mut sum = 0.0;
+    for (i, p) in suite::mediabench().iter().enumerate() {
+        let m = measure(p, 2000 + i as u64);
+        sum += m.iter().sum::<f64>() / 4.0;
+    }
+    let avg = sum / 18.0;
+    assert!(
+        (avg - 0.4171).abs() < 0.04,
+        "suite average idleness {avg:.4} vs paper 0.4171"
+    );
+}
+
+#[test]
+fn calibration_is_seed_stable() {
+    // The shape must not depend on the trace seed (only the stagger of
+    // random choices does).
+    let p = suite::by_name("dijkstra").unwrap();
+    let a = measure(&p, 1);
+    let b = measure(&p, 999);
+    for (bank, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() < 0.05,
+            "bank {bank} idleness varies with seed: {x:.3} vs {y:.3}"
+        );
+    }
+}

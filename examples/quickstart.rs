@@ -1,0 +1,44 @@
+//! Quickstart: simulate one workload on the paper's reference cache and
+//! print the three headline quantities — energy saving, lifetime without
+//! re-indexing (LT0) and lifetime with it (LT).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nbti_cache_repro::arch::experiment::{run_benchmark, ExperimentConfig};
+use nbti_cache_repro::traces::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's reference configuration: a 16 kB direct-mapped cache
+    // with 16 B lines, split into M = 4 uniform banks.
+    let cfg = ExperimentConfig::paper_reference();
+    let ctx = cfg.build_context()?;
+
+    // `sha` is the paper's best case: two banks stream constantly while
+    // the other two are idle >94 % of the time.
+    let profile = suite::by_name("sha").expect("sha is in the MediaBench suite");
+    let result = run_benchmark(&profile, &cfg, &ctx)?;
+
+    println!("benchmark        : {}", result.name);
+    println!(
+        "useful idleness  : {:?} %",
+        result
+            .useful_idleness
+            .iter()
+            .map(|v| (v * 1000.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+    println!("energy saving    : {:.1} %", 100.0 * result.esav);
+    println!("lifetime LT0     : {:.2} years (power management only)", result.lt0_years);
+    println!("lifetime LT      : {:.2} years (with Probing re-indexing)", result.lt_years);
+    println!(
+        "re-indexing gain : +{:.0} % over the power-managed cache",
+        100.0 * (result.lt_years - result.lt0_years) / result.lt0_years
+    );
+    println!(
+        "vs monolithic    : {:.2}x the 2.93-year monolithic-cell lifetime",
+        result.lt_years / 2.93
+    );
+    Ok(())
+}

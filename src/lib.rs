@@ -1,0 +1,23 @@
+//! Reproduction suite for *"Partitioned Cache Architectures for Reduced
+//! NBTI-Induced Aging"* (Calimera, Loghi, Macii, Poncino — DATE 2011).
+//!
+//! This façade crate re-exports the workspace members so the examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`nbti`] — NBTI aging physics (ΔVth drift, SNM solver, lifetime LUT).
+//! * [`power`] — analytical SRAM energy/power models.
+//! * [`sim`] — trace-driven banked cache simulator.
+//! * [`traces`] — synthetic MediaBench-like workload generators.
+//! * [`arch`] — the paper's contribution: partitioned caches with
+//!   coarse-grain dynamic indexing, plus the experiment pipeline.
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use aging_cache as arch;
+pub use cache_sim as sim;
+pub use nbti_model as nbti;
+pub use sram_power as power;
+pub use trace_synth as traces;
