@@ -3,55 +3,37 @@
 //! and the tables evaluate it hundreds of times.
 
 use aging_cache::aging::AgingAnalysis;
-use aging_cache::policy::PolicyKind;
-use criterion::{criterion_group, criterion_main, Criterion};
+use aging_cache::registry::PolicyRegistry;
 use nbti_model::{CellDesign, LifetimeSolver};
+use repro_bench::harness::Harness;
 use std::hint::black_box;
 
-fn bench_cache_lifetime(c: &mut Criterion) {
+fn main() {
     let solver = LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).expect("solver");
     let aging = AgingAnalysis::new(solver);
     let sleep = [0.05, 0.95, 0.90, 0.40];
     // Warm the critical-shift memo so the benches measure the rotation
     // loop, not the one-time SNM bisection.
     aging
-        .cache_lifetime(&sleep, 0.5, PolicyKind::Identity)
+        .cache_lifetime_named(&sleep, 0.5, "identity", 1)
         .expect("warmup");
 
-    let mut g = c.benchmark_group("aging/cache_lifetime");
-    for kind in PolicyKind::ALL {
-        g.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                black_box(
-                    aging
-                        .cache_lifetime(black_box(&sleep), 0.5, kind)
-                        .expect("lifetime"),
-                )
-            });
+    let mut g = Harness::new("aging/cache_lifetime");
+    for name in PolicyRegistry::global().names() {
+        g.bench(&name, || {
+            black_box(
+                aging
+                    .cache_lifetime_named(black_box(&sleep), 0.5, &name, 1)
+                    .expect("lifetime"),
+            )
         });
     }
-    g.finish();
 
-    c.bench_function("aging/critical_shift_cold", |b| {
-        b.iter_batched(
-            || {
-                AgingAnalysis::new(
-                    LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93)
-                        .expect("solver"),
-                )
-            },
-            |a| black_box(a.critical_effective_years(0.5).expect("t*")),
-            criterion::BatchSize::SmallInput,
+    let mut g = Harness::new("aging");
+    g.bench("critical_shift_cold", || {
+        let a = AgingAnalysis::new(
+            LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).expect("solver"),
         );
+        black_box(a.critical_effective_years(0.5).expect("t*"))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_cache_lifetime
-}
-criterion_main!(benches);

@@ -2,62 +2,48 @@
 //! extraction, a full calibrated lifetime solve, LUT construction and the
 //! LUT lookup the cache simulator actually pays per query.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nbti_model::{
     AgingLut, CellDesign, LifetimeSolver, ReadInverter, SleepMode, SnmSolver, StressProfile,
     VtcSolver,
 };
+use repro_bench::harness::Harness;
 use std::hint::black_box;
 
-fn bench_vtc(c: &mut Criterion) {
+fn main() {
     let design = CellDesign::default_45nm();
-    let inv = ReadInverter::from_design(&design, 0.02);
-    c.bench_function("nbti/vtc_sample_161", |b| {
-        b.iter(|| VtcSolver::sample(black_box(&inv), 161).expect("vtc"))
-    });
-}
+    let mut g = Harness::new("nbti");
 
-fn bench_snm(c: &mut Criterion) {
-    let design = CellDesign::default_45nm();
-    let solver = SnmSolver::new();
+    let inv = ReadInverter::from_design(&design, 0.02);
+    g.bench("vtc_sample_161", || {
+        VtcSolver::sample(black_box(&inv), 161).expect("vtc")
+    });
+
+    let snm = SnmSolver::new();
     let i1 = ReadInverter::from_design(&design, 0.03);
     let i2 = ReadInverter::from_design(&design, 0.01);
-    c.bench_function("nbti/snm_extract", |b| {
-        b.iter(|| solver.extract(black_box(&i1), black_box(&i2)).expect("snm"))
+    g.bench("snm_extract", || {
+        snm.extract(black_box(&i1), black_box(&i2)).expect("snm")
     });
-}
 
-fn bench_lifetime_solve(c: &mut Criterion) {
     let solver = LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).expect("solver");
     let profile = StressProfile::new(0.5, 0.42, SleepMode::VoltageScaled).expect("profile");
-    c.bench_function("nbti/lifetime_solve", |b| {
-        b.iter(|| solver.lifetime_years(black_box(&profile)).expect("lifetime"))
+    g.bench("lifetime_solve", || {
+        solver
+            .lifetime_years(black_box(&profile))
+            .expect("lifetime")
     });
-}
 
-fn bench_lut(c: &mut Criterion) {
-    let solver = LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).expect("solver");
-    c.bench_function("nbti/lut_build_9x9", |b| {
-        b.iter(|| {
-            AgingLut::build(&solver, SleepMode::VoltageScaled, 9, 9, 500.0).expect("lut")
-        })
+    g.bench("lut_build_9x9", || {
+        AgingLut::build(&solver, SleepMode::VoltageScaled, 9, 9, 500.0).expect("lut")
     });
+
     let lut = AgingLut::build(&solver, SleepMode::VoltageScaled, 17, 17, 500.0).expect("lut");
-    c.bench_function("nbti/lut_lookup", |b| {
-        let mut x = 0.1f64;
-        b.iter(|| {
-            x = (x + 0.013) % 0.99;
-            black_box(lut.lifetime_years(black_box(0.5), black_box(x)).expect("lookup"))
-        })
+    let mut x = 0.1f64;
+    g.bench("lut_lookup", || {
+        x = (x + 0.013) % 0.99;
+        black_box(
+            lut.lifetime_years(black_box(0.5), black_box(x))
+                .expect("lookup"),
+        )
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_vtc, bench_snm, bench_lifetime_solve, bench_lut
-}
-criterion_main!(benches);

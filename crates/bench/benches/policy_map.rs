@@ -4,63 +4,61 @@
 //! of gates; these benches confirm the software model is nanoseconds.
 
 use aging_cache::decoder::Decoder;
-use aging_cache::policy::{PolicyKind, Probing, Scrambling};
+use aging_cache::policy::{GrayRotation, Probing, RotateXor, Scrambling};
+use aging_cache::registry::PolicyRegistry;
 use cache_sim::{BankMapping, CacheGeometry, IdentityMapping};
-use criterion::{criterion_group, criterion_main, Criterion};
+use repro_bench::harness::Harness;
 use std::hint::black_box;
 
-fn bench_map(c: &mut Criterion) {
-    let mut g = c.benchmark_group("policy/map_bank");
+fn bench_map() {
+    let mut g = Harness::new("policy/map_bank");
     let identity = IdentityMapping;
     let probing = Probing::new(16).expect("policy");
     let scrambling = Scrambling::new(16, 7).expect("policy");
-    g.bench_function("identity", |b| {
-        b.iter(|| black_box(identity.map_bank(black_box(11), 16)))
+    let gray = GrayRotation::new(16).expect("policy");
+    let hybrid = RotateXor::new(16, 7).expect("policy");
+    g.bench("identity", || {
+        black_box(identity.map_bank(black_box(11), 16))
     });
-    g.bench_function("probing", |b| {
-        b.iter(|| black_box(probing.map_bank(black_box(11), 16)))
+    g.bench("probing", || black_box(probing.map_bank(black_box(11), 16)));
+    g.bench("scrambling", || {
+        black_box(scrambling.map_bank(black_box(11), 16))
     });
-    g.bench_function("scrambling", |b| {
-        b.iter(|| black_box(scrambling.map_bank(black_box(11), 16)))
+    g.bench("gray", || black_box(gray.map_bank(black_box(11), 16)));
+    g.bench("rotate-xor", || {
+        black_box(hybrid.map_bank(black_box(11), 16))
     });
-    g.finish();
 }
 
-fn bench_update(c: &mut Criterion) {
-    let mut g = c.benchmark_group("policy/update");
-    g.bench_function("probing", |b| {
-        let mut p = Probing::new(16).expect("policy");
-        b.iter(|| p.update());
-    });
-    g.bench_function("scrambling", |b| {
-        let mut s = Scrambling::new(16, 7).expect("policy");
-        b.iter(|| s.update());
-    });
-    g.finish();
+fn bench_update() {
+    let mut g = Harness::new("policy/update");
+    let mut p = Probing::new(16).expect("policy");
+    g.bench("probing", || p.update());
+    let mut s = Scrambling::new(16, 7).expect("policy");
+    g.bench("scrambling", || s.update());
+    let mut gr = GrayRotation::new(16).expect("policy");
+    g.bench("gray", || gr.update());
+    let mut h = RotateXor::new(16, 7).expect("policy");
+    g.bench("rotate-xor", || h.update());
 }
 
-fn bench_decoder_route(c: &mut Criterion) {
+fn bench_decoder_route() {
     let geom = CacheGeometry::direct_mapped(16 * 1024, 16, 4).expect("geometry");
-    let mut g = c.benchmark_group("decoder/route");
-    for kind in PolicyKind::ALL {
-        g.bench_function(kind.name(), |b| {
-            let dec = Decoder::new(geom, kind.build(4, 3).expect("policy")).expect("decoder");
-            let mut addr = 0u64;
-            b.iter(|| {
-                addr = addr.wrapping_add(0x9e37).wrapping_mul(0x85eb) % (64 * 1024);
-                black_box(dec.route(black_box(addr)).expect("route"))
-            });
+    let registry = PolicyRegistry::global();
+    let mut g = Harness::new("decoder/route");
+    for name in registry.names() {
+        let dec =
+            Decoder::new(geom, registry.build(&name, 4, 3).expect("policy")).expect("decoder");
+        let mut addr = 0u64;
+        g.bench(&name, || {
+            addr = addr.wrapping_add(0x9e37).wrapping_mul(0x85eb) % (64 * 1024);
+            black_box(dec.route(black_box(addr)).expect("route"))
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_map, bench_update, bench_decoder_route
+fn main() {
+    bench_map();
+    bench_update();
+    bench_decoder_route();
 }
-criterion_main!(benches);

@@ -5,71 +5,55 @@
 use aging_cache::arch::{PartitionedCache, UpdateSchedule};
 use aging_cache::policy::PolicyKind;
 use cache_sim::CacheGeometry;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use repro_bench::harness::Harness;
 use trace_synth::suite;
 
 const CYCLES: usize = 100_000;
 
-fn bench_banks(c: &mut Criterion) {
+fn bench_banks() {
     let profile = suite::by_name("dijkstra").expect("benchmark exists");
-    let mut g = c.benchmark_group("sim_throughput/banks");
-    g.throughput(Throughput::Elements(CYCLES as u64));
+    let mut g = Harness::new("sim_throughput/banks");
     for banks in [2u32, 4, 8, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, &banks| {
-            let geom = CacheGeometry::direct_mapped(16 * 1024, 16, banks).expect("geometry");
-            let arch = PartitionedCache::new(geom, PolicyKind::Identity).expect("arch");
-            b.iter(|| {
-                arch.simulate(profile.trace(1).take(CYCLES), UpdateSchedule::Never)
-                    .expect("simulation")
-            });
+        let geom = CacheGeometry::direct_mapped(16 * 1024, 16, banks).expect("geometry");
+        let arch = PartitionedCache::new(geom, PolicyKind::Identity).expect("arch");
+        g.bench_throughput(&banks.to_string(), CYCLES as u64, || {
+            arch.simulate(profile.trace(1).take(CYCLES), UpdateSchedule::Never)
+                .expect("simulation")
         });
     }
-    g.finish();
 }
 
-fn bench_sizes(c: &mut Criterion) {
+fn bench_sizes() {
     let profile = suite::by_name("sha").expect("benchmark exists");
-    let mut g = c.benchmark_group("sim_throughput/cache_kb");
-    g.throughput(Throughput::Elements(CYCLES as u64));
+    let mut g = Harness::new("sim_throughput/cache_kb");
     for kb in [8u64, 16, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(kb), &kb, |b, &kb| {
-            let geom = CacheGeometry::direct_mapped(kb * 1024, 16, 4).expect("geometry");
-            let arch = PartitionedCache::new(geom, PolicyKind::Identity).expect("arch");
-            b.iter(|| {
-                arch.simulate(profile.trace(1).take(CYCLES), UpdateSchedule::Never)
-                    .expect("simulation")
-            });
+        let geom = CacheGeometry::direct_mapped(kb * 1024, 16, 4).expect("geometry");
+        let arch = PartitionedCache::new(geom, PolicyKind::Identity).expect("arch");
+        g.bench_throughput(&kb.to_string(), CYCLES as u64, || {
+            arch.simulate(profile.trace(1).take(CYCLES), UpdateSchedule::Never)
+                .expect("simulation")
         });
     }
-    g.finish();
 }
 
-fn bench_update_schedules(c: &mut Criterion) {
+fn bench_update_schedules() {
     let profile = suite::by_name("CRC32").expect("benchmark exists");
     let geom = CacheGeometry::direct_mapped(16 * 1024, 16, 4).expect("geometry");
-    let mut g = c.benchmark_group("sim_throughput/updates");
-    g.throughput(Throughput::Elements(CYCLES as u64));
+    let mut g = Harness::new("sim_throughput/updates");
     for (label, schedule) in [
         ("never", UpdateSchedule::Never),
         ("every_10k", UpdateSchedule::EveryCycles(10_000)),
     ] {
-        g.bench_function(label, |b| {
-            let arch = PartitionedCache::new(geom, PolicyKind::Probing).expect("arch");
-            b.iter(|| {
-                arch.simulate(profile.trace(1).take(CYCLES), schedule)
-                    .expect("simulation")
-            });
+        let arch = PartitionedCache::new(geom, PolicyKind::Probing).expect("arch");
+        g.bench_throughput(label, CYCLES as u64, || {
+            arch.simulate(profile.trace(1).take(CYCLES), schedule)
+                .expect("simulation")
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_banks, bench_sizes, bench_update_schedules
+fn main() {
+    bench_banks();
+    bench_sizes();
+    bench_update_schedules();
 }
-criterion_main!(benches);

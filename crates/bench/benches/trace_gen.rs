@@ -1,37 +1,31 @@
 //! Trace-generation throughput per workload style (the generator must
 //! never be the bottleneck of a table run).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use repro_bench::harness::Harness;
 use std::hint::black_box;
 use trace_synth::suite;
 
 const ACCESSES: usize = 100_000;
 
-fn bench_styles(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_gen");
-    g.throughput(Throughput::Elements(ACCESSES as u64));
+fn main() {
+    let mut g = Harness::new("trace_gen");
     // One representative per style.
-    for name in ["sha", "cjpeg", "rijndael_i", "dijkstra", "fft_1", "ispell", "gsmd"] {
+    for name in [
+        "sha",
+        "cjpeg",
+        "rijndael_i",
+        "dijkstra",
+        "fft_1",
+        "ispell",
+        "gsmd",
+    ] {
         let profile = suite::by_name(name).expect("benchmark exists");
-        g.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, p| {
-            b.iter(|| {
-                let mut sum = 0u64;
-                for acc in p.trace(1).take(ACCESSES) {
-                    sum = sum.wrapping_add(acc.addr);
-                }
-                black_box(sum)
-            });
+        g.bench_throughput(name, ACCESSES as u64, || {
+            let mut sum = 0u64;
+            for acc in profile.trace(1).take(ACCESSES) {
+                sum = sum.wrapping_add(acc.addr);
+            }
+            black_box(sum)
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_styles
-}
-criterion_main!(benches);

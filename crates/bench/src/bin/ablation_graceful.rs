@@ -37,11 +37,7 @@ fn main() {
 
         let mut t = Table::new(
             format!("Graceful degradation timeline: {name}"),
-            vec![
-                "from year".into(),
-                "alive banks".into(),
-                "miss rate".into(),
-            ],
+            vec!["from year".into(), "alive banks".into(), "miss rate".into()],
         );
         for s in &stages {
             t.push_row(vec![

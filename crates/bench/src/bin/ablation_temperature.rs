@@ -29,8 +29,7 @@ fn main() {
             .with_temperature(celsius + 273.15)
             .expect("valid temperature");
         // Same calibrated drift model; only the operating point moves.
-        let solver =
-            LifetimeSolver::new(design, reference.rd().clone(), 0.20).expect("solver");
+        let solver = LifetimeSolver::new(design, reference.rd().clone(), 0.20).expect("solver");
         let aging = AgingAnalysis::new(solver);
         let lt0 = aging
             .cache_lifetime(&sleep, 0.5, PolicyKind::Identity)

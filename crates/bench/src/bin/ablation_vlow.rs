@@ -29,8 +29,7 @@ fn main() {
         let design = CellDesign::default_45nm()
             .with_vdd_low(vlow)
             .expect("valid drowsy voltage");
-        let solver =
-            LifetimeSolver::calibrated(design.clone(), 2.93).expect("calibration");
+        let solver = LifetimeSolver::calibrated(design.clone(), 2.93).expect("calibration");
         let accel = solver.rd().voltage_acceleration(vlow);
         let aging = AgingAnalysis::new(solver);
         let lt = aging

@@ -1,16 +1,14 @@
 //! Regenerates the headline claims of §I / §IV-B1.
+//! A `StudySpec` preset over the generic grid runner; pass `--json` for
+//! the raw report.
 
-use aging_cache::experiment::claims;
-use repro_bench::{context, default_config};
+use aging_cache::{presets, views};
+use repro_bench::{context, default_config, run_preset};
 
 fn main() {
-    let cfg = default_config();
-    let ctx = context();
-    match claims(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => {
-            eprintln!("claims failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    run_preset(
+        presets::claims(&default_config()),
+        &context(),
+        views::claims,
+    );
 }

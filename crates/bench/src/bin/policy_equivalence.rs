@@ -1,16 +1,14 @@
 //! §IV-B2: Probing and Scrambling are "de facto identical".
+//! A `StudySpec` preset over the generic grid runner; pass `--json` for
+//! the raw report.
 
-use aging_cache::experiment::policy_equivalence;
-use repro_bench::{context, default_config};
+use aging_cache::{presets, views};
+use repro_bench::{context, default_config, run_preset};
 
 fn main() {
-    let cfg = default_config();
-    let ctx = context();
-    match policy_equivalence(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => {
-            eprintln!("policy_equivalence failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    run_preset(
+        presets::policy_equivalence(&default_config()),
+        &context(),
+        views::policy_equivalence,
+    );
 }

@@ -1,46 +1,31 @@
 //! Runs the complete reproduction: Tables I–IV, the headline claims, the
-//! RNG-error study and the policy-equivalence check, in paper order.
+//! RNG-error study and the policy-equivalence check, in paper order —
+//! every table a `StudySpec` preset over the generic grid runner.
 //!
 //! `cargo run --release -p repro-bench --bin repro_all | tee repro.txt`
 
-use aging_cache::experiment::{
-    claims, policy_equivalence, rng_error, table1, table2, table3, table4,
-};
-use repro_bench::{context, default_config, section};
+use aging_cache::experiment::rng_error;
+use aging_cache::{presets, views};
+use repro_bench::{context, default_config, run_preset, section};
 
 fn main() {
     let cfg = default_config();
     let ctx = context();
 
     section("Table I - idleness distribution (16 kB, 16 B lines, M = 4)");
-    match table1(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => eprintln!("table1 failed: {e}"),
-    }
+    run_preset(presets::table1(&cfg), &ctx, views::table1);
 
     section("Table II - Esav / LT0 / LT vs cache size");
-    match table2(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => eprintln!("table2 failed: {e}"),
-    }
+    run_preset(presets::table2(&cfg), &ctx, views::table2);
 
     section("Table III - Esav / LT vs line size");
-    match table3(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => eprintln!("table3 failed: {e}"),
-    }
+    run_preset(presets::table3(&cfg), &ctx, views::table3);
 
     section("Table IV - idleness / LT vs cache size and banks");
-    match table4(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => eprintln!("table4 failed: {e}"),
-    }
+    run_preset(presets::table4(&cfg), &ctx, views::table4);
 
     section("Headline claims (Sec. IV-B1)");
-    match claims(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => eprintln!("claims failed: {e}"),
-    }
+    run_preset(presets::claims(&cfg), &ctx, views::claims);
 
     section("RNG repetition error (Sec. IV-B2)");
     match rng_error(2, &[16, 64, 256, 1024, 4096, 16384, 65536]) {
@@ -49,8 +34,9 @@ fn main() {
     }
 
     section("Probing vs Scrambling (Sec. IV-B2)");
-    match policy_equivalence(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => eprintln!("policy_equivalence failed: {e}"),
-    }
+    run_preset(
+        presets::policy_equivalence(&cfg),
+        &ctx,
+        views::policy_equivalence,
+    );
 }

@@ -6,8 +6,7 @@ use aging_cache::report::Table;
 use nbti_model::{CellDesign, LifetimeSolver, SleepMode, StressProfile};
 
 fn main() {
-    let solver =
-        LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).expect("calibration");
+    let solver = LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).expect("calibration");
     let fresh = solver.fresh_snm();
     let failure = solver.failure_snm();
 

@@ -1,0 +1,120 @@
+//! Run an arbitrary scenario grid from the command line — the open
+//! counterpart of the fixed `tableN` binaries.
+//!
+//! ```sh
+//! cargo run --release -p repro-bench --bin study -- \
+//!     --cache-kb 8,16,32 --banks 2,4 --policies probing,gray,rotate-xor \
+//!     --workloads sha,CRC32 --trace-cycles 320000 --json
+//! ```
+//!
+//! Axes default to the paper's reference point; `--workloads all` (the
+//! default) runs the full 18-benchmark suite. Without `--json` a
+//! compact summary table is printed.
+
+use aging_cache::report::{pct, years, Table};
+use aging_cache::study::StudySpec;
+use aging_cache::PolicyRegistry;
+use repro_bench::context;
+
+fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Vec<T> {
+    value
+        .split(',')
+        .map(|v| {
+            v.trim().parse::<T>().unwrap_or_else(|_| {
+                eprintln!("invalid value `{v}` for {flag}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec = StudySpec::new("cli study");
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--json" {
+            json = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--list-policies" {
+            for (name, policy) in PolicyRegistry::global().iter() {
+                println!("{name:<12} {}", policy.description());
+            }
+            return;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("flag {flag} needs a value");
+            std::process::exit(2);
+        };
+        spec = match flag {
+            "--cache-kb" => spec.cache_kb(parse_list(value, flag)),
+            "--line-bytes" => spec.line_bytes(parse_list(value, flag)),
+            "--banks" => spec.banks(parse_list(value, flag)),
+            "--update-days" => spec.update_days(parse_list(value, flag)),
+            "--policies" => spec.policies(value.split(',').map(str::trim)),
+            "--workloads" if value == "all" => spec,
+            "--workloads" => spec
+                .workload_names(value.split(',').map(str::trim))
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }),
+            "--trace-cycles" => spec.trace_cycles(parse_list(value, flag)[0]),
+            "--seed" => spec.base_seed(parse_list(value, flag)[0]),
+            "--threads" => spec.threads(parse_list(value, flag)[0]),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                eprintln!(
+                    "flags: --cache-kb --line-bytes --banks --update-days --policies \
+                     --workloads --trace-cycles --seed --threads --json --list-policies"
+                );
+                std::process::exit(2);
+            }
+        };
+        i += 2;
+    }
+
+    let report = match spec.run(&context()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if json {
+        println!("{}", report.to_json());
+        return;
+    }
+    let mut t = Table::new(
+        format!("study: {} scenarios", report.records().len()),
+        vec![
+            "kB".into(),
+            "line".into(),
+            "M".into(),
+            "policy".into(),
+            "workload".into(),
+            "Esav%".into(),
+            "idl%".into(),
+            "LT0".into(),
+            "LT".into(),
+        ],
+    );
+    for r in report.records() {
+        t.push_row(vec![
+            (r.scenario.cache_bytes / 1024).to_string(),
+            r.scenario.line_bytes.to_string(),
+            r.scenario.banks.to_string(),
+            r.scenario.policy.clone(),
+            r.scenario.workload.clone(),
+            pct(r.esav),
+            pct(r.avg_useful_idleness()),
+            years(r.lt0_years),
+            years(r.lt_years),
+        ]);
+    }
+    println!("{t}");
+}

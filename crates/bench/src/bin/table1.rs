@@ -1,16 +1,14 @@
 //! Regenerates Table I: distribution of idleness in a 4-bank cache.
+//! A `StudySpec` preset over the generic grid runner; pass `--json` for
+//! the raw report.
 
-use aging_cache::experiment::table1;
-use repro_bench::{context, default_config};
+use aging_cache::{presets, views};
+use repro_bench::{context, default_config, run_preset};
 
 fn main() {
-    let cfg = default_config();
-    let ctx = context();
-    match table1(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => {
-            eprintln!("table1 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    run_preset(
+        presets::table1(&default_config()),
+        &context(),
+        views::table1,
+    );
 }

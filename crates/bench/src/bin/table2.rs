@@ -1,16 +1,14 @@
 //! Regenerates Table II: energy savings and lifetime vs cache size.
+//! A `StudySpec` preset over the generic grid runner; pass `--json` for
+//! the raw report.
 
-use aging_cache::experiment::table2;
-use repro_bench::{context, default_config};
+use aging_cache::{presets, views};
+use repro_bench::{context, default_config, run_preset};
 
 fn main() {
-    let cfg = default_config();
-    let ctx = context();
-    match table2(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => {
-            eprintln!("table2 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    run_preset(
+        presets::table2(&default_config()),
+        &context(),
+        views::table2,
+    );
 }

@@ -1,16 +1,14 @@
 //! Regenerates Table III: energy savings and lifetime vs line size.
+//! A `StudySpec` preset over the generic grid runner; pass `--json` for
+//! the raw report.
 
-use aging_cache::experiment::table3;
-use repro_bench::{context, default_config};
+use aging_cache::{presets, views};
+use repro_bench::{context, default_config, run_preset};
 
 fn main() {
-    let cfg = default_config();
-    let ctx = context();
-    match table3(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => {
-            eprintln!("table3 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    run_preset(
+        presets::table3(&default_config()),
+        &context(),
+        views::table3,
+    );
 }

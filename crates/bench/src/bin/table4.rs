@@ -1,16 +1,14 @@
 //! Regenerates Table IV: idleness and lifetime vs cache size and banks.
+//! A `StudySpec` preset over the generic grid runner; pass `--json` for
+//! the raw report.
 
-use aging_cache::experiment::table4;
-use repro_bench::{context, default_config};
+use aging_cache::{presets, views};
+use repro_bench::{context, default_config, run_preset};
 
 fn main() {
-    let cfg = default_config();
-    let ctx = context();
-    match table4(&cfg, &ctx) {
-        Ok(t) => println!("{t}"),
-        Err(e) => {
-            eprintln!("table4 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    run_preset(
+        presets::table4(&default_config()),
+        &context(),
+        views::table4,
+    );
 }

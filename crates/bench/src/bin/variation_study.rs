@@ -12,11 +12,8 @@ use nbti_model::{CellDesign, LifetimeSolver, VariationModel};
 use repro_bench::section;
 
 fn main() {
-    let solver =
-        LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).expect("calibration");
-    let r_v = solver
-        .rd()
-        .voltage_acceleration(solver.design().vdd_low());
+    let solver = LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).expect("calibration");
+    let r_v = solver.rd().voltage_acceleration(solver.design().vdd_low());
     // A 16 kB / M = 4 bank: 4 kB of data + tags ≈ 37k cells.
     let cells = 37_000u64;
 

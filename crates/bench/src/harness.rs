@@ -1,0 +1,116 @@
+//! A minimal wall-clock benchmark harness (offline stand-in for
+//! criterion).
+//!
+//! The workspace builds without network access, so the benches cannot
+//! depend on criterion. This harness keeps their structure — named
+//! groups of closures, warm-up then measurement — and reports mean and
+//! best ns/iteration plus optional element throughput. Benches using it
+//! declare `harness = false` in the manifest and drive it from `main`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE: Duration = Duration::from_millis(1200);
+/// Warm-up time per benchmark.
+const WARMUP: Duration = Duration::from_millis(300);
+
+/// A named group of benchmarks, printed as a table as they run.
+pub struct Harness {
+    group: String,
+}
+
+impl Harness {
+    /// Opens a group and prints its header.
+    pub fn new(group: &str) -> Self {
+        println!();
+        println!("benchmark group: {group}");
+        println!(
+            "{:<32} {:>12} {:>12} {:>10} {:>14}",
+            "name", "mean", "best", "iters", "throughput"
+        );
+        println!("{}", "-".repeat(84));
+        Self {
+            group: group.to_string(),
+        }
+    }
+
+    /// Benchmarks a closure, discarding its result via `black_box`.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        self.run(name, None, f);
+    }
+
+    /// Benchmarks a closure that processes `elems` elements per call and
+    /// reports element throughput.
+    pub fn bench_throughput<R>(&mut self, name: &str, elems: u64, f: impl FnMut() -> R) {
+        self.run(name, Some(elems), f);
+    }
+
+    fn run<R>(&mut self, name: &str, elems: Option<u64>, mut f: impl FnMut() -> R) {
+        // Warm-up: also calibrates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_per_iter = WARMUP.as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Batch size targeting ~50 timer reads over the measurement
+        // window, so timer overhead stays negligible for fast closures.
+        let batch = ((MEASURE.as_nanos() as f64 / est_per_iter / 50.0).ceil() as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut best_per_iter = f64::INFINITY;
+        while total < MEASURE {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            best_per_iter = best_per_iter.min(dt.as_nanos() as f64 / batch as f64);
+            total += dt;
+            iters += batch;
+        }
+        let mean = total.as_nanos() as f64 / iters as f64;
+        let throughput = match elems {
+            Some(e) => format!("{}/s", human(e as f64 * 1e9 / mean)),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<32} {:>12} {:>12} {:>10} {:>14}",
+            format!("{}/{}", self.group, name),
+            format!("{} ns", human(mean)),
+            format!("{} ns", human(best_per_iter)),
+            iters,
+            throughput
+        );
+    }
+}
+
+/// Formats a positive quantity with 3 significant-ish digits and
+/// thousands separators collapsed to k/M/G suffixes.
+fn human(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_scales() {
+        assert_eq!(human(12.34), "12.3");
+        assert_eq!(human(1234.0), "1.23k");
+        assert_eq!(human(1.234e7), "12.34M");
+        assert_eq!(human(2.5e9), "2.50G");
+    }
+}

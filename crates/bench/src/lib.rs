@@ -22,10 +22,19 @@
 //! | `variation_study` | process variation x NBTI bank-lifetime quantiles |
 //! | `ablation_fine_grain` | bank-level vs ref. \[7\] line-level idleness |
 //! | `repro_all` | the paper-table subset, in order |
+//! | `study` | arbitrary scenario grids from the command line |
 //!
 //! Run any of them with `cargo run --release -p repro-bench --bin <name>`.
+//! Table binaries accept `--json` to emit the raw
+//! [`StudyReport`](aging_cache::study::StudyReport) instead of the
+//! rendered table.
+
+pub mod harness;
 
 use aging_cache::experiment::{ExperimentConfig, ExperimentContext};
+use aging_cache::report::Table;
+use aging_cache::study::{StudyReport, StudySpec};
+use aging_cache::CoreError;
 
 /// The default experiment configuration used by all harness binaries:
 /// the paper's reference cache with traces long enough (8 macro periods)
@@ -46,6 +55,40 @@ pub fn section(title: &str) {
     println!("{}", "=".repeat(72));
     println!("{title}");
     println!("{}", "=".repeat(72));
+}
+
+/// Whether the process arguments request JSON output (`--json`).
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Runs a preset spec and prints either the rendered table or, with
+/// `--json` on the command line, the raw report. Exits non-zero on
+/// failure (harness binaries have no recovery path).
+pub fn run_preset(
+    spec: StudySpec,
+    ctx: &ExperimentContext,
+    view: impl FnOnce(&StudyReport) -> Result<Table, CoreError>,
+) {
+    match spec.run(ctx) {
+        Ok(report) => {
+            if json_requested() {
+                println!("{}", report.to_json());
+            } else {
+                match view(&report) {
+                    Ok(table) => println!("{table}"),
+                    Err(e) => {
+                        eprintln!("rendering failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 #[cfg(test)]

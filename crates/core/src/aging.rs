@@ -132,6 +132,11 @@ impl AgingAnalysis {
         self.mode
     }
 
+    /// The configured update interval, in days.
+    pub fn update_interval_days(&self) -> f64 {
+        self.update_interval_years * 365.25
+    }
+
     /// Worst-device effective-stress rate (effective years per wall-clock
     /// year) for one bank with sleep fraction `s`.
     ///
@@ -187,7 +192,8 @@ impl AgingAnalysis {
         Ok(self.solver.lifetime_years(&profile)?)
     }
 
-    /// Cache lifetime under a policy kind (fresh policy instance).
+    /// Cache lifetime under a policy kind (fresh policy instance, the
+    /// historic seed of 1).
     ///
     /// # Errors
     ///
@@ -199,8 +205,27 @@ impl AgingAnalysis {
         p0: f64,
         policy: crate::policy::PolicyKind,
     ) -> Result<f64, CoreError> {
+        self.cache_lifetime_named(sleep_fractions, p0, policy.key(), 1)
+    }
+
+    /// Cache lifetime under a policy resolved by registry name, from a
+    /// full `u64` seed (see [`crate::registry`] for the derivation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; returns [`CoreError::UnknownPolicy`] for
+    /// an unregistered name, [`CoreError::HorizonExceeded`] if no bank
+    /// fails within the horizon.
+    pub fn cache_lifetime_named(
+        &self,
+        sleep_fractions: &[f64],
+        p0: f64,
+        policy: &str,
+        seed: u64,
+    ) -> Result<f64, CoreError> {
         let banks = sleep_fractions.len() as u32;
-        let mut mapping = policy.build(banks.max(2), 1)?;
+        let mut mapping =
+            crate::registry::PolicyRegistry::global().build(policy, banks.max(2), seed)?;
         self.cache_lifetime_with(sleep_fractions, p0, mapping.as_mut())
     }
 

@@ -4,6 +4,7 @@ use crate::control::BlockControlSpec;
 use crate::decoder::Decoder;
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
+use crate::registry::PolicyRegistry;
 use crate::selector::BlockSelector;
 use cache_sim::{Access, CacheGeometry, SimConfig, SimOutcome, Simulator};
 
@@ -46,18 +47,35 @@ pub enum UpdateSchedule {
 #[derive(Debug, Clone)]
 pub struct PartitionedCache {
     geometry: CacheGeometry,
-    policy: PolicyKind,
-    seed: u16,
+    registry: PolicyRegistry,
+    policy_name: String,
+    seed: u64,
 }
 
 impl PartitionedCache {
-    /// Creates the architecture description.
+    /// Creates the architecture description from a legacy policy kind.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] if the geometry has fewer
     /// than 2 banks (the architecture is pointless for a monolith).
     pub fn new(geometry: CacheGeometry, policy: PolicyKind) -> Result<Self, CoreError> {
+        Self::new_named(geometry, policy.key(), PolicyRegistry::global().clone())
+    }
+
+    /// Creates the architecture with a policy resolved by name from a
+    /// registry — the open entry point that admits custom policies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a monolithic
+    /// geometry, or [`CoreError::UnknownPolicy`] for an unregistered
+    /// policy name.
+    pub fn new_named(
+        geometry: CacheGeometry,
+        policy_name: &str,
+        registry: PolicyRegistry,
+    ) -> Result<Self, CoreError> {
         if geometry.banks() < 2 {
             return Err(CoreError::InvalidParameter {
                 name: "banks",
@@ -65,16 +83,25 @@ impl PartitionedCache {
                 expected: "at least 2 banks",
             });
         }
+        if registry.get(policy_name).is_none() {
+            return Err(CoreError::UnknownPolicy {
+                name: policy_name.to_string(),
+                known: registry.names().join(", "),
+            });
+        }
         Ok(Self {
             geometry,
-            policy,
+            registry,
+            policy_name: policy_name.to_string(),
             seed: 1,
         })
     }
 
-    /// Sets the LFSR seed used by the Scrambling policy.
+    /// Sets the policy seed (used by the LFSR-backed policies). Seeds
+    /// are full `u64`s; see [`crate::registry`] for the derivation
+    /// chain.
     #[must_use]
-    pub fn with_seed(mut self, seed: u16) -> Self {
+    pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
@@ -84,9 +111,9 @@ impl PartitionedCache {
         &self.geometry
     }
 
-    /// The indexing policy kind.
-    pub fn policy(&self) -> PolicyKind {
-        self.policy
+    /// The indexing policy's registry name.
+    pub fn policy_name(&self) -> &str {
+        &self.policy_name
     }
 
     /// Builds a fresh decoder `D` for inspection or custom loops.
@@ -95,10 +122,12 @@ impl PartitionedCache {
     ///
     /// Propagates policy/encoder construction errors.
     pub fn decoder(&self) -> Result<Decoder, CoreError> {
-        Decoder::new(
-            self.geometry,
-            self.policy.build(self.geometry.banks(), self.seed)?,
-        )
+        Decoder::new(self.geometry, self.build_mapping()?)
+    }
+
+    fn build_mapping(&self) -> Result<Box<dyn cache_sim::BankMapping>, CoreError> {
+        self.registry
+            .build(&self.policy_name, self.geometry.banks(), self.seed)
     }
 
     /// Sizes the Block Control for this geometry (counter widths etc.).
@@ -131,7 +160,7 @@ impl PartitionedCache {
         update: UpdateSchedule,
     ) -> Result<SimOutcome, CoreError> {
         let config = SimConfig::new(self.geometry)?;
-        let mapping = self.policy.build(self.geometry.banks(), self.seed)?;
+        let mapping = self.build_mapping()?;
         let mut sim = Simulator::new(config, mapping)?;
         for access in trace {
             sim.step(access);

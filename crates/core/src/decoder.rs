@@ -30,12 +30,12 @@ pub struct RoutedAccess {
 /// # Examples
 ///
 /// ```
-/// use aging_cache::{Decoder, PolicyKind};
+/// use aging_cache::{Decoder, PolicyRegistry};
 /// use cache_sim::CacheGeometry;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let geom = CacheGeometry::direct_mapped(16 * 1024, 16, 4)?;
-/// let mut dec = Decoder::new(geom, PolicyKind::Probing.build(4, 0)?)?;
+/// let mut dec = Decoder::new(geom, PolicyRegistry::global().build("probing", 4, 0)?)?;
 /// let r = dec.route(0x1230)?;
 /// assert_eq!(r.logical_bank, r.physical_bank, "identity at time zero");
 /// dec.update();
@@ -68,10 +68,7 @@ impl Decoder {
     ///
     /// Returns [`CoreError::InvalidParameter`] if the geometry has fewer
     /// than 2 banks (no decoder needed for a monolithic cache).
-    pub fn new(
-        geometry: CacheGeometry,
-        policy: Box<dyn BankMapping>,
-    ) -> Result<Self, CoreError> {
+    pub fn new(geometry: CacheGeometry, policy: Box<dyn BankMapping>) -> Result<Self, CoreError> {
         let onehot = OneHotEncoder::new(geometry.banks())?;
         Ok(Self {
             geometry,
@@ -126,7 +123,10 @@ mod tests {
 
     fn decoder(kind: PolicyKind) -> Decoder {
         let geom = CacheGeometry::direct_mapped(256 * 16, 16, 4).unwrap();
-        Decoder::new(geom, kind.build(4, 1).unwrap()).unwrap()
+        let mapping = crate::registry::PolicyRegistry::global()
+            .build(kind.key(), 4, 1)
+            .unwrap();
+        Decoder::new(geom, mapping).unwrap()
     }
 
     #[test]

@@ -28,6 +28,25 @@ pub enum CoreError {
         /// The horizon that was searched, in years.
         horizon_years: f64,
     },
+    /// A policy name was not found in the registry.
+    UnknownPolicy {
+        /// The unresolved name.
+        name: String,
+        /// Comma-separated list of registered names.
+        known: String,
+    },
+    /// A policy name was registered twice.
+    DuplicatePolicy {
+        /// The colliding name.
+        name: String,
+    },
+    /// A study report failed to serialize or deserialize.
+    Report {
+        /// What went wrong.
+        message: String,
+    },
+    /// A worker thread of the parallel grid runner panicked.
+    WorkerPanicked,
 }
 
 impl fmt::Display for CoreError {
@@ -37,13 +56,32 @@ impl fmt::Display for CoreError {
                 name,
                 value,
                 expected,
-            } => write!(f, "parameter `{name}` = {value} is invalid (expected {expected})"),
+            } => write!(
+                f,
+                "parameter `{name}` = {value} is invalid (expected {expected})"
+            ),
             CoreError::Sim(e) => write!(f, "cache simulator error: {e}"),
             CoreError::Nbti(e) => write!(f, "NBTI model error: {e}"),
             CoreError::Power(e) => write!(f, "power model error: {e}"),
             CoreError::HorizonExceeded { horizon_years } => {
                 write!(f, "no bank failed within the {horizon_years}-year horizon")
             }
+            CoreError::UnknownPolicy { name, known } => {
+                write!(f, "unknown policy `{name}` (registered: {known})")
+            }
+            CoreError::DuplicatePolicy { name } => {
+                write!(f, "policy `{name}` is already registered")
+            }
+            CoreError::Report { message } => write!(f, "study report error: {message}"),
+            CoreError::WorkerPanicked => write!(f, "a study worker thread panicked"),
+        }
+    }
+}
+
+impl From<crate::json::JsonError> for CoreError {
+    fn from(e: crate::json::JsonError) -> Self {
+        CoreError::Report {
+            message: e.to_string(),
         }
     }
 }

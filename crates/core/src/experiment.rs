@@ -1,21 +1,24 @@
-//! Experiment runners: every table of the paper's evaluation section.
+//! Experiment configuration and the paper-table entry points.
 //!
-//! Each `tableN` function simulates the full benchmark suite at the
-//! paper's configurations and renders a [`Table`] with measured values
-//! next to the published ones ([`crate::paper`]). The raw data variants
-//! (`tableN_data`) feed the test suite and the benchmark harness.
+//! Since the Study API redesign this module is a thin compatibility
+//! layer: the measurement engine is [`crate::study`] (declarative
+//! [`StudySpec`](crate::study::StudySpec) grids run in parallel), the
+//! paper's tables are presets over it ([`crate::presets`]) and the
+//! rendering is a set of pure views ([`crate::views`]). The `tableN`
+//! functions here wire those three together so historic callers — and
+//! the published measured values — are unchanged.
 
 use crate::aging::AgingAnalysis;
-use crate::arch::{PartitionedCache, UpdateSchedule};
 use crate::error::CoreError;
 use crate::lfsr::Lfsr;
 use crate::paper;
-use crate::policy::PolicyKind;
-use crate::report::{factor, pct, years, Table};
+use crate::presets;
+use crate::report::Table;
+use crate::study::{ScenarioRecord, StudySpec};
+use crate::views;
 use cache_sim::CacheGeometry;
 use nbti_model::{CellDesign, LifetimeSolver};
 use trace_synth::rng::SplitMix64;
-use trace_synth::suite;
 use trace_synth::WorkloadProfile;
 
 /// A cache configuration plus simulation horizon for one experiment.
@@ -94,6 +97,19 @@ impl ExperimentConfig {
     pub fn build_context(&self) -> Result<ExperimentContext, CoreError> {
         ExperimentContext::new()
     }
+
+    /// A [`StudySpec`] at exactly this configuration: single point on
+    /// every geometry axis, the full suite on the workload axis, the
+    /// historic seeds. The starting point of every preset.
+    pub fn study(&self, name: impl Into<String>) -> StudySpec {
+        StudySpec::new(name)
+            .cache_bytes([self.cache_bytes])
+            .line_bytes([self.line_bytes])
+            .banks([self.banks])
+            .trace_cycles(self.trace_cycles)
+            .base_seed(self.seed)
+            .policy_seed(1)
+    }
 }
 
 /// Heavy shared state: the calibrated SNM/lifetime solver. Build once and
@@ -120,7 +136,9 @@ impl ExperimentContext {
     }
 }
 
-/// Per-benchmark results at one configuration.
+/// Per-benchmark results at one configuration (legacy record shape; the
+/// Study API's [`ScenarioRecord`] carries the same metrics plus the full
+/// scenario coordinates).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchResult {
     /// Benchmark name.
@@ -146,6 +164,20 @@ impl BenchResult {
     }
 }
 
+impl From<&ScenarioRecord> for BenchResult {
+    fn from(r: &ScenarioRecord) -> Self {
+        Self {
+            name: r.scenario.workload.clone(),
+            esav: r.esav,
+            lt0_years: r.lt0_years,
+            lt_years: r.lt_years,
+            useful_idleness: r.useful_idleness.clone(),
+            sleep_fractions: r.sleep_fractions.clone(),
+            miss_rate: r.miss_rate,
+        }
+    }
+}
+
 /// Runs one benchmark at one configuration: simulate (identity mapping,
 /// no mid-trace updates), then evaluate LT0 and LT from the measured
 /// sleep fractions.
@@ -158,32 +190,17 @@ pub fn run_benchmark(
     cfg: &ExperimentConfig,
     ctx: &ExperimentContext,
 ) -> Result<BenchResult, CoreError> {
-    let geom = cfg.geometry()?;
-    let arch = PartitionedCache::new(geom, PolicyKind::Identity)?;
-    let out = arch.simulate(
-        profile.trace(cfg.seed).take(cfg.trace_cycles as usize),
-        UpdateSchedule::Never,
-    )?;
-    debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
-    let sleep = out.sleep_fraction_all();
-    let lt0 = ctx
-        .aging
-        .cache_lifetime(&sleep, profile.p0(), PolicyKind::Identity)?;
-    let lt = ctx
-        .aging
-        .cache_lifetime(&sleep, profile.p0(), PolicyKind::Probing)?;
-    Ok(BenchResult {
-        name: profile.name().to_string(),
-        esav: out.energy_saving(),
-        lt0_years: lt0,
-        lt_years: lt,
-        useful_idleness: out.useful_idleness_all(),
-        sleep_fractions: sleep,
-        miss_rate: out.miss_rate(),
-    })
+    let report = cfg
+        .study(format!("bench:{}", profile.name()))
+        .workloads([profile.clone()])
+        .policies(["probing"])
+        .threads(1)
+        .run(ctx)?;
+    Ok(BenchResult::from(&report.records()[0]))
 }
 
-/// Runs the whole 18-benchmark suite at one configuration.
+/// Runs the whole 18-benchmark suite at one configuration (in parallel
+/// across scenarios).
 ///
 /// # Errors
 ///
@@ -192,15 +209,8 @@ pub fn run_suite(
     cfg: &ExperimentConfig,
     ctx: &ExperimentContext,
 ) -> Result<Vec<BenchResult>, CoreError> {
-    suite::mediabench()
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let mut c = *cfg;
-            c.seed = cfg.seed + i as u64;
-            run_benchmark(p, &c, ctx)
-        })
-        .collect()
+    let report = cfg.study("suite").policies(["probing"]).run(ctx)?;
+    Ok(report.records().iter().map(BenchResult::from).collect())
 }
 
 fn mean<'a>(values: impl Iterator<Item = &'a f64>) -> f64 {
@@ -215,41 +225,7 @@ fn mean<'a>(values: impl Iterator<Item = &'a f64>) -> f64 {
 ///
 /// Propagates simulation errors.
 pub fn table1(cfg: &ExperimentConfig, ctx: &ExperimentContext) -> Result<Table, CoreError> {
-    let results = run_suite(cfg, ctx)?;
-    let mut t = Table::new(
-        "Table I - distribution of idleness in a 4-bank cache (measured | paper)",
-        vec![
-            "bench".into(),
-            "I0".into(),
-            "I1".into(),
-            "I2".into(),
-            "I3".into(),
-            "Average".into(),
-            "paper avg".into(),
-        ],
-    );
-    for (i, r) in results.iter().enumerate() {
-        let (_, paper_row) = suite::table1_reference()[i];
-        let paper_avg = paper_row.iter().sum::<f64>() / 4.0;
-        t.push_row(vec![
-            r.name.clone(),
-            pct(r.useful_idleness[0]),
-            pct(r.useful_idleness[1]),
-            pct(r.useful_idleness[2]),
-            pct(r.useful_idleness[3]),
-            pct(r.avg_useful_idleness()),
-            pct(paper_avg),
-        ]);
-    }
-    let overall_esav = mean(results.iter().map(|r| &r.esav));
-    let avg_idle =
-        results.iter().map(|r| r.avg_useful_idleness()).sum::<f64>() / results.len() as f64;
-    t.push_note(format!(
-        "suite average idleness {} % (paper: 41.71 %); Esav at this configuration {} %",
-        pct(avg_idle),
-        pct(overall_esav)
-    ));
-    Ok(t)
+    views::table1(&presets::table1(cfg).run(ctx)?)
 }
 
 /// Raw data for Table II: suite results at 8, 16 and 32 kB.
@@ -261,10 +237,7 @@ pub fn table2_data(
     base: &ExperimentConfig,
     ctx: &ExperimentContext,
 ) -> Result<Vec<(u64, Vec<BenchResult>)>, CoreError> {
-    [8u64, 16, 32]
-        .iter()
-        .map(|&kb| Ok((kb, run_suite(&base.with_cache_kb(kb), ctx)?)))
-        .collect()
+    views::table2_dataset(&presets::table2(base).run(ctx)?)
 }
 
 /// **Table II**: energy savings and lifetime when varying cache size
@@ -274,41 +247,7 @@ pub fn table2_data(
 ///
 /// Propagates simulation errors.
 pub fn table2(base: &ExperimentConfig, ctx: &ExperimentContext) -> Result<Table, CoreError> {
-    let data = table2_data(base, ctx)?;
-    let mut headers = vec!["bench".into()];
-    for kb in [8, 16, 32] {
-        headers.push(format!("{kb}k Esav%"));
-        headers.push(format!("{kb}k LT0"));
-        headers.push(format!("{kb}k LT"));
-    }
-    let mut t = Table::new(
-        "Table II - energy savings and lifetime vs cache size (measured)",
-        headers,
-    );
-    for i in 0..18 {
-        let mut row = vec![data[0].1[i].name.clone()];
-        for (_, results) in &data {
-            let r = &results[i];
-            row.push(pct(r.esav));
-            row.push(years(r.lt0_years));
-            row.push(years(r.lt_years));
-        }
-        t.push_row(row);
-    }
-    let mut avg_row = vec!["Average".to_string()];
-    let mut paper_row = vec!["(paper avg)".to_string()];
-    for (s, (_, results)) in data.iter().enumerate() {
-        avg_row.push(pct(mean(results.iter().map(|r| &r.esav))));
-        avg_row.push(years(mean(results.iter().map(|r| &r.lt0_years))));
-        avg_row.push(years(mean(results.iter().map(|r| &r.lt_years))));
-        paper_row.push(pct(paper::TABLE2_AVG.0[s]));
-        paper_row.push(years(paper::TABLE2_AVG.1[s]));
-        paper_row.push(years(paper::TABLE2_AVG.2[s]));
-    }
-    t.push_row(avg_row);
-    t.push_row(paper_row);
-    t.push_note("paper averages: Esav 32.2/44.3/55.5 %, LT0 3.22/3.19/3.20 y, LT 4.34/4.31/4.62 y");
-    Ok(t)
+    views::table2(&presets::table2(base).run(ctx)?)
 }
 
 /// Raw data for Table III: suite results at 16 B and 32 B lines (16 kB).
@@ -320,15 +259,19 @@ pub fn table3_data(
     base: &ExperimentConfig,
     ctx: &ExperimentContext,
 ) -> Result<Vec<(u32, Vec<BenchResult>)>, CoreError> {
-    [16u32, 32]
+    let report = presets::table3(base).run(ctx)?;
+    Ok([16u32, 32]
         .iter()
         .map(|&ls| {
-            Ok((
+            (
                 ls,
-                run_suite(&base.with_cache_kb(16).with_line_bytes(ls), ctx)?,
-            ))
+                report
+                    .select(|r| r.scenario.line_bytes == ls)
+                    .map(BenchResult::from)
+                    .collect(),
+            )
         })
-        .collect()
+        .collect())
 }
 
 /// **Table III**: energy savings and lifetime when varying line size
@@ -338,41 +281,7 @@ pub fn table3_data(
 ///
 /// Propagates simulation errors.
 pub fn table3(base: &ExperimentConfig, ctx: &ExperimentContext) -> Result<Table, CoreError> {
-    let data = table3_data(base, ctx)?;
-    let mut t = Table::new(
-        "Table III - energy savings and lifetime vs line size (measured)",
-        vec![
-            "bench".into(),
-            "LS16 Esav%".into(),
-            "LS16 LT".into(),
-            "LS32 Esav%".into(),
-            "LS32 LT".into(),
-        ],
-    );
-    for i in 0..18 {
-        t.push_row(vec![
-            data[0].1[i].name.clone(),
-            pct(data[0].1[i].esav),
-            years(data[0].1[i].lt_years),
-            pct(data[1].1[i].esav),
-            years(data[1].1[i].lt_years),
-        ]);
-    }
-    t.push_row(vec![
-        "Average".into(),
-        pct(mean(data[0].1.iter().map(|r| &r.esav))),
-        years(mean(data[0].1.iter().map(|r| &r.lt_years))),
-        pct(mean(data[1].1.iter().map(|r| &r.esav))),
-        years(mean(data[1].1.iter().map(|r| &r.lt_years))),
-    ]);
-    t.push_note(format!(
-        "paper averages: Esav {} / {} %, LT {} / {} y",
-        pct(paper::TABLE3_AVG[0]),
-        pct(paper::TABLE3_AVG[2]),
-        years(paper::TABLE3_AVG[1]),
-        years(paper::TABLE3_AVG[3]),
-    ));
-    Ok(t)
+    views::table3(&presets::table3(base).run(ctx)?)
 }
 
 /// Raw data for Table IV: `(size_kb, banks, avg idleness, avg LT)`.
@@ -384,16 +293,16 @@ pub fn table4_data(
     base: &ExperimentConfig,
     ctx: &ExperimentContext,
 ) -> Result<Vec<(u64, u32, f64, f64)>, CoreError> {
+    let report = presets::table4(base).run(ctx)?;
     let mut rows = Vec::new();
     for kb in [8u64, 16, 32] {
         for banks in [2u32, 4, 8] {
-            let results = run_suite(&base.with_cache_kb(kb).with_banks(banks), ctx)?;
-            let idle = results
-                .iter()
-                .map(|r| r.avg_useful_idleness())
-                .sum::<f64>()
-                / results.len() as f64;
-            let lt = mean(results.iter().map(|r| &r.lt_years));
+            let cell: Vec<&ScenarioRecord> = report
+                .select(|r| r.scenario.cache_bytes == kb * 1024 && r.scenario.banks == banks)
+                .collect();
+            let idle =
+                cell.iter().map(|r| r.avg_useful_idleness()).sum::<f64>() / cell.len() as f64;
+            let lt = mean(cell.iter().map(|r| &r.lt_years));
             rows.push((kb, banks, idle, lt));
         }
     }
@@ -407,40 +316,7 @@ pub fn table4_data(
 ///
 /// Propagates simulation errors.
 pub fn table4(base: &ExperimentConfig, ctx: &ExperimentContext) -> Result<Table, CoreError> {
-    let data = table4_data(base, ctx)?;
-    let mut t = Table::new(
-        "Table IV - average idleness and lifetime vs cache size and banks (measured | paper)",
-        vec![
-            "size".into(),
-            "M=2 idl%".into(),
-            "M=2 LT".into(),
-            "M=4 idl%".into(),
-            "M=4 LT".into(),
-            "M=8 idl%".into(),
-            "M=8 LT".into(),
-        ],
-    );
-    for (row_idx, kb) in [8u64, 16, 32].iter().enumerate() {
-        let cells: Vec<&(u64, u32, f64, f64)> =
-            data.iter().filter(|(k, _, _, _)| k == kb).collect();
-        let mut row = vec![format!("{kb}kB")];
-        for c in &cells {
-            row.push(pct(c.2));
-            row.push(years(c.3));
-        }
-        t.push_row(row);
-        let p = paper::TABLE4[row_idx];
-        t.push_row(vec![
-            format!("(paper {}kB)", p.size_kb),
-            pct(p.per_banks[0].0),
-            years(p.per_banks[0].1),
-            pct(p.per_banks[1].0),
-            years(p.per_banks[1].1),
-            pct(p.per_banks[2].0),
-            years(p.per_banks[2].1),
-        ]);
-    }
-    Ok(t)
+    views::table4(&presets::table4(base).run(ctx)?)
 }
 
 /// The headline quantities of §IV-B1, computed from measured data.
@@ -502,40 +378,7 @@ pub fn claims_from(data: &[(u64, Vec<BenchResult>)]) -> ClaimsSummary {
 ///
 /// Propagates simulation errors.
 pub fn claims(base: &ExperimentConfig, ctx: &ExperimentContext) -> Result<Table, CoreError> {
-    let data = table2_data(base, ctx)?;
-    let s = claims_from(&data);
-    let mut t = Table::new(
-        "Headline claims (measured vs paper)",
-        vec!["claim".into(), "measured".into(), "paper".into()],
-    );
-    t.push_row(vec![
-        "LT0 gain from power mgmt alone (8kB)".into(),
-        format!("{} %", pct(s.lt0_gain_8k)),
-        format!("{} %", pct(paper::claims::LT0_IMPROVEMENT)),
-    ]);
-    t.push_row(vec![
-        "further gain from re-indexing (8kB)".into(),
-        format!("{} %", pct(s.reindex_further_gain_8k)),
-        format!("{} %", pct(paper::claims::REINDEX_FURTHER_IMPROVEMENT)),
-    ]);
-    for (i, kb) in [8, 16, 32].iter().enumerate() {
-        t.push_row(vec![
-            format!("lifetime extension at {kb} kB"),
-            format!("{} %", pct(s.extension_per_size[i])),
-            format!("{} %", pct(paper::claims::EXTENSION_PER_SIZE[i])),
-        ]);
-    }
-    t.push_row(vec![
-        format!("best case ({})", s.best_case.0),
-        factor(s.best_case.1),
-        format!("{} (sha)", factor(paper::claims::BEST_CASE_FACTOR)),
-    ]);
-    t.push_row(vec![
-        format!("worst case ({})", s.worst_case.0),
-        factor(s.worst_case.1),
-        format!(">= {}", factor(1.0 + paper::claims::WORST_CASE_GAIN)),
-    ]);
-    Ok(t)
+    views::claims(&presets::claims(base).run(ctx)?)
 }
 
 /// §IV-B2: RNG repetition error vs number of updates, for the Scrambling
@@ -543,6 +386,10 @@ pub fn claims(base: &ExperimentConfig, ctx: &ExperimentContext) -> Result<Table,
 /// a uniform RNG shrinks as `1/√N` and is therefore negligible over a
 /// lifetime of updates; a maximal-length LFSR is even better (its counts
 /// are exactly balanced every period).
+///
+/// # Errors
+///
+/// Propagates LFSR construction errors.
 pub fn rng_error(bank_bits: u32, draws: &[u64]) -> Result<Table, CoreError> {
     let m = 1u32 << bank_bits;
     let mut t = Table::new(
@@ -562,7 +409,7 @@ pub fn rng_error(bank_bits: u32, draws: &[u64]) -> Result<Table, CoreError> {
             counts[(lfsr.next_value() as u32 & (m - 1)) as usize] += 1;
         }
         let lfsr_err = rel_error(&counts[1..], n); // 0 never drawn
-        // Ideal uniform generator over all M values.
+                                                   // Ideal uniform generator over all M values.
         let mut rng = SplitMix64::new(0x5eed ^ n);
         let mut counts = vec![0u64; m as usize];
         for _ in 0..n {
@@ -607,44 +454,13 @@ pub fn policy_equivalence(
     cfg: &ExperimentConfig,
     ctx: &ExperimentContext,
 ) -> Result<Table, CoreError> {
-    let mut t = Table::new(
-        "Probing vs Scrambling lifetimes",
-        vec![
-            "bench".into(),
-            "LT probing".into(),
-            "LT scrambling".into(),
-            "delta %".into(),
-        ],
-    );
-    for (i, p) in suite::mediabench().iter().enumerate() {
-        let mut c = *cfg;
-        c.seed = cfg.seed + i as u64;
-        let geom = c.geometry()?;
-        let arch = PartitionedCache::new(geom, PolicyKind::Identity)?;
-        let out = arch.simulate(
-            p.trace(c.seed).take(c.trace_cycles as usize),
-            UpdateSchedule::Never,
-        )?;
-        let sleep = out.sleep_fraction_all();
-        let probing = ctx
-            .aging
-            .cache_lifetime(&sleep, p.p0(), PolicyKind::Probing)?;
-        let scrambling = ctx
-            .aging
-            .cache_lifetime(&sleep, p.p0(), PolicyKind::Scrambling)?;
-        t.push_row(vec![
-            p.name().to_string(),
-            years(probing),
-            years(scrambling),
-            format!("{:+.2}", 100.0 * (scrambling - probing) / probing),
-        ]);
-    }
-    Ok(t)
+    views::policy_equivalence(&presets::policy_equivalence(cfg).run(ctx)?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trace_synth::suite;
 
     fn quick_cfg() -> ExperimentConfig {
         // Shorter traces keep debug-mode tests fast; two full macro

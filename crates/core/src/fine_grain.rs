@@ -134,9 +134,7 @@ mod tests {
     }
 
     fn aging() -> AgingAnalysis {
-        AgingAnalysis::new(
-            LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).unwrap(),
-        )
+        AgingAnalysis::new(LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).unwrap())
     }
 
     #[test]

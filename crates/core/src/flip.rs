@@ -59,10 +59,7 @@ impl CellFlip {
                 expected: "a positive word width",
             });
         }
-        Ok(Self {
-            balance,
-            word_bits,
-        })
+        Ok(Self { balance, word_bits })
     }
 
     /// An ideal flipper (perfect balance, 32-bit words).
@@ -108,9 +105,7 @@ mod tests {
     use nbti_model::{CellDesign, LifetimeSolver};
 
     fn aging() -> AgingAnalysis {
-        AgingAnalysis::new(
-            LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).unwrap(),
-        )
+        AgingAnalysis::new(LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).unwrap())
     }
 
     #[test]
@@ -166,11 +161,15 @@ mod tests {
         let a = aging();
         let sleep = [0.9, 0.6, 0.3, 0.0];
         let raw_p0 = 0.9;
-        let neither = a.cache_lifetime(&sleep, raw_p0, PolicyKind::Identity).unwrap();
+        let neither = a
+            .cache_lifetime(&sleep, raw_p0, PolicyKind::Identity)
+            .unwrap();
         let only_flip = CellFlip::ideal()
             .cache_lifetime(&a, &sleep, raw_p0, PolicyKind::Identity)
             .unwrap();
-        let only_reindex = a.cache_lifetime(&sleep, raw_p0, PolicyKind::Probing).unwrap();
+        let only_reindex = a
+            .cache_lifetime(&sleep, raw_p0, PolicyKind::Probing)
+            .unwrap();
         let both = CellFlip::ideal()
             .cache_lifetime(&a, &sleep, raw_p0, PolicyKind::Probing)
             .unwrap();

@@ -156,18 +156,14 @@ mod tests {
     }
 
     fn aging() -> AgingAnalysis {
-        AgingAnalysis::new(
-            LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).unwrap(),
-        )
+        AgingAnalysis::new(LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).unwrap())
     }
 
     #[test]
     fn dead_banks_strictly_increase_misses() {
         let g = degradation();
         let p = suite::by_name("dijkstra").unwrap();
-        let all_alive = g
-            .miss_rate_with_dead_banks(&p, &[false; 4], 7)
-            .unwrap();
+        let all_alive = g.miss_rate_with_dead_banks(&p, &[false; 4], 7).unwrap();
         let one_dead = g
             .miss_rate_with_dead_banks(&p, &[true, false, false, false], 7)
             .unwrap();

@@ -13,8 +13,8 @@ use crate::error::CoreError;
 /// Width 1 degenerates to the single-state register `1`.
 const TAPS: [u16; 17] = [
     0x0000, // width 0: unused
-    0x0001, 0x0003, 0x0006, 0x000C, 0x0014, 0x0030, 0x0060, 0x00B8, 0x0110, 0x0240, 0x0500,
-    0x0E08, 0x1C80, 0x3802, 0x6000, 0xD008,
+    0x0001, 0x0003, 0x0006, 0x000C, 0x0014, 0x0030, 0x0060, 0x00B8, 0x0110, 0x0240, 0x0500, 0x0E08,
+    0x1C80, 0x3802, 0x6000, 0xD008,
 ];
 
 /// A Galois LFSR of width 1..=16 bits.

@@ -19,31 +19,65 @@
 //!   pieces to the trace-driven simulator;
 //! * [`aging`] — the lifetime pipeline: per-bank sleep fractions → policy
 //!   rotation over update periods → SNM-based cache lifetime;
-//! * [`experiment`] / [`report`] — runners that regenerate every table of
-//!   the paper's evaluation, with the published values embedded for
-//!   side-by-side comparison ([`paper`]);
+//! * [`registry`] — the open, string-keyed [`registry::PolicyRegistry`]:
+//!   five built-in policies (`identity`, `probing`, `scrambling`,
+//!   `gray`, `rotate-xor`) plus user-registered ones;
+//! * [`study`] — the Study API: declarative [`study::StudySpec`] grids
+//!   expanded into [`study::ScenarioGrid`]s, run across threads into
+//!   serializable [`study::StudyReport`]s;
+//! * [`presets`] / [`views`] / [`experiment`] / [`report`] — the
+//!   paper's tables as ~10-line presets over the grid runner, rendered
+//!   by pure views with the published values embedded for side-by-side
+//!   comparison ([`paper`]);
+//! * [`json`] — the dependency-free JSON codec behind report
+//!   serialization;
 //! * [`flip`] / [`graceful`] — ablations: word-level cell flipping
 //!   (ref. \[15\]) and the "progressively disable aged banks" alternative
 //!   the paper argues against (§III-A2).
 //!
 //! # Quick start
 //!
+//! Declare a study over any slice of the grid — axes accept one or many
+//! values, scenarios run in parallel, and the report serializes:
+//!
 //! ```no_run
-//! use aging_cache::experiment::{ExperimentConfig, run_benchmark};
-//! use aging_cache::policy::PolicyKind;
+//! use aging_cache::experiment::ExperimentContext;
+//! use aging_cache::study::StudySpec;
 //!
 //! # fn main() -> Result<(), aging_cache::CoreError> {
-//! let cfg = ExperimentConfig::paper_reference(); // 16 kB, 16 B lines, M=4
-//! let ctx = cfg.build_context()?;
-//! let sha = trace_synth::suite::by_name("sha").expect("in suite");
-//! let r = run_benchmark(&sha, &cfg, &ctx)?;
-//! println!(
-//!     "sha: Esav {:.1}%  LT0 {:.2}y  LT {:.2}y",
-//!     100.0 * r.esav,
-//!     r.lt0_years,
-//!     r.lt_years
-//! );
-//! assert!(r.lt_years > r.lt0_years);
+//! let ctx = ExperimentContext::new()?; // calibrated 2.93-year cell
+//! let report = StudySpec::new("my sweep")
+//!     .cache_kb([8, 16])
+//!     .banks([2, 4])
+//!     .policies(["probing", "scrambling", "gray"])
+//!     .workload_names(["sha", "CRC32", "dijkstra"])?
+//!     .run(&ctx)?;
+//! for r in report.records() {
+//!     println!(
+//!         "{:>10} {:>10} {:2} banks: Esav {:5.1}%  LT {:.2}y",
+//!         r.scenario.workload,
+//!         r.scenario.policy,
+//!         r.scenario.banks,
+//!         100.0 * r.esav,
+//!         r.lt_years
+//!     );
+//! }
+//! std::fs::write("report.json", report.to_json()).expect("write");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The paper's tables are presets over the same engine:
+//!
+//! ```no_run
+//! use aging_cache::experiment::{ExperimentConfig, ExperimentContext};
+//! use aging_cache::{presets, views};
+//!
+//! # fn main() -> Result<(), aging_cache::CoreError> {
+//! let cfg = ExperimentConfig::paper_reference(); // 16 kB, 16 B, M=4
+//! let ctx = ExperimentContext::new()?;
+//! let report = presets::table2(&cfg).run(&ctx)?;
+//! println!("{}", views::table2(&report)?);
 //! # Ok(())
 //! # }
 //! ```
@@ -60,12 +94,17 @@ pub mod experiment;
 pub mod fine_grain;
 pub mod flip;
 pub mod graceful;
+pub mod json;
 pub mod lfsr;
 pub mod onehot;
 pub mod paper;
 pub mod policy;
+pub mod presets;
+pub mod registry;
 pub mod report;
 pub mod selector;
+pub mod study;
+pub mod views;
 
 pub use aging::AgingAnalysis;
 pub use arch::PartitionedCache;
@@ -73,5 +112,7 @@ pub use decoder::Decoder;
 pub use error::CoreError;
 pub use lfsr::Lfsr;
 pub use onehot::OneHotEncoder;
-pub use policy::{PolicyKind, Probing, Scrambling};
+pub use policy::{GrayRotation, PolicyKind, Probing, RotateXor, Scrambling};
+pub use registry::{IndexingPolicy, PolicyRegistry};
 pub use selector::{BlockSelector, Rail};
+pub use study::{Scenario, ScenarioGrid, ScenarioRecord, StudyReport, StudySpec};

@@ -47,24 +47,114 @@ pub struct Table2Row {
 
 /// Table II: energy savings and lifetime when varying cache size.
 pub const TABLE2: [Table2Row; 18] = [
-    Table2Row { name: "adpcm.dec",  esav: [0.306, 0.438, 0.557], lt0: [2.98, 3.04, 3.04], lt: [4.82, 3.76, 4.03] },
-    Table2Row { name: "cjpeg",      esav: [0.315, 0.440, 0.556], lt0: [3.18, 3.17, 3.11], lt: [4.07, 4.32, 4.75] },
-    Table2Row { name: "CRC32",      esav: [0.333, 0.450, 0.561], lt0: [2.98, 2.93, 2.93], lt: [3.40, 3.88, 4.00] },
-    Table2Row { name: "dijkstra",   esav: [0.312, 0.444, 0.555], lt0: [3.26, 3.31, 3.29], lt: [3.99, 4.31, 3.99] },
-    Table2Row { name: "djpeg",      esav: [0.322, 0.442, 0.552], lt0: [3.61, 3.36, 3.52], lt: [4.12, 4.02, 4.35] },
-    Table2Row { name: "fft_1",      esav: [0.322, 0.442, 0.556], lt0: [3.17, 2.96, 3.24], lt: [4.30, 4.46, 4.44] },
-    Table2Row { name: "fft_2",      esav: [0.322, 0.442, 0.556], lt0: [3.11, 2.97, 3.18], lt: [4.34, 4.42, 4.40] },
-    Table2Row { name: "gsmd",       esav: [0.313, 0.442, 0.552], lt0: [2.94, 3.08, 3.03], lt: [4.59, 3.81, 5.10] },
-    Table2Row { name: "gsme",       esav: [0.315, 0.439, 0.551], lt0: [2.94, 2.94, 3.03], lt: [4.90, 4.50, 4.37] },
-    Table2Row { name: "ispell",     esav: [0.336, 0.452, 0.559], lt0: [3.50, 3.40, 3.42], lt: [4.55, 4.74, 4.75] },
-    Table2Row { name: "lame",       esav: [0.321, 0.444, 0.557], lt0: [3.31, 3.55, 3.33], lt: [4.06, 4.12, 4.49] },
-    Table2Row { name: "mad",        esav: [0.321, 0.437, 0.550], lt0: [3.73, 3.74, 3.72], lt: [4.10, 4.76, 4.59] },
-    Table2Row { name: "rijndael_i", esav: [0.329, 0.444, 0.550], lt0: [3.02, 3.11, 3.26], lt: [4.02, 4.10, 4.90] },
-    Table2Row { name: "rijndael_o", esav: [0.331, 0.444, 0.552], lt0: [3.01, 3.13, 2.96], lt: [3.96, 4.16, 5.23] },
-    Table2Row { name: "say",        esav: [0.319, 0.439, 0.554], lt0: [3.27, 3.06, 3.38], lt: [4.92, 5.09, 4.43] },
-    Table2Row { name: "search",     esav: [0.334, 0.453, 0.561], lt0: [3.57, 3.58, 3.07], lt: [4.67, 4.27, 4.24] },
-    Table2Row { name: "sha",        esav: [0.311, 0.436, 0.550], lt0: [3.00, 3.03, 3.02], lt: [4.74, 4.48, 6.09] },
-    Table2Row { name: "tiff2bw",    esav: [0.334, 0.447, 0.556], lt0: [3.41, 3.13, 3.09], lt: [4.57, 4.31, 4.98] },
+    Table2Row {
+        name: "adpcm.dec",
+        esav: [0.306, 0.438, 0.557],
+        lt0: [2.98, 3.04, 3.04],
+        lt: [4.82, 3.76, 4.03],
+    },
+    Table2Row {
+        name: "cjpeg",
+        esav: [0.315, 0.440, 0.556],
+        lt0: [3.18, 3.17, 3.11],
+        lt: [4.07, 4.32, 4.75],
+    },
+    Table2Row {
+        name: "CRC32",
+        esav: [0.333, 0.450, 0.561],
+        lt0: [2.98, 2.93, 2.93],
+        lt: [3.40, 3.88, 4.00],
+    },
+    Table2Row {
+        name: "dijkstra",
+        esav: [0.312, 0.444, 0.555],
+        lt0: [3.26, 3.31, 3.29],
+        lt: [3.99, 4.31, 3.99],
+    },
+    Table2Row {
+        name: "djpeg",
+        esav: [0.322, 0.442, 0.552],
+        lt0: [3.61, 3.36, 3.52],
+        lt: [4.12, 4.02, 4.35],
+    },
+    Table2Row {
+        name: "fft_1",
+        esav: [0.322, 0.442, 0.556],
+        lt0: [3.17, 2.96, 3.24],
+        lt: [4.30, 4.46, 4.44],
+    },
+    Table2Row {
+        name: "fft_2",
+        esav: [0.322, 0.442, 0.556],
+        lt0: [3.11, 2.97, 3.18],
+        lt: [4.34, 4.42, 4.40],
+    },
+    Table2Row {
+        name: "gsmd",
+        esav: [0.313, 0.442, 0.552],
+        lt0: [2.94, 3.08, 3.03],
+        lt: [4.59, 3.81, 5.10],
+    },
+    Table2Row {
+        name: "gsme",
+        esav: [0.315, 0.439, 0.551],
+        lt0: [2.94, 2.94, 3.03],
+        lt: [4.90, 4.50, 4.37],
+    },
+    Table2Row {
+        name: "ispell",
+        esav: [0.336, 0.452, 0.559],
+        lt0: [3.50, 3.40, 3.42],
+        lt: [4.55, 4.74, 4.75],
+    },
+    Table2Row {
+        name: "lame",
+        esav: [0.321, 0.444, 0.557],
+        lt0: [3.31, 3.55, 3.33],
+        lt: [4.06, 4.12, 4.49],
+    },
+    Table2Row {
+        name: "mad",
+        esav: [0.321, 0.437, 0.550],
+        lt0: [3.73, 3.74, 3.72],
+        lt: [4.10, 4.76, 4.59],
+    },
+    Table2Row {
+        name: "rijndael_i",
+        esav: [0.329, 0.444, 0.550],
+        lt0: [3.02, 3.11, 3.26],
+        lt: [4.02, 4.10, 4.90],
+    },
+    Table2Row {
+        name: "rijndael_o",
+        esav: [0.331, 0.444, 0.552],
+        lt0: [3.01, 3.13, 2.96],
+        lt: [3.96, 4.16, 5.23],
+    },
+    Table2Row {
+        name: "say",
+        esav: [0.319, 0.439, 0.554],
+        lt0: [3.27, 3.06, 3.38],
+        lt: [4.92, 5.09, 4.43],
+    },
+    Table2Row {
+        name: "search",
+        esav: [0.334, 0.453, 0.561],
+        lt0: [3.57, 3.58, 3.07],
+        lt: [4.67, 4.27, 4.24],
+    },
+    Table2Row {
+        name: "sha",
+        esav: [0.311, 0.436, 0.550],
+        lt0: [3.00, 3.03, 3.02],
+        lt: [4.74, 4.48, 6.09],
+    },
+    Table2Row {
+        name: "tiff2bw",
+        esav: [0.334, 0.447, 0.556],
+        lt0: [3.41, 3.13, 3.09],
+        lt: [4.57, 4.31, 4.98],
+    },
 ];
 
 /// Table II averages: `(Esav, LT0, LT)` per cache size.
@@ -86,24 +176,78 @@ pub struct Table3Row {
 
 /// Table III: energy savings and lifetime when varying line size.
 pub const TABLE3: [Table3Row; 18] = [
-    Table3Row { name: "adpcm.dec",  values: [0.438, 3.76, 0.310, 3.61] },
-    Table3Row { name: "cjpeg",      values: [0.440, 4.32, 0.312, 4.26] },
-    Table3Row { name: "CRC32",      values: [0.450, 3.88, 0.335, 3.82] },
-    Table3Row { name: "dijkstra",   values: [0.444, 4.31, 0.310, 4.17] },
-    Table3Row { name: "djpeg",      values: [0.442, 4.02, 0.317, 3.95] },
-    Table3Row { name: "fft_1",      values: [0.442, 4.46, 0.319, 4.38] },
-    Table3Row { name: "fft_2",      values: [0.442, 4.42, 0.319, 4.35] },
-    Table3Row { name: "gsmd",       values: [0.442, 3.81, 0.316, 3.71] },
-    Table3Row { name: "gsme",       values: [0.439, 4.50, 0.317, 4.46] },
-    Table3Row { name: "ispell",     values: [0.452, 4.74, 0.333, 4.66] },
-    Table3Row { name: "lame",       values: [0.444, 4.12, 0.321, 4.07] },
-    Table3Row { name: "mad",        values: [0.437, 4.76, 0.312, 4.66] },
-    Table3Row { name: "rijndael_i", values: [0.444, 4.10, 0.316, 3.99] },
-    Table3Row { name: "rijndael_o", values: [0.444, 4.16, 0.316, 4.03] },
-    Table3Row { name: "say",        values: [0.439, 5.09, 0.314, 5.05] },
-    Table3Row { name: "search",     values: [0.453, 4.27, 0.331, 4.17] },
-    Table3Row { name: "sha",        values: [0.436, 4.48, 0.312, 4.47] },
-    Table3Row { name: "tiff2bw",    values: [0.448, 4.31, 0.330, 4.32] },
+    Table3Row {
+        name: "adpcm.dec",
+        values: [0.438, 3.76, 0.310, 3.61],
+    },
+    Table3Row {
+        name: "cjpeg",
+        values: [0.440, 4.32, 0.312, 4.26],
+    },
+    Table3Row {
+        name: "CRC32",
+        values: [0.450, 3.88, 0.335, 3.82],
+    },
+    Table3Row {
+        name: "dijkstra",
+        values: [0.444, 4.31, 0.310, 4.17],
+    },
+    Table3Row {
+        name: "djpeg",
+        values: [0.442, 4.02, 0.317, 3.95],
+    },
+    Table3Row {
+        name: "fft_1",
+        values: [0.442, 4.46, 0.319, 4.38],
+    },
+    Table3Row {
+        name: "fft_2",
+        values: [0.442, 4.42, 0.319, 4.35],
+    },
+    Table3Row {
+        name: "gsmd",
+        values: [0.442, 3.81, 0.316, 3.71],
+    },
+    Table3Row {
+        name: "gsme",
+        values: [0.439, 4.50, 0.317, 4.46],
+    },
+    Table3Row {
+        name: "ispell",
+        values: [0.452, 4.74, 0.333, 4.66],
+    },
+    Table3Row {
+        name: "lame",
+        values: [0.444, 4.12, 0.321, 4.07],
+    },
+    Table3Row {
+        name: "mad",
+        values: [0.437, 4.76, 0.312, 4.66],
+    },
+    Table3Row {
+        name: "rijndael_i",
+        values: [0.444, 4.10, 0.316, 3.99],
+    },
+    Table3Row {
+        name: "rijndael_o",
+        values: [0.444, 4.16, 0.316, 4.03],
+    },
+    Table3Row {
+        name: "say",
+        values: [0.439, 5.09, 0.314, 5.05],
+    },
+    Table3Row {
+        name: "search",
+        values: [0.453, 4.27, 0.331, 4.17],
+    },
+    Table3Row {
+        name: "sha",
+        values: [0.436, 4.48, 0.312, 4.47],
+    },
+    Table3Row {
+        name: "tiff2bw",
+        values: [0.448, 4.31, 0.330, 4.32],
+    },
 ];
 
 /// Table III averages: `[Esav @16B, LT @16B, Esav @32B, LT @32B]`.
@@ -122,9 +266,18 @@ pub struct Table4Row {
 /// Table IV: average idleness and lifetime when varying cache size and
 /// number of blocks.
 pub const TABLE4: [Table4Row; 3] = [
-    Table4Row { size_kb: 8,  per_banks: [(0.15, 3.34), (0.42, 4.34), (0.58, 5.30)] },
-    Table4Row { size_kb: 16, per_banks: [(0.15, 3.35), (0.41, 4.31), (0.64, 5.69)] },
-    Table4Row { size_kb: 32, per_banks: [(0.25, 3.68), (0.47, 4.62), (0.68, 5.98)] },
+    Table4Row {
+        size_kb: 8,
+        per_banks: [(0.15, 3.34), (0.42, 4.34), (0.58, 5.30)],
+    },
+    Table4Row {
+        size_kb: 16,
+        per_banks: [(0.15, 3.35), (0.41, 4.31), (0.64, 5.69)],
+    },
+    Table4Row {
+        size_kb: 32,
+        per_banks: [(0.25, 3.68), (0.47, 4.62), (0.68, 5.98)],
+    },
 ];
 
 /// Headline claims (§I, §IV-B1):
@@ -166,7 +319,10 @@ mod tests {
             let esav: f64 = TABLE2.iter().map(|r| r.esav[size]).sum::<f64>() / 18.0;
             let lt0: f64 = TABLE2.iter().map(|r| r.lt0[size]).sum::<f64>() / 18.0;
             let lt: f64 = TABLE2.iter().map(|r| r.lt[size]).sum::<f64>() / 18.0;
-            assert!((esav - TABLE2_AVG.0[size]).abs() < 0.005, "esav size {size}");
+            assert!(
+                (esav - TABLE2_AVG.0[size]).abs() < 0.005,
+                "esav size {size}"
+            );
             assert!((lt0 - TABLE2_AVG.1[size]).abs() < 0.05, "lt0 size {size}");
             assert!((lt - TABLE2_AVG.2[size]).abs() < 0.05, "lt size {size}");
         }

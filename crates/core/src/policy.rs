@@ -13,12 +13,26 @@
 //! * **Scrambling** (Fig. 3b) XORs the bank address with an LFSR value
 //!   drawn on each `update`. Approaches uniformity asymptotically; the
 //!   deviation shrinks as `1/√N` in the number of updates (§IV-B2).
+//!
+//! Beyond the paper's pair, this module ships two more bijections that
+//! prove the policy axis is open — [`GrayRotation`] (Gray-coded
+//! rotation) and [`RotateXor`] (a rotation/LFSR hybrid) — and the
+//! [`registry`](crate::registry) makes the set extensible from user
+//! code without touching this crate.
 
 use crate::error::CoreError;
 use crate::lfsr::Lfsr;
-use cache_sim::{BankMapping, IdentityMapping};
+use cache_sim::BankMapping;
 
-/// Which indexing function a cache uses; the experiment-level selector.
+/// Which indexing function a cache uses — the paper's three, as a
+/// closed enum.
+///
+/// This type is kept as a thin compatibility shim over the open
+/// [`PolicyRegistry`](crate::registry::PolicyRegistry): [`PolicyKind::build`]
+/// now delegates to the registry, and [`PolicyKind::key`] gives the
+/// registry name. New code (and anything that wants the two additional
+/// built-ins, [`GrayRotation`] and [`RotateXor`], or custom policies)
+/// should use the registry directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// No re-indexing: a conventional power-managed partitioned cache
@@ -33,17 +47,29 @@ pub enum PolicyKind {
 impl PolicyKind {
     /// Instantiates the policy as a [`BankMapping`] for `banks` banks.
     ///
-    /// `seed` only affects `Scrambling` (the LFSR seed).
+    /// `seed` only affects `Scrambling` (the LFSR seed). This is the
+    /// legacy 16-bit-seed entry point; new code should resolve policies
+    /// by name through [`PolicyRegistry`](crate::registry::PolicyRegistry),
+    /// which takes a full `u64` seed.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] if `banks` is not a power
     /// of two of at least 2.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use PolicyRegistry::build(kind.key(), banks, seed) — the registry is open and takes u64 seeds"
+    )]
     pub fn build(self, banks: u32, seed: u16) -> Result<Box<dyn BankMapping>, CoreError> {
+        crate::registry::PolicyRegistry::global().build(self.key(), banks, seed as u64)
+    }
+
+    /// The registry key this legacy variant maps to.
+    pub fn key(self) -> &'static str {
         match self {
-            PolicyKind::Identity => Ok(Box::new(IdentityMapping)),
-            PolicyKind::Probing => Ok(Box::new(Probing::new(banks)?)),
-            PolicyKind::Scrambling => Ok(Box::new(Scrambling::new(banks, seed)?)),
+            PolicyKind::Identity => "identity",
+            PolicyKind::Probing => "probing",
+            PolicyKind::Scrambling => "scrambling",
         }
     }
 
@@ -54,13 +80,9 @@ impl PolicyKind {
         PolicyKind::Scrambling,
     ];
 
-    /// Display name.
+    /// Display name (same as the registry key).
     pub fn name(self) -> &'static str {
-        match self {
-            PolicyKind::Identity => "identity",
-            PolicyKind::Probing => "probing",
-            PolicyKind::Scrambling => "scrambling",
-        }
+        self.key()
     }
 }
 
@@ -132,7 +154,7 @@ impl BankMapping for Probing {
         self.offset = (self.offset + 1) & (self.banks - 1);
     }
 
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "probing"
     }
 }
@@ -211,8 +233,127 @@ impl BankMapping for Scrambling {
         self.mask = self.lfsr.next_value() as u32 & (self.banks - 1);
     }
 
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "scrambling"
+    }
+}
+
+/// Gray-coded rotation: `bank' = gray((bank + c) mod M)` with the
+/// counter `c` incremented on each update, where
+/// `gray(x) = x ^ (x >> 1)`.
+///
+/// Both stages are bijections on the `p` bank-select bits, so the
+/// composition is too. Compared to plain Probing, consecutive updates
+/// move each logical bank's *physical* location by a single bit flip in
+/// the decoder's one-hot stage — the same single-transition property
+/// that motivates Gray counters in low-power address decoders (and the
+/// rejuvenation-oriented decoder policies of Gürsoy et al.). Over any
+/// window of `M` consecutive updates each logical bank still visits
+/// every physical bank exactly once, so the idleness-uniformization
+/// argument of ref. \[7\] carries over unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GrayRotation {
+    banks: u32,
+    offset: u32,
+}
+
+impl GrayRotation {
+    /// Creates the policy with offset 0.
+    ///
+    /// Note that unlike [`Probing`], the mapping at time zero is the
+    /// Gray code itself, not the identity — the policy is a different
+    /// fixed bijection between updates, which leaves hit/miss behaviour
+    /// untouched (the simulator only cares that it *is* a bijection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a bad bank count.
+    pub fn new(banks: u32) -> Result<Self, CoreError> {
+        validate_banks(banks)?;
+        Ok(Self { banks, offset: 0 })
+    }
+
+    /// The current rotation offset `c`.
+    pub fn offset(&self) -> u32 {
+        self.offset
+    }
+}
+
+impl BankMapping for GrayRotation {
+    fn map_bank(&self, logical: u32, banks: u32) -> u32 {
+        debug_assert_eq!(banks, self.banks);
+        let rotated = (logical + self.offset) & (self.banks - 1);
+        rotated ^ (rotated >> 1)
+    }
+
+    fn update(&mut self) {
+        self.offset = (self.offset + 1) & (self.banks - 1);
+    }
+
+    fn name(&self) -> &str {
+        "gray"
+    }
+}
+
+/// Rotate-XOR hybrid: `bank' = ((bank + c) mod M) ^ r`, combining
+/// Probing's counter with Scrambling's LFSR mask.
+///
+/// The rotation guarantees the perfect `M`-update fairness window of
+/// Probing even when the LFSR stream is unlucky, while the XOR mask
+/// decorrelates the *sequence* in which physical banks are visited —
+/// useful when the workload's idleness itself drifts with a period close
+/// to `M` updates, which makes plain rotation alias. Both stages are
+/// bijections on the `p` bank-select bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RotateXor {
+    banks: u32,
+    offset: u32,
+    lfsr: Lfsr,
+    mask: u32,
+}
+
+impl RotateXor {
+    /// Creates the hybrid with offset 0 and an identity initial mask
+    /// (so, like [`Probing`], it is the identity at time zero). The LFSR
+    /// uses the same wide default register as [`Scrambling`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a bad bank count.
+    pub fn new(banks: u32, seed: u16) -> Result<Self, CoreError> {
+        validate_banks(banks)?;
+        Ok(Self {
+            banks,
+            offset: 0,
+            lfsr: Lfsr::new(Scrambling::DEFAULT_LFSR_WIDTH, seed)?,
+            mask: 0,
+        })
+    }
+
+    /// The current rotation offset `c`.
+    pub fn offset(&self) -> u32 {
+        self.offset
+    }
+
+    /// The current XOR mask `r`.
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+}
+
+impl BankMapping for RotateXor {
+    fn map_bank(&self, logical: u32, banks: u32) -> u32 {
+        debug_assert_eq!(banks, self.banks);
+        (((logical + self.offset) & (self.banks - 1)) ^ self.mask) & (self.banks - 1)
+    }
+
+    fn update(&mut self) {
+        self.offset = (self.offset + 1) & (self.banks - 1);
+        self.mask = self.lfsr.next_value() as u32 & (self.banks - 1);
+    }
+
+    fn name(&self) -> &str {
+        "rotate-xor"
     }
 }
 
@@ -314,6 +455,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn policy_kind_builds_all() {
         for kind in PolicyKind::ALL {
             let m = kind.build(4, 1).unwrap();
@@ -321,6 +463,70 @@ mod tests {
         }
         assert!(PolicyKind::Probing.build(3, 1).is_err());
         assert!(PolicyKind::Scrambling.build(1, 1).is_err());
+    }
+
+    #[test]
+    fn gray_rotation_is_bijective_and_fair() {
+        let m = 8u32;
+        let mut g = GrayRotation::new(m).unwrap();
+        let mut visits = vec![vec![0u32; m as usize]; m as usize];
+        for _ in 0..m {
+            assert!(is_bijective(&g, m));
+            for l in 0..m {
+                visits[l as usize][g.map_bank(l, m) as usize] += 1;
+            }
+            g.update();
+        }
+        for (l, row) in visits.iter().enumerate() {
+            assert!(
+                row.iter().all(|&v| v == 1),
+                "logical bank {l} must visit each physical bank once per window: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gray_rotation_single_bit_transitions() {
+        // The Gray property: one update moves any logical bank's
+        // physical location by exactly one bit flip.
+        let m = 8u32;
+        let mut g = GrayRotation::new(m).unwrap();
+        for _ in 0..2 * m {
+            let before: Vec<u32> = (0..m).map(|l| g.map_bank(l, m)).collect();
+            g.update();
+            for (l, &b) in before.iter().enumerate() {
+                let after = g.map_bank(l as u32, m);
+                assert_eq!(
+                    (b ^ after).count_ones(),
+                    1,
+                    "bank {l}: {b} -> {after} is not a single-bit move"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_xor_is_bijective_under_updates() {
+        let mut h = RotateXor::new(8, 0xbeef).unwrap();
+        for _ in 0..50 {
+            assert!(is_bijective(&h, 8));
+            h.update();
+        }
+    }
+
+    #[test]
+    fn rotate_xor_identity_at_time_zero() {
+        let h = RotateXor::new(4, 77).unwrap();
+        for l in 0..4 {
+            assert_eq!(h.map_bank(l, 4), l);
+        }
+    }
+
+    #[test]
+    fn new_policies_reject_bad_bank_counts() {
+        assert!(GrayRotation::new(3).is_err());
+        assert!(GrayRotation::new(1).is_err());
+        assert!(RotateXor::new(6, 1).is_err());
     }
 
     #[test]

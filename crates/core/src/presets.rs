@@ -1,0 +1,80 @@
+//! The paper's tables as [`StudySpec`] presets.
+//!
+//! Each preset is a handful of axis declarations over the generic grid
+//! runner — the entire "runner" the old hardcoded `tableN` functions
+//! used to be. Rendering lives in [`crate::views`], which are pure
+//! functions of the resulting [`StudyReport`](crate::study::StudyReport).
+//!
+//! All presets pin the policy seed to `1` (the historic LFSR seed) so
+//! the measured values match the pre-redesign runners bit-for-bit.
+
+use crate::experiment::ExperimentConfig;
+use crate::study::StudySpec;
+
+fn base(name: &str, cfg: &ExperimentConfig) -> StudySpec {
+    cfg.study(name)
+}
+
+/// **Table I** — idleness distribution at the configured geometry,
+/// full suite, Probing.
+pub fn table1(cfg: &ExperimentConfig) -> StudySpec {
+    base("Table I", cfg).policies(["probing"])
+}
+
+/// **Table II** — Esav / LT0 / LT vs cache size (8/16/32 kB).
+pub fn table2(cfg: &ExperimentConfig) -> StudySpec {
+    base("Table II", cfg)
+        .cache_kb([8, 16, 32])
+        .policies(["probing"])
+}
+
+/// **Table III** — Esav / LT vs line size (16/32 B at 16 kB).
+pub fn table3(cfg: &ExperimentConfig) -> StudySpec {
+    base("Table III", cfg)
+        .cache_kb([16])
+        .line_bytes([16, 32])
+        .policies(["probing"])
+}
+
+/// **Table IV** — idleness / LT over the (size × banks) grid.
+pub fn table4(cfg: &ExperimentConfig) -> StudySpec {
+    base("Table IV", cfg)
+        .cache_kb([8, 16, 32])
+        .banks([2, 4, 8])
+        .policies(["probing"])
+}
+
+/// §IV-B1 headline claims — the Table II grid under another name.
+pub fn claims(cfg: &ExperimentConfig) -> StudySpec {
+    table2(cfg)
+}
+
+/// §IV-B2 — Probing vs Scrambling on every benchmark.
+pub fn policy_equivalence(cfg: &ExperimentConfig) -> StudySpec {
+    base("Probing vs Scrambling", cfg).policies(["probing", "scrambling"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_expand_to_expected_grid_sizes() {
+        let cfg = ExperimentConfig::paper_reference();
+        assert_eq!(table1(&cfg).expand().unwrap().len(), 18);
+        assert_eq!(table2(&cfg).expand().unwrap().len(), 3 * 18);
+        assert_eq!(table3(&cfg).expand().unwrap().len(), 2 * 18);
+        assert_eq!(table4(&cfg).expand().unwrap().len(), 9 * 18);
+        assert_eq!(policy_equivalence(&cfg).expand().unwrap().len(), 2 * 18);
+    }
+
+    #[test]
+    fn presets_keep_the_historic_seeds() {
+        let cfg = ExperimentConfig::paper_reference();
+        let grid = table2(&cfg).expand().unwrap();
+        for s in grid.scenarios() {
+            assert_eq!(s.trace_seed, cfg.seed + s.workload_index as u64);
+            assert_eq!(s.policy_seed, 1);
+        }
+    }
+}

@@ -101,7 +101,11 @@ mod tests {
     fn all_awake_and_all_asleep() {
         let sel = BlockSelector::new(4).unwrap();
         assert!(sel.rails(0).unwrap().iter().all(|&r| r == Rail::Vdd));
-        assert!(sel.rails(0b1111).unwrap().iter().all(|&r| r == Rail::VddLow));
+        assert!(sel
+            .rails(0b1111)
+            .unwrap()
+            .iter()
+            .all(|&r| r == Rail::VddLow));
     }
 
     #[test]

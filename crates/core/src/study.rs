@@ -1,0 +1,887 @@
+//! The open Study API: declare a scenario grid, run it in parallel,
+//! get a structured report.
+//!
+//! The paper's evaluation is a grid — policies × cache geometries ×
+//! workloads × update periods — and this module makes that grid a
+//! first-class object instead of four hardcoded table runners:
+//!
+//! 1. [`StudySpec`] is a declarative builder. Every axis accepts one or
+//!    many values; unset axes default to the paper's reference point.
+//! 2. [`StudySpec::expand`] produces a [`ScenarioGrid`]: the cartesian
+//!    product of the axes, each point a [`Scenario`] with fully derived
+//!    seeds (see below).
+//! 3. [`ScenarioGrid::run`] executes every scenario — across std
+//!    threads by default — and returns a [`StudyReport`] of
+//!    [`ScenarioRecord`]s that serializes to JSON
+//!    ([`StudyReport::to_json`]) and back ([`StudyReport::from_json`]).
+//!
+//! The historic `table1()..table4()` runners are now ~10-line presets
+//! over this engine ([`crate::presets`]) plus pure table views
+//! ([`crate::views`]).
+//!
+//! # Seed derivation
+//!
+//! Determinism is load-bearing: a grid must produce byte-identical
+//! reports whether it runs on 1 thread or 16, today or next year.
+//!
+//! * **trace seed** — `base_seed + workload_index`. This is exactly the
+//!   historic `ExperimentConfig::seed + i` rule, so every measured value
+//!   published before the redesign is reproduced bit-for-bit.
+//! * **policy seed** — [`derive_policy_seed`]`(base_seed, scenario_id,
+//!   policy_name)`, unless the spec pins one with
+//!   [`StudySpec::policy_seed`] (the table presets pin `1`, the historic
+//!   LFSR seed).
+//!
+//! # Examples
+//!
+//! A 2×2×3 grid over sizes, bank counts and policies, run in parallel:
+//!
+//! ```no_run
+//! use aging_cache::study::StudySpec;
+//! use aging_cache::experiment::ExperimentContext;
+//!
+//! # fn main() -> Result<(), aging_cache::CoreError> {
+//! let ctx = ExperimentContext::new()?;
+//! let report = StudySpec::new("size-banks-policy sweep")
+//!     .cache_kb([8, 16])
+//!     .banks([2, 4])
+//!     .policies(["probing", "scrambling", "gray"])
+//!     .workload_names(["sha", "CRC32"])?
+//!     .trace_cycles(160_000)
+//!     .run(&ctx)?;
+//! println!("{} scenarios", report.records().len());
+//! println!("{}", report.to_json());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::aging::AgingAnalysis;
+use crate::arch::{PartitionedCache, UpdateSchedule};
+use crate::error::CoreError;
+use crate::experiment::ExperimentContext;
+use crate::json::Json;
+use crate::policy::PolicyKind;
+use crate::registry::{derive_policy_seed, PolicyRegistry};
+use cache_sim::CacheGeometry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use trace_synth::{suite, WorkloadProfile};
+
+/// Measured simulation outputs shared by scenarios that differ only in
+/// policy or update period.
+struct SimMeasurement {
+    esav: f64,
+    miss_rate: f64,
+    useful_idleness: Vec<f64>,
+    sleep_fractions: Vec<f64>,
+}
+
+/// `(cache_bytes, line_bytes, banks, workload_index, trace_seed,
+/// trace_cycles)` → memoized simulation.
+type SimKey = (u64, u32, u32, usize, u64, u64);
+/// [`SimKey`] plus `update_days.to_bits()` → memoized identity (LT0)
+/// lifetime.
+type Lt0Key = (u64, u32, u32, usize, u64, u64, u64);
+
+/// Per-run memo shared across workers. Both maps are keyed by every
+/// input their value depends on, so a racing double-compute always
+/// stores the same value — first-writer-wins stays deterministic.
+#[derive(Default)]
+struct MemoInner {
+    sims: HashMap<SimKey, Arc<SimMeasurement>>,
+    lt0: HashMap<Lt0Key, f64>,
+}
+type SimMemo = Mutex<MemoInner>;
+
+/// Default trace length: the paper pipeline's reference horizon.
+pub const DEFAULT_TRACE_CYCLES: u64 = 320_000;
+
+/// Default base seed (the historic `ExperimentConfig::paper_reference`).
+pub const DEFAULT_BASE_SEED: u64 = 1000;
+
+/// A declarative study: axes over the evaluation grid.
+///
+/// Defaults describe the paper's reference point (16 kB cache, 16 B
+/// lines, 4 banks, daily updates, the Probing policy, the full
+/// 18-workload MediaBench-like suite).
+#[derive(Debug, Clone)]
+pub struct StudySpec {
+    name: String,
+    cache_bytes: Vec<u64>,
+    line_bytes: Vec<u32>,
+    banks: Vec<u32>,
+    update_days: Vec<f64>,
+    policies: Vec<String>,
+    workloads: Vec<WorkloadProfile>,
+    trace_cycles: u64,
+    base_seed: u64,
+    policy_seed: Option<u64>,
+    threads: Option<usize>,
+    registry: PolicyRegistry,
+}
+
+impl StudySpec {
+    /// Creates a spec at the paper's reference point.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cache_bytes: vec![16 * 1024],
+            line_bytes: vec![16],
+            banks: vec![4],
+            update_days: vec![1.0],
+            policies: vec!["probing".into()],
+            workloads: suite::mediabench(),
+            trace_cycles: DEFAULT_TRACE_CYCLES,
+            base_seed: DEFAULT_BASE_SEED,
+            policy_seed: None,
+            threads: None,
+            registry: PolicyRegistry::builtin(),
+        }
+    }
+
+    /// Sets the cache-size axis (kB); one or many values.
+    #[must_use]
+    pub fn cache_kb(mut self, kb: impl IntoIterator<Item = u64>) -> Self {
+        self.cache_bytes = kb.into_iter().map(|k| k * 1024).collect();
+        self
+    }
+
+    /// Sets the cache-size axis in raw bytes (for non-kB-aligned sizes).
+    #[must_use]
+    pub fn cache_bytes(mut self, bytes: impl IntoIterator<Item = u64>) -> Self {
+        self.cache_bytes = bytes.into_iter().collect();
+        self
+    }
+
+    /// Sets the line-size axis (bytes); one or many values.
+    #[must_use]
+    pub fn line_bytes(mut self, bytes: impl IntoIterator<Item = u32>) -> Self {
+        self.line_bytes = bytes.into_iter().collect();
+        self
+    }
+
+    /// Sets the bank-count axis; one or many values.
+    #[must_use]
+    pub fn banks(mut self, banks: impl IntoIterator<Item = u32>) -> Self {
+        self.banks = banks.into_iter().collect();
+        self
+    }
+
+    /// Sets the update-period axis (days between re-indexing updates);
+    /// one or many values.
+    #[must_use]
+    pub fn update_days(mut self, days: impl IntoIterator<Item = f64>) -> Self {
+        self.update_days = days.into_iter().collect();
+        self
+    }
+
+    /// Sets the policy axis by registry name; one or many values.
+    #[must_use]
+    pub fn policies<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.policies = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the workload axis to explicit profiles; one or many values.
+    #[must_use]
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = WorkloadProfile>) -> Self {
+        self.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// Sets the workload axis by suite name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Report`] for a name outside the
+    /// MediaBench-like suite.
+    pub fn workload_names<S: AsRef<str>>(
+        mut self,
+        names: impl IntoIterator<Item = S>,
+    ) -> Result<Self, CoreError> {
+        let mut workloads = Vec::new();
+        for name in names {
+            let name = name.as_ref();
+            match suite::by_name(name) {
+                Some(p) => workloads.push(p),
+                None => {
+                    return Err(CoreError::Report {
+                        message: format!("workload `{name}` is not in the suite"),
+                    })
+                }
+            }
+        }
+        self.workloads = workloads;
+        Ok(self)
+    }
+
+    /// Sets the simulated trace length in cycles.
+    #[must_use]
+    pub fn trace_cycles(mut self, cycles: u64) -> Self {
+        self.trace_cycles = cycles;
+        self
+    }
+
+    /// Sets the base seed (see the module docs for the derivation chain).
+    #[must_use]
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Pins the policy seed for *every* scenario instead of deriving it.
+    /// The table presets pin `1`, the historic LFSR seed.
+    #[must_use]
+    pub fn policy_seed(mut self, seed: u64) -> Self {
+        self.policy_seed = Some(seed);
+        self
+    }
+
+    /// Caps the worker-thread count (`1` forces sequential execution).
+    /// Defaults to available parallelism.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Replaces the policy registry (to resolve custom policies).
+    #[must_use]
+    pub fn registry(mut self, registry: PolicyRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The study name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The base seed currently configured.
+    pub fn base_seed_value(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Expands the axes into the cartesian scenario grid.
+    ///
+    /// Expansion order (outermost to innermost): cache size, line size,
+    /// banks, update period, policy, workload. Scenario ids number that
+    /// order, so the innermost workload axis matches the historic
+    /// `seed + i` suite loop.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty axes, unknown policy names and invalid geometries
+    /// up front, so `run` can only fail on model-level errors.
+    pub fn expand(&self) -> Result<ScenarioGrid, CoreError> {
+        for (axis, len) in [
+            ("cache_bytes", self.cache_bytes.len()),
+            ("line_bytes", self.line_bytes.len()),
+            ("banks", self.banks.len()),
+            ("update_days", self.update_days.len()),
+            ("policies", self.policies.len()),
+            ("workloads", self.workloads.len()),
+        ] {
+            if len == 0 {
+                return Err(CoreError::Report {
+                    message: format!("axis `{axis}` is empty"),
+                });
+            }
+        }
+        for name in &self.policies {
+            if self.registry.get(name).is_none() {
+                return Err(CoreError::UnknownPolicy {
+                    name: name.clone(),
+                    known: self.registry.names().join(", "),
+                });
+            }
+        }
+        for &days in &self.update_days {
+            if days <= 0.0 || days.is_nan() {
+                return Err(CoreError::InvalidParameter {
+                    name: "update_days",
+                    value: days,
+                    expected: "a positive update period",
+                });
+            }
+        }
+        let mut scenarios = Vec::new();
+        for &bytes in &self.cache_bytes {
+            for &line in &self.line_bytes {
+                for &banks in &self.banks {
+                    // Validate the geometry once per (size, line, banks).
+                    CacheGeometry::direct_mapped(bytes, line, banks)?;
+                    for &days in &self.update_days {
+                        for policy in &self.policies {
+                            for (wi, w) in self.workloads.iter().enumerate() {
+                                let id = scenarios.len();
+                                scenarios.push(Scenario {
+                                    id,
+                                    cache_bytes: bytes,
+                                    line_bytes: line,
+                                    banks,
+                                    update_days: days,
+                                    policy: policy.clone(),
+                                    workload: w.name().to_string(),
+                                    workload_index: wi,
+                                    trace_cycles: self.trace_cycles,
+                                    trace_seed: self.base_seed + wi as u64,
+                                    policy_seed: self.policy_seed.unwrap_or_else(|| {
+                                        derive_policy_seed(self.base_seed, id as u64, policy)
+                                    }),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ScenarioGrid {
+            name: self.name.clone(),
+            scenarios,
+            workloads: self.workloads.clone(),
+            registry: self.registry.clone(),
+            threads: self.threads,
+        })
+    }
+
+    /// Expands and runs the grid — the one-call path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expansion and execution errors.
+    pub fn run(&self, ctx: &ExperimentContext) -> Result<StudyReport, CoreError> {
+        self.expand()?.run(ctx)
+    }
+}
+
+/// One fully resolved point of the evaluation grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Position in the expanded grid (also the record order).
+    pub id: usize,
+    /// Cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Number of uniform banks `M`.
+    pub banks: u32,
+    /// Days between re-indexing updates.
+    pub update_days: f64,
+    /// Registry name of the indexing policy.
+    pub policy: String,
+    /// Workload name.
+    pub workload: String,
+    /// Index of the workload on the spec's workload axis.
+    pub workload_index: usize,
+    /// Simulated trace length in cycles.
+    pub trace_cycles: u64,
+    /// Derived trace seed (`base_seed + workload_index`).
+    pub trace_seed: u64,
+    /// Derived (or pinned) policy seed.
+    pub policy_seed: u64,
+}
+
+impl Scenario {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Num(self.id as f64)),
+            ("cache_bytes", Json::Num(self.cache_bytes as f64)),
+            ("line_bytes", Json::Num(self.line_bytes as f64)),
+            ("banks", Json::Num(self.banks as f64)),
+            ("update_days", Json::Num(self.update_days)),
+            ("policy", Json::Str(self.policy.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("workload_index", Json::Num(self.workload_index as f64)),
+            ("trace_cycles", Json::Num(self.trace_cycles as f64)),
+            // Seeds are full-range u64s; a JSON number (f64) only holds
+            // 53 bits exactly, so emit them as decimal strings.
+            ("trace_seed", Json::Str(self.trace_seed.to_string())),
+            ("policy_seed", Json::Str(self.policy_seed.to_string())),
+        ])
+    }
+
+    fn u64_field(v: &Json, key: &str) -> Result<u64, CoreError> {
+        let field = v.field(key)?;
+        match field.as_str(key) {
+            Ok(s) => s.parse::<u64>().map_err(|_| CoreError::Report {
+                message: format!("field `{key}` is not a u64: `{s}`"),
+            }),
+            Err(_) => Ok(field.as_num(key)? as u64),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, CoreError> {
+        Ok(Self {
+            id: v.field("id")?.as_num("id")? as usize,
+            cache_bytes: v.field("cache_bytes")?.as_num("cache_bytes")? as u64,
+            line_bytes: v.field("line_bytes")?.as_num("line_bytes")? as u32,
+            banks: v.field("banks")?.as_num("banks")? as u32,
+            update_days: v.field("update_days")?.as_num("update_days")?,
+            policy: v.field("policy")?.as_str("policy")?.to_string(),
+            workload: v.field("workload")?.as_str("workload")?.to_string(),
+            workload_index: v.field("workload_index")?.as_num("workload_index")? as usize,
+            trace_cycles: v.field("trace_cycles")?.as_num("trace_cycles")? as u64,
+            trace_seed: Self::u64_field(v, "trace_seed")?,
+            policy_seed: Self::u64_field(v, "policy_seed")?,
+        })
+    }
+}
+
+/// An expanded grid, ready to run.
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    name: String,
+    scenarios: Vec<Scenario>,
+    workloads: Vec<WorkloadProfile>,
+    registry: PolicyRegistry,
+    threads: Option<usize>,
+}
+
+impl ScenarioGrid {
+    /// The scenarios, in id order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the grid is empty (it never is after `expand`).
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Runs every scenario and collects the report.
+    ///
+    /// Scenarios execute across worker threads (capped by
+    /// [`StudySpec::threads`], defaulting to available parallelism);
+    /// records land in scenario-id order, so the report — including its
+    /// JSON emission — is byte-identical to a sequential run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario error by grid order, or
+    /// [`CoreError::WorkerPanicked`] if a worker died.
+    pub fn run(&self, ctx: &ExperimentContext) -> Result<StudyReport, CoreError> {
+        let n = self.scenarios.len();
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let workers = self.threads.unwrap_or(hw).clamp(1, n.max(1));
+        let mut slots: Vec<Option<Result<ScenarioRecord, CoreError>>> = Vec::new();
+        slots.resize_with(n, || None);
+        // Simulation results are independent of the policy and
+        // update-period axes, so scenarios differing only there share
+        // one trace run (and one LT0 solve) through this memo.
+        let memo: SimMemo = Mutex::new(MemoInner::default());
+
+        if workers <= 1 {
+            for (i, scenario) in self.scenarios.iter().enumerate() {
+                slots[i] = Some(self.run_one(scenario, ctx, &memo));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let results = Mutex::new(&mut slots);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // Catch panics so one bad scenario surfaces as
+                        // WorkerPanicked instead of tearing down the
+                        // whole process at scope join.
+                        let record = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.run_one(&self.scenarios[i], ctx, &memo)
+                        }))
+                        .unwrap_or(Err(CoreError::WorkerPanicked));
+                        results.lock().expect("results poisoned")[i] = Some(record);
+                    });
+                }
+            });
+        }
+
+        let mut records = Vec::with_capacity(n);
+        for slot in slots {
+            match slot {
+                Some(Ok(record)) => records.push(record),
+                Some(Err(e)) => return Err(e),
+                None => return Err(CoreError::WorkerPanicked),
+            }
+        }
+        Ok(StudyReport {
+            name: self.name.clone(),
+            records,
+        })
+    }
+
+    /// Simulates a scenario's trace, or reuses a memoized run: the
+    /// simulation executes under the identity mapping with no mid-trace
+    /// updates, so its outcome depends only on the geometry, workload
+    /// and trace parameters — not on the policy or update-period axes.
+    fn simulate(
+        &self,
+        scenario: &Scenario,
+        memo: &SimMemo,
+    ) -> Result<Arc<SimMeasurement>, CoreError> {
+        let key = (
+            scenario.cache_bytes,
+            scenario.line_bytes,
+            scenario.banks,
+            scenario.workload_index,
+            scenario.trace_seed,
+            scenario.trace_cycles,
+        );
+        if let Some(hit) = memo.lock().expect("memo poisoned").sims.get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let profile = &self.workloads[scenario.workload_index];
+        let geom = CacheGeometry::direct_mapped(
+            scenario.cache_bytes,
+            scenario.line_bytes,
+            scenario.banks,
+        )?;
+        let arch = PartitionedCache::new(geom, PolicyKind::Identity)?;
+        let out = arch.simulate(
+            profile
+                .trace(scenario.trace_seed)
+                .take(scenario.trace_cycles as usize),
+            UpdateSchedule::Never,
+        )?;
+        debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
+        let measured = Arc::new(SimMeasurement {
+            esav: out.energy_saving(),
+            miss_rate: out.miss_rate(),
+            useful_idleness: out.useful_idleness_all(),
+            sleep_fractions: out.sleep_fraction_all(),
+        });
+        // A racing worker may have inserted meanwhile; identical inputs
+        // give identical outputs, so either value is fine to keep.
+        memo.lock()
+            .expect("memo poisoned")
+            .sims
+            .insert(key, Arc::clone(&measured));
+        Ok(measured)
+    }
+
+    /// Executes one scenario: simulate under the identity mapping (the
+    /// rotation is applied analytically over the device lifetime), then
+    /// evaluate the identity baseline (`LT0`) and the scenario policy's
+    /// lifetime (`LT`) from the measured sleep fractions.
+    fn run_one(
+        &self,
+        scenario: &Scenario,
+        ctx: &ExperimentContext,
+        memo: &SimMemo,
+    ) -> Result<ScenarioRecord, CoreError> {
+        let measured = self.simulate(scenario, memo)?;
+        let sleep = &measured.sleep_fractions;
+
+        // Reuse ctx.aging only when its *actual* interval already
+        // matches this scenario's axis value (ctx.aging is a public
+        // field and may carry any interval).
+        let matches_ctx = (scenario.update_days - ctx.aging.update_interval_days()).abs() < 1e-12;
+        let aging_storage: Option<AgingAnalysis> = if matches_ctx {
+            None
+        } else {
+            Some(
+                ctx.aging
+                    .clone()
+                    .with_update_interval_days(scenario.update_days),
+            )
+        };
+        let aging = aging_storage.as_ref().unwrap_or(&ctx.aging);
+
+        let p0 = self.workloads[scenario.workload_index].p0();
+        // The LT0 baseline is the literal identity mapping, independent
+        // of whatever the study's registry contains under any name. It
+        // depends only on the shared simulation and the update interval,
+        // so scenarios differing only in policy share one solve.
+        let lt0_key = (
+            scenario.cache_bytes,
+            scenario.line_bytes,
+            scenario.banks,
+            scenario.workload_index,
+            scenario.trace_seed,
+            scenario.trace_cycles,
+            scenario.update_days.to_bits(),
+        );
+        let cached_lt0 = memo
+            .lock()
+            .expect("memo poisoned")
+            .lt0
+            .get(&lt0_key)
+            .copied();
+        let lt0 = match cached_lt0 {
+            Some(v) => v,
+            None => {
+                let mut identity = cache_sim::IdentityMapping;
+                let v = aging.cache_lifetime_with(sleep, p0, &mut identity)?;
+                memo.lock().expect("memo poisoned").lt0.insert(lt0_key, v);
+                v
+            }
+        };
+        let mut mapping =
+            self.registry
+                .build(&scenario.policy, scenario.banks, scenario.policy_seed)?;
+        let lt = aging.cache_lifetime_with(sleep, p0, mapping.as_mut())?;
+
+        Ok(ScenarioRecord {
+            scenario: scenario.clone(),
+            esav: measured.esav,
+            miss_rate: measured.miss_rate,
+            useful_idleness: measured.useful_idleness.clone(),
+            sleep_fractions: measured.sleep_fractions.clone(),
+            lt0_years: lt0,
+            lt_years: lt,
+        })
+    }
+}
+
+/// Measured results for one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRecord {
+    /// The grid point this record measures.
+    pub scenario: Scenario,
+    /// Energy saving vs the monolithic always-on cache.
+    pub esav: f64,
+    /// Cache miss rate on the trace.
+    pub miss_rate: f64,
+    /// Per-bank useful idleness (Table I's metric).
+    pub useful_idleness: Vec<f64>,
+    /// Per-bank sleep fractions (what the aging model consumes).
+    pub sleep_fractions: Vec<f64>,
+    /// Lifetime under the identity policy (no re-indexing), years.
+    pub lt0_years: f64,
+    /// Lifetime under the scenario's policy, years.
+    pub lt_years: f64,
+}
+
+impl ScenarioRecord {
+    /// Average useful idleness over the banks.
+    pub fn avg_useful_idleness(&self) -> f64 {
+        self.useful_idleness.iter().sum::<f64>() / self.useful_idleness.len() as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scenario", self.scenario.to_json()),
+            ("esav", Json::Num(self.esav)),
+            ("miss_rate", Json::Num(self.miss_rate)),
+            ("useful_idleness", Json::nums(&self.useful_idleness)),
+            ("sleep_fractions", Json::nums(&self.sleep_fractions)),
+            ("lt0_years", Json::Num(self.lt0_years)),
+            ("lt_years", Json::Num(self.lt_years)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, CoreError> {
+        let nums = |key: &str| -> Result<Vec<f64>, CoreError> {
+            v.field(key)?
+                .as_arr(key)?
+                .iter()
+                .map(|item| item.as_num(key).map_err(CoreError::from))
+                .collect()
+        };
+        Ok(Self {
+            scenario: Scenario::from_json(v.field("scenario")?)?,
+            esav: v.field("esav")?.as_num("esav")?,
+            miss_rate: v.field("miss_rate")?.as_num("miss_rate")?,
+            useful_idleness: nums("useful_idleness")?,
+            sleep_fractions: nums("sleep_fractions")?,
+            lt0_years: v.field("lt0_years")?.as_num("lt0_years")?,
+            lt_years: v.field("lt_years")?.as_num("lt_years")?,
+        })
+    }
+}
+
+/// A completed study: scenario records in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyReport {
+    name: String,
+    records: Vec<ScenarioRecord>,
+}
+
+impl StudyReport {
+    /// Assembles a report from records (for views over filtered data).
+    pub fn from_records(name: impl Into<String>, records: Vec<ScenarioRecord>) -> Self {
+        Self {
+            name: name.into(),
+            records,
+        }
+    }
+
+    /// The study name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All records, in scenario-id order.
+    pub fn records(&self) -> &[ScenarioRecord] {
+        &self.records
+    }
+
+    /// Records matching a predicate, preserving order.
+    pub fn select<'a>(
+        &'a self,
+        mut pred: impl FnMut(&ScenarioRecord) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a ScenarioRecord> {
+        self.records.iter().filter(move |r| pred(r))
+    }
+
+    /// Mean of a metric over records matching a predicate; `None` if
+    /// nothing matches.
+    pub fn mean_over(
+        &self,
+        pred: impl FnMut(&ScenarioRecord) -> bool,
+        metric: impl Fn(&ScenarioRecord) -> f64,
+    ) -> Option<f64> {
+        let mut pred = pred;
+        let (mut sum, mut n) = (0.0f64, 0usize);
+        for r in self.records.iter().filter(|r| pred(r)) {
+            sum += metric(r);
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Serializes to deterministic compact JSON.
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            (
+                "records",
+                Json::Arr(self.records.iter().map(ScenarioRecord::to_json).collect()),
+            ),
+        ])
+        .emit()
+    }
+
+    /// Parses a report back from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Report`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, CoreError> {
+        let v = Json::parse(text)?;
+        let records = v
+            .field("records")?
+            .as_arr("records")?
+            .iter()
+            .map(ScenarioRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            name: v.field("name")?.as_str("name")?.to_string(),
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> StudySpec {
+        StudySpec::new("tiny")
+            .workload_names(["sha", "CRC32"])
+            .unwrap()
+            .trace_cycles(40_000)
+    }
+
+    #[test]
+    fn expansion_order_and_seeds() {
+        let grid = tiny_spec()
+            .cache_kb([8, 16])
+            .policies(["probing", "gray"])
+            .expand()
+            .unwrap();
+        assert_eq!(grid.len(), 2 * 2 * 2);
+        let s = grid.scenarios();
+        // Workload is the innermost axis.
+        assert_eq!(s[0].workload, "sha");
+        assert_eq!(s[1].workload, "CRC32");
+        assert_eq!(s[0].policy, "probing");
+        assert_eq!(s[2].policy, "gray");
+        assert_eq!(s[0].cache_bytes, 8 * 1024);
+        assert_eq!(s[4].cache_bytes, 16 * 1024);
+        // Historic trace-seed rule.
+        assert_eq!(s[0].trace_seed, DEFAULT_BASE_SEED);
+        assert_eq!(s[1].trace_seed, DEFAULT_BASE_SEED + 1);
+        // Ids number the grid order.
+        for (i, sc) in s.iter().enumerate() {
+            assert_eq!(sc.id, i);
+        }
+    }
+
+    #[test]
+    fn empty_axis_is_rejected() {
+        let e = tiny_spec().policies(Vec::<String>::new()).expand();
+        assert!(matches!(e, Err(CoreError::Report { .. })));
+    }
+
+    #[test]
+    fn unknown_policy_is_rejected_at_expansion() {
+        let e = tiny_spec().policies(["warp-drive"]).expand();
+        assert!(matches!(e, Err(CoreError::UnknownPolicy { .. })));
+    }
+
+    #[test]
+    fn unknown_workload_is_rejected() {
+        assert!(StudySpec::new("x").workload_names(["not-a-bench"]).is_err());
+    }
+
+    #[test]
+    fn bad_update_period_is_rejected() {
+        let e = tiny_spec().update_days([0.0]).expand();
+        assert!(matches!(e, Err(CoreError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn pinned_policy_seed_applies_everywhere() {
+        let grid = tiny_spec().policy_seed(7).expand().unwrap();
+        assert!(grid.scenarios().iter().all(|s| s.policy_seed == 7));
+        let derived = tiny_spec().expand().unwrap();
+        assert_ne!(
+            derived.scenarios()[0].policy_seed,
+            derived.scenarios()[1].policy_seed
+        );
+    }
+
+    #[test]
+    fn report_json_roundtrip_without_running() {
+        let scenario = Scenario {
+            id: 0,
+            cache_bytes: 16 * 1024,
+            line_bytes: 16,
+            banks: 4,
+            update_days: 1.0,
+            policy: "probing".into(),
+            workload: "sha".into(),
+            workload_index: 0,
+            trace_cycles: 1000,
+            trace_seed: 1000,
+            policy_seed: 1,
+        };
+        let report = StudyReport::from_records(
+            "roundtrip",
+            vec![ScenarioRecord {
+                scenario,
+                esav: 0.443,
+                miss_rate: 0.01,
+                useful_idleness: vec![0.1, 0.9, 0.95, 0.05],
+                sleep_fractions: vec![0.08, 0.88, 0.93, 0.04],
+                lt0_years: 2.97,
+                lt_years: 4.31,
+            }],
+        );
+        let text = report.to_json();
+        let back = StudyReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text);
+    }
+}

@@ -1,0 +1,517 @@
+//! Pure table views over [`StudyReport`]s.
+//!
+//! The old `tableN` runners measured *and* rendered. After the Study
+//! API redesign, measurement lives in [`crate::study`] and these
+//! functions are pure: `StudyReport` in, [`Table`] out, with the paper's
+//! published values ([`crate::paper`]) laid alongside. They accept any
+//! report with the right shape — presets produce that shape, but so can
+//! custom specs.
+
+use crate::error::CoreError;
+use crate::experiment::{claims_from, BenchResult};
+use crate::paper;
+use crate::report::{factor, pct, years, Table};
+use crate::study::{ScenarioRecord, StudyReport};
+use trace_synth::suite;
+
+fn mean<'a>(values: impl Iterator<Item = &'a f64>) -> f64 {
+    let v: Vec<f64> = values.copied().collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn shape_err<T>(view: &str, detail: String) -> Result<T, CoreError> {
+    Err(CoreError::Report {
+        message: format!("{view} view: {detail}"),
+    })
+}
+
+/// Distinct values of a scenario key, in order of first appearance.
+fn distinct<'a, K: PartialEq + Copy>(
+    report: &'a StudyReport,
+    key: impl Fn(&'a ScenarioRecord) -> K,
+) -> Vec<K> {
+    let mut out: Vec<K> = Vec::new();
+    for r in report.records() {
+        let k = key(r);
+        if !out.contains(&k) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+/// Records for one value of a key, preserving order.
+fn group<'a, K: PartialEq + Copy>(
+    report: &'a StudyReport,
+    key: impl Fn(&'a ScenarioRecord) -> K + 'a,
+    value: K,
+) -> Vec<&'a ScenarioRecord> {
+    report
+        .records()
+        .iter()
+        .filter(|r| key(r) == value)
+        .collect()
+}
+
+/// **Table I** — distribution of useful idleness, measured next to the
+/// paper's published row. Expects one record per suite benchmark at a
+/// single 4-bank configuration.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] if the report shape does not match.
+pub fn table1(report: &StudyReport) -> Result<Table, CoreError> {
+    let records = report.records();
+    let reference = suite::table1_reference();
+    if records.len() != reference.len() {
+        return shape_err(
+            "table1",
+            format!(
+                "expected {} records, got {}",
+                reference.len(),
+                records.len()
+            ),
+        );
+    }
+    let mut t = Table::new(
+        "Table I - distribution of idleness in a 4-bank cache (measured | paper)",
+        vec![
+            "bench".into(),
+            "I0".into(),
+            "I1".into(),
+            "I2".into(),
+            "I3".into(),
+            "Average".into(),
+            "paper avg".into(),
+        ],
+    );
+    for r in records {
+        if r.useful_idleness.len() != 4 {
+            return shape_err(
+                "table1",
+                format!(
+                    "{} has {} banks, need 4",
+                    r.scenario.workload,
+                    r.useful_idleness.len()
+                ),
+            );
+        }
+        // Pair by name, not position: custom specs may order the
+        // workload axis differently from the suite.
+        let Some((_, paper_row)) = reference
+            .iter()
+            .find(|(name, _)| *name == r.scenario.workload)
+        else {
+            return shape_err(
+                "table1",
+                format!(
+                    "workload `{}` has no Table I reference row",
+                    r.scenario.workload
+                ),
+            );
+        };
+        let paper_avg = paper_row.iter().sum::<f64>() / 4.0;
+        t.push_row(vec![
+            r.scenario.workload.clone(),
+            pct(r.useful_idleness[0]),
+            pct(r.useful_idleness[1]),
+            pct(r.useful_idleness[2]),
+            pct(r.useful_idleness[3]),
+            pct(r.avg_useful_idleness()),
+            pct(paper_avg),
+        ]);
+    }
+    let overall_esav = mean(records.iter().map(|r| &r.esav));
+    let avg_idle =
+        records.iter().map(|r| r.avg_useful_idleness()).sum::<f64>() / records.len() as f64;
+    t.push_note(format!(
+        "suite average idleness {} % (paper: 41.71 %); Esav at this configuration {} %",
+        pct(avg_idle),
+        pct(overall_esav)
+    ));
+    Ok(t)
+}
+
+/// **Table II** — energy savings and lifetime vs cache size. Expects the
+/// suite at each of the paper's three sizes (8/16/32 kB).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] if the report shape does not match.
+pub fn table2(report: &StudyReport) -> Result<Table, CoreError> {
+    let sizes = distinct(report, |r| r.scenario.cache_bytes);
+    if sizes.len() != 3 {
+        return shape_err(
+            "table2",
+            format!("expected 3 cache sizes, got {}", sizes.len()),
+        );
+    }
+    let data: Vec<(u64, Vec<&ScenarioRecord>)> = sizes
+        .iter()
+        .map(|&s| (s / 1024, group(report, |r| r.scenario.cache_bytes, s)))
+        .collect();
+    let benches = data[0].1.len();
+    if data.iter().any(|(_, records)| records.len() != benches) {
+        return shape_err(
+            "table2",
+            format!(
+                "unbalanced size groups: {:?}",
+                data.iter()
+                    .map(|(kb, r)| (*kb, r.len()))
+                    .collect::<Vec<_>>()
+            ),
+        );
+    }
+    let mut headers = vec!["bench".into()];
+    for (kb, _) in &data {
+        headers.push(format!("{kb}k Esav%"));
+        headers.push(format!("{kb}k LT0"));
+        headers.push(format!("{kb}k LT"));
+    }
+    let mut t = Table::new(
+        "Table II - energy savings and lifetime vs cache size (measured)",
+        headers,
+    );
+    for i in 0..benches {
+        let mut row = vec![data[0].1[i].scenario.workload.clone()];
+        for (_, records) in &data {
+            let r = records[i];
+            row.push(pct(r.esav));
+            row.push(years(r.lt0_years));
+            row.push(years(r.lt_years));
+        }
+        t.push_row(row);
+    }
+    let mut avg_row = vec!["Average".to_string()];
+    let mut paper_row = vec!["(paper avg)".to_string()];
+    for (s, (_, records)) in data.iter().enumerate() {
+        avg_row.push(pct(mean(records.iter().map(|r| &r.esav))));
+        avg_row.push(years(mean(records.iter().map(|r| &r.lt0_years))));
+        avg_row.push(years(mean(records.iter().map(|r| &r.lt_years))));
+        paper_row.push(pct(paper::TABLE2_AVG.0[s]));
+        paper_row.push(years(paper::TABLE2_AVG.1[s]));
+        paper_row.push(years(paper::TABLE2_AVG.2[s]));
+    }
+    t.push_row(avg_row);
+    t.push_row(paper_row);
+    t.push_note("paper averages: Esav 32.2/44.3/55.5 %, LT0 3.22/3.19/3.20 y, LT 4.34/4.31/4.62 y");
+    Ok(t)
+}
+
+/// **Table III** — energy savings and lifetime vs line size. Expects the
+/// suite at two line sizes.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] if the report shape does not match.
+pub fn table3(report: &StudyReport) -> Result<Table, CoreError> {
+    let lines = distinct(report, |r| r.scenario.line_bytes);
+    if lines.len() != 2 {
+        return shape_err(
+            "table3",
+            format!("expected 2 line sizes, got {}", lines.len()),
+        );
+    }
+    let ls16 = group(report, |r| r.scenario.line_bytes, lines[0]);
+    let ls32 = group(report, |r| r.scenario.line_bytes, lines[1]);
+    if ls16.len() != ls32.len() {
+        return shape_err(
+            "table3",
+            format!(
+                "unbalanced line-size groups: {} vs {}",
+                ls16.len(),
+                ls32.len()
+            ),
+        );
+    }
+    let mut t = Table::new(
+        "Table III - energy savings and lifetime vs line size (measured)",
+        vec![
+            "bench".into(),
+            "LS16 Esav%".into(),
+            "LS16 LT".into(),
+            "LS32 Esav%".into(),
+            "LS32 LT".into(),
+        ],
+    );
+    for i in 0..ls16.len() {
+        t.push_row(vec![
+            ls16[i].scenario.workload.clone(),
+            pct(ls16[i].esav),
+            years(ls16[i].lt_years),
+            pct(ls32[i].esav),
+            years(ls32[i].lt_years),
+        ]);
+    }
+    t.push_row(vec![
+        "Average".into(),
+        pct(mean(ls16.iter().map(|r| &r.esav))),
+        years(mean(ls16.iter().map(|r| &r.lt_years))),
+        pct(mean(ls32.iter().map(|r| &r.esav))),
+        years(mean(ls32.iter().map(|r| &r.lt_years))),
+    ]);
+    t.push_note(format!(
+        "paper averages: Esav {} / {} %, LT {} / {} y",
+        pct(paper::TABLE3_AVG[0]),
+        pct(paper::TABLE3_AVG[2]),
+        years(paper::TABLE3_AVG[1]),
+        years(paper::TABLE3_AVG[3]),
+    ));
+    Ok(t)
+}
+
+/// **Table IV** — average idleness and lifetime over the (size × banks)
+/// grid, measured next to the paper's rows.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] if the report shape does not match.
+pub fn table4(report: &StudyReport) -> Result<Table, CoreError> {
+    let sizes = distinct(report, |r| r.scenario.cache_bytes);
+    let bank_counts = {
+        let mut b = distinct(report, |r| r.scenario.banks);
+        b.sort_unstable();
+        b
+    };
+    if sizes.len() != 3 || bank_counts.len() != 3 {
+        return shape_err(
+            "table4",
+            format!(
+                "expected a 3x3 (size x banks) grid, got {}x{}",
+                sizes.len(),
+                bank_counts.len()
+            ),
+        );
+    }
+    let mut t = Table::new(
+        "Table IV - average idleness and lifetime vs cache size and banks (measured | paper)",
+        vec![
+            "size".into(),
+            "M=2 idl%".into(),
+            "M=2 LT".into(),
+            "M=4 idl%".into(),
+            "M=4 LT".into(),
+            "M=8 idl%".into(),
+            "M=8 LT".into(),
+        ],
+    );
+    for (row_idx, &bytes) in sizes.iter().enumerate() {
+        let mut row = vec![format!("{}kB", bytes / 1024)];
+        for &banks in &bank_counts {
+            let cell: Vec<&ScenarioRecord> = report
+                .records()
+                .iter()
+                .filter(|r| r.scenario.cache_bytes == bytes && r.scenario.banks == banks)
+                .collect();
+            let idle =
+                cell.iter().map(|r| r.avg_useful_idleness()).sum::<f64>() / cell.len() as f64;
+            let lt = mean(cell.iter().map(|r| &r.lt_years));
+            row.push(pct(idle));
+            row.push(years(lt));
+        }
+        t.push_row(row);
+        let p = paper::TABLE4[row_idx];
+        t.push_row(vec![
+            format!("(paper {}kB)", p.size_kb),
+            pct(p.per_banks[0].0),
+            years(p.per_banks[0].1),
+            pct(p.per_banks[1].0),
+            years(p.per_banks[1].1),
+            pct(p.per_banks[2].0),
+            years(p.per_banks[2].1),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Regroups a Table II-shaped report into the historic
+/// `(size_kb, Vec<BenchResult>)` dataset consumed by
+/// [`claims_from`] and the test suite.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] if the report has no records.
+pub fn table2_dataset(report: &StudyReport) -> Result<Vec<(u64, Vec<BenchResult>)>, CoreError> {
+    if report.records().is_empty() {
+        return shape_err("table2_dataset", "report is empty".into());
+    }
+    Ok(distinct(report, |r| r.scenario.cache_bytes)
+        .into_iter()
+        .map(|bytes| {
+            (
+                bytes / 1024,
+                group(report, |r| r.scenario.cache_bytes, bytes)
+                    .into_iter()
+                    .map(BenchResult::from)
+                    .collect(),
+            )
+        })
+        .collect())
+}
+
+/// §IV-B1 headline-claims comparison, from a Table II-shaped report.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] if the report shape does not match.
+pub fn claims(report: &StudyReport) -> Result<Table, CoreError> {
+    let data = table2_dataset(report)?;
+    if data.len() != 3 {
+        return shape_err(
+            "claims",
+            format!("expected 3 cache sizes, got {}", data.len()),
+        );
+    }
+    let s = claims_from(&data);
+    let mut t = Table::new(
+        "Headline claims (measured vs paper)",
+        vec!["claim".into(), "measured".into(), "paper".into()],
+    );
+    t.push_row(vec![
+        "LT0 gain from power mgmt alone (8kB)".into(),
+        format!("{} %", pct(s.lt0_gain_8k)),
+        format!("{} %", pct(paper::claims::LT0_IMPROVEMENT)),
+    ]);
+    t.push_row(vec![
+        "further gain from re-indexing (8kB)".into(),
+        format!("{} %", pct(s.reindex_further_gain_8k)),
+        format!("{} %", pct(paper::claims::REINDEX_FURTHER_IMPROVEMENT)),
+    ]);
+    for (i, (kb, _)) in data.iter().enumerate() {
+        t.push_row(vec![
+            format!("lifetime extension at {kb} kB"),
+            format!("{} %", pct(s.extension_per_size[i])),
+            format!("{} %", pct(paper::claims::EXTENSION_PER_SIZE[i])),
+        ]);
+    }
+    t.push_row(vec![
+        format!("best case ({})", s.best_case.0),
+        factor(s.best_case.1),
+        format!("{} (sha)", factor(paper::claims::BEST_CASE_FACTOR)),
+    ]);
+    t.push_row(vec![
+        format!("worst case ({})", s.worst_case.0),
+        factor(s.worst_case.1),
+        format!(">= {}", factor(1.0 + paper::claims::WORST_CASE_GAIN)),
+    ]);
+    Ok(t)
+}
+
+/// §IV-B2 — per-benchmark lifetimes under two policies, side by side.
+/// Expects a report over exactly two policies (by default Probing and
+/// Scrambling) at one geometry.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] if the report shape does not match.
+pub fn policy_equivalence(report: &StudyReport) -> Result<Table, CoreError> {
+    let policies = distinct(report, |r| r.scenario.policy.as_str());
+    if policies.len() != 2 {
+        return shape_err(
+            "policy_equivalence",
+            format!("expected 2 policies, got {:?}", policies),
+        );
+    }
+    let a = group(report, |r| r.scenario.policy.as_str(), policies[0]);
+    let b = group(report, |r| r.scenario.policy.as_str(), policies[1]);
+    if a.len() != b.len() {
+        return shape_err(
+            "policy_equivalence",
+            format!("unbalanced policy groups: {} vs {}", a.len(), b.len()),
+        );
+    }
+    let mut t = Table::new(
+        format!(
+            "{} vs {} lifetimes",
+            capitalize(policies[0]),
+            capitalize(policies[1])
+        ),
+        vec![
+            "bench".into(),
+            format!("LT {}", policies[0]),
+            format!("LT {}", policies[1]),
+            "delta %".into(),
+        ],
+    );
+    for (ra, rb) in a.iter().zip(&b) {
+        t.push_row(vec![
+            ra.scenario.workload.clone(),
+            years(ra.lt_years),
+            years(rb.lt_years),
+            format!("{:+.2}", 100.0 * (rb.lt_years - ra.lt_years) / ra.lt_years),
+        ]);
+    }
+    Ok(t)
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::Scenario;
+
+    fn record(workload: &str, wi: usize, kb: u64, banks: u32, policy: &str) -> ScenarioRecord {
+        ScenarioRecord {
+            scenario: Scenario {
+                id: 0,
+                cache_bytes: kb * 1024,
+                line_bytes: 16,
+                banks,
+                update_days: 1.0,
+                policy: policy.into(),
+                workload: workload.into(),
+                workload_index: wi,
+                trace_cycles: 1000,
+                trace_seed: 1000 + wi as u64,
+                policy_seed: 1,
+            },
+            esav: 0.4,
+            miss_rate: 0.05,
+            useful_idleness: vec![0.4; banks as usize],
+            sleep_fractions: vec![0.35; banks as usize],
+            lt0_years: 3.0,
+            lt_years: 4.2,
+        }
+    }
+
+    #[test]
+    fn table1_rejects_wrong_shapes() {
+        let report = StudyReport::from_records("bad", vec![record("sha", 12, 16, 4, "probing")]);
+        assert!(table1(&report).is_err());
+    }
+
+    #[test]
+    fn policy_equivalence_renders_two_groups() {
+        let report = StudyReport::from_records(
+            "eq",
+            vec![
+                record("sha", 12, 16, 4, "probing"),
+                record("sha", 12, 16, 4, "scrambling"),
+            ],
+        );
+        let t = policy_equivalence(&report).unwrap();
+        assert_eq!(t.rows().len(), 1);
+        assert!(t.to_string().contains("Probing vs Scrambling"));
+    }
+
+    #[test]
+    fn table2_dataset_groups_by_size() {
+        let mut records = Vec::new();
+        for kb in [8u64, 16, 32] {
+            for (wi, w) in ["a", "b"].iter().enumerate() {
+                records.push(record(w, wi, kb, 4, "probing"));
+            }
+        }
+        let data = table2_dataset(&StudyReport::from_records("t2", records)).unwrap();
+        assert_eq!(data.len(), 3);
+        assert_eq!(data[0].0, 8);
+        assert_eq!(data[2].1.len(), 2);
+    }
+}

@@ -1,12 +1,12 @@
-//! Property-based tests for the architectural layer.
+//! Property-based tests for the architectural layer (quickprop-driven).
 
 use aging_cache::aging::AgingAnalysis;
 use aging_cache::decoder::Decoder;
 use aging_cache::policy::{PolicyKind, Probing, Scrambling};
+use aging_cache::registry::PolicyRegistry;
 use cache_sim::mapping::is_bijective;
 use cache_sim::{BankMapping, CacheGeometry};
 use nbti_model::{CellDesign, LifetimeSolver};
-use proptest::prelude::*;
 use std::sync::OnceLock;
 
 const CASES: u32 = if cfg!(debug_assertions) { 8 } else { 48 };
@@ -20,30 +20,32 @@ fn aging() -> &'static AgingAnalysis {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(CASES))]
-
-    /// Probing and Scrambling stay bijections through arbitrary update
-    /// sequences on any power-of-two bank count.
-    #[test]
-    fn policies_stay_bijective(bank_log in 1u32..5, updates in 0usize..64) {
-        let banks = 1u32 << bank_log;
+/// Probing and Scrambling stay bijections through arbitrary update
+/// sequences on any power-of-two bank count.
+#[test]
+fn policies_stay_bijective() {
+    quickprop::cases(CASES, |g| {
+        let banks = 1u32 << g.u32_in(1..5);
+        let updates = g.usize_in(0..64);
         let mut p = Probing::new(banks).unwrap();
         let mut s = Scrambling::new(banks, 0xace1).unwrap();
         for _ in 0..updates {
             p.update();
             s.update();
         }
-        prop_assert!(is_bijective(&p, banks));
-        prop_assert!(is_bijective(&s, banks));
-    }
+        assert!(is_bijective(&p, banks));
+        assert!(is_bijective(&s, banks));
+    });
+}
 
-    /// Probing is perfectly fair: over any window of M consecutive update
-    /// periods each logical bank occupies each physical bank exactly once
-    /// (the ref. \[7\] optimality the paper builds on).
-    #[test]
-    fn probing_window_fairness(bank_log in 1u32..5, phase in 0usize..16) {
-        let banks = 1u32 << bank_log;
+/// Probing is perfectly fair: over any window of M consecutive update
+/// periods each logical bank occupies each physical bank exactly once
+/// (the ref. \[7\] optimality the paper builds on).
+#[test]
+fn probing_window_fairness() {
+    quickprop::cases(CASES, |g| {
+        let banks = 1u32 << g.u32_in(1..5);
+        let phase = g.usize_in(0..16);
         let mut p = Probing::new(banks).unwrap();
         for _ in 0..phase {
             p.update(); // start mid-stream
@@ -56,57 +58,73 @@ proptest! {
             p.update();
         }
         for row in &counts {
-            prop_assert!(row.iter().all(|&c| c == 1), "unfair window: {row:?}");
+            assert!(row.iter().all(|&c| c == 1), "unfair window: {row:?}");
         }
-    }
+    });
+}
 
-    /// The decoder preserves the slot bits and emits a valid one-hot word
-    /// for every address and policy.
-    #[test]
-    fn decoder_structure(addr in 0u64..(1u64 << 28), kind_idx in 0usize..3) {
+/// The decoder preserves the slot bits and emits a valid one-hot word
+/// for every address and policy.
+#[test]
+fn decoder_structure() {
+    quickprop::cases(CASES, |g| {
+        let addr = g.u64_in(0..(1u64 << 28));
+        let kind = *g.pick(&PolicyKind::ALL);
         let geom = CacheGeometry::direct_mapped(16 * 1024, 16, 8).unwrap();
-        let kind = PolicyKind::ALL[kind_idx];
-        let mut dec = Decoder::new(geom, kind.build(8, 3).unwrap()).unwrap();
+        let mapping = PolicyRegistry::global().build(kind.key(), 8, 3).unwrap();
+        let mut dec = Decoder::new(geom, mapping).unwrap();
         let before = dec.route(addr).unwrap();
-        prop_assert_eq!(before.activation.count_ones(), 1);
-        prop_assert_eq!(before.activation.trailing_zeros(), before.physical_bank);
+        assert_eq!(before.activation.count_ones(), 1);
+        assert_eq!(before.activation.trailing_zeros(), before.physical_bank);
         dec.update();
         let after = dec.route(addr).unwrap();
-        prop_assert_eq!(before.slot, after.slot, "slot bits must pass through f()");
-        prop_assert_eq!(before.logical_bank, after.logical_bank);
-    }
+        assert_eq!(before.slot, after.slot, "slot bits must pass through f()");
+        assert_eq!(before.logical_bank, after.logical_bank);
+    });
+}
 
-    /// Cache lifetime under any policy is bracketed by the worst and the
-    /// mean bank lifetime.
-    #[test]
-    fn lifetime_brackets(sleep in proptest::collection::vec(0.0f64..0.98, 4),
-                         kind_idx in 0usize..3) {
+/// Cache lifetime under any policy is bracketed by the worst and the
+/// mean bank lifetime.
+#[test]
+fn lifetime_brackets() {
+    quickprop::cases(CASES, |g| {
+        let sleep = g.vec_f64(0.0..0.98, 4);
+        let kind = *g.pick(&PolicyKind::ALL);
         let a = aging();
-        let kind = PolicyKind::ALL[kind_idx];
         let lt = a.cache_lifetime(&sleep, 0.5, kind).unwrap();
-        let worst = sleep.iter()
+        let worst = sleep
+            .iter()
             .map(|&s| a.bank_lifetime(s, 0.5).unwrap())
             .fold(f64::INFINITY, f64::min);
         // Rates are linear in sleep under voltage scaling, so the mean
         // rate bound gives the rotation optimum.
         let mean_s = sleep.iter().sum::<f64>() / sleep.len() as f64;
         let optimum = a.bank_lifetime(mean_s, 0.5).unwrap();
-        prop_assert!(lt >= worst * 0.995,
-            "{}: lifetime {lt} below the worst bank {worst}", kind.name());
-        prop_assert!(lt <= optimum * 1.01,
-            "{}: lifetime {lt} beats the rotation optimum {optimum}", kind.name());
-    }
+        assert!(
+            lt >= worst * 0.995,
+            "{}: lifetime {lt} below the worst bank {worst}",
+            kind.name()
+        );
+        assert!(
+            lt <= optimum * 1.01,
+            "{}: lifetime {lt} beats the rotation optimum {optimum}",
+            kind.name()
+        );
+    });
+}
 
-    /// Re-indexed lifetime is invariant under permutations of the sleep
-    /// vector (only the multiset of idleness matters once rotation mixes
-    /// it).
-    #[test]
-    fn probing_permutation_invariance(mut sleep in proptest::collection::vec(0.0f64..0.98, 4)) {
+/// Re-indexed lifetime is invariant under permutations of the sleep
+/// vector (only the multiset of idleness matters once rotation mixes
+/// it).
+#[test]
+fn probing_permutation_invariance() {
+    quickprop::cases(CASES, |g| {
+        let mut sleep = g.vec_f64(0.0..0.98, 4);
         let a = aging();
         let lt1 = a.cache_lifetime(&sleep, 0.5, PolicyKind::Probing).unwrap();
         sleep.rotate_left(1);
         sleep.swap(0, 2);
         let lt2 = a.cache_lifetime(&sleep, 0.5, PolicyKind::Probing).unwrap();
-        prop_assert!((lt1 - lt2).abs() / lt1 < 0.01, "{lt1} vs {lt2}");
-    }
+        assert!((lt1 - lt2).abs() / lt1 < 0.01, "{lt1} vs {lt2}");
+    });
 }

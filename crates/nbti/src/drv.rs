@@ -216,6 +216,9 @@ mod tests {
             )
             .unwrap()
             .snm;
-        assert!(hold > read, "hold SNM ({hold}) must exceed read SNM ({read})");
+        assert!(
+            hold > read,
+            "hold SNM ({hold}) must exceed read SNM ({read})"
+        );
     }
 }

@@ -65,7 +65,10 @@ impl fmt::Display for NbtiError {
                 value,
                 expected,
             } => {
-                write!(f, "parameter `{name}` = {value} is invalid (expected {expected})")
+                write!(
+                    f,
+                    "parameter `{name}` = {value} is invalid (expected {expected})"
+                )
             }
             NbtiError::SolverDiverged { context } => {
                 write!(f, "numerical solver failed to converge in {context}")
@@ -77,7 +80,10 @@ impl fmt::Display for NbtiError {
                 )
             }
             NbtiError::LutOutOfRange { axis, value } => {
-                write!(f, "lookup on axis `{axis}` = {value} is outside the tabulated grid")
+                write!(
+                    f,
+                    "lookup on axis `{axis}` = {value} is outside the tabulated grid"
+                )
             }
         }
     }

@@ -85,14 +85,13 @@ impl CellDesign {
     /// `Vdd = 1.1 V`, drowsy `Vdd,low = 0.75 V`, `T = 358 K` (85 °C), cell
     /// ratio (pull-down/access strength) of 2 for read stability.
     pub fn default_45nm() -> Self {
-        let pullup = Mosfet::new(MosfetKind::Pmos, 0.35, 1.5e-4, 1.35)
-            .expect("valid default pull-up");
-        let pulldown = Mosfet::new(MosfetKind::Nmos, 0.32, 3.2e-4, 1.30)
-            .expect("valid default pull-down");
-        let access = Mosfet::new(MosfetKind::Nmos, 0.32, 1.6e-4, 1.30)
-            .expect("valid default access");
-        Self::new(1.1, 0.75, 358.0, pullup, pulldown, access)
-            .expect("valid default design")
+        let pullup =
+            Mosfet::new(MosfetKind::Pmos, 0.35, 1.5e-4, 1.35).expect("valid default pull-up");
+        let pulldown =
+            Mosfet::new(MosfetKind::Nmos, 0.32, 3.2e-4, 1.30).expect("valid default pull-down");
+        let access =
+            Mosfet::new(MosfetKind::Nmos, 0.32, 1.6e-4, 1.30).expect("valid default access");
+        Self::new(1.1, 0.75, 358.0, pullup, pulldown, access).expect("valid default design")
     }
 
     /// Nominal supply voltage (V).
@@ -289,10 +288,7 @@ impl LifetimeSolver {
     /// `profile`, volts.
     pub fn shifts_after(&self, profile: &StressProfile, years: f64) -> (f64, f64) {
         let (ra, rb) = self.device_rates(profile);
-        (
-            self.rd.delta_vth(ra * years),
-            self.rd.delta_vth(rb * years),
-        )
+        (self.rd.delta_vth(ra * years), self.rd.delta_vth(rb * years))
     }
 
     /// Per-device effective stress rates, including the temperature factor.

@@ -329,8 +329,7 @@ mod tests {
                 values.push(1.0 + 2.0 * p + 3.0 * s);
             }
         }
-        let lut =
-            AgingLut::from_grid(p0_axis, s_axis, values, SleepMode::VoltageScaled).unwrap();
+        let lut = AgingLut::from_grid(p0_axis, s_axis, values, SleepMode::VoltageScaled).unwrap();
         for &(p, s) in &[(0.1, 0.9), (0.33, 0.66), (0.75, 0.25)] {
             let got = lut.lifetime_years(p, s).unwrap();
             let want = 1.0 + 2.0 * p + 3.0 * s;

@@ -255,8 +255,14 @@ mod tests {
     fn temperature_acceleration_anchors() {
         let rd = RdModel::default_45nm();
         assert!((rd.temperature_acceleration(358.0) - 1.0).abs() < 1e-12);
-        assert!(rd.temperature_acceleration(398.0) > 1.0, "hotter ages faster");
-        assert!(rd.temperature_acceleration(318.0) < 1.0, "cooler ages slower");
+        assert!(
+            rd.temperature_acceleration(398.0) > 1.0,
+            "hotter ages faster"
+        );
+        assert!(
+            rd.temperature_acceleration(318.0) < 1.0,
+            "cooler ages slower"
+        );
     }
 
     #[test]

@@ -113,8 +113,7 @@ impl StressProfile {
     /// Panics if `p0` is outside `[0, 1]` (use [`StressProfile::new`] for
     /// fallible construction).
     pub fn always_on(p0: f64) -> Self {
-        Self::new(p0, 0.0, SleepMode::VoltageScaled)
-            .expect("always_on requires p0 in [0, 1]")
+        Self::new(p0, 0.0, SleepMode::VoltageScaled).expect("always_on requires p0 in [0, 1]")
     }
 
     /// Probability of storing a logic '0'.
@@ -142,9 +141,7 @@ impl StressProfile {
         let s = self.sleep_fraction;
         match self.mode {
             SleepMode::VoltageScaled => (1.0 - s) + s * rd.voltage_acceleration(vdd_low),
-            SleepMode::PowerGated { recovery_credit } => {
-                ((1.0 - s) - s * recovery_credit).max(0.0)
-            }
+            SleepMode::PowerGated { recovery_credit } => ((1.0 - s) - s * recovery_credit).max(0.0),
         }
     }
 
@@ -174,7 +171,14 @@ mod tests {
         assert!(StressProfile::new(1.1, 0.0, SleepMode::VoltageScaled).is_err());
         assert!(StressProfile::new(0.5, -0.1, SleepMode::VoltageScaled).is_err());
         assert!(StressProfile::new(0.5, 1.5, SleepMode::VoltageScaled).is_err());
-        assert!(StressProfile::new(0.5, 0.5, SleepMode::PowerGated { recovery_credit: 2.0 }).is_err());
+        assert!(StressProfile::new(
+            0.5,
+            0.5,
+            SleepMode::PowerGated {
+                recovery_credit: 2.0
+            }
+        )
+        .is_err());
         assert!(StressProfile::new(f64::NAN, 0.0, SleepMode::VoltageScaled).is_err());
     }
 
@@ -202,8 +206,14 @@ mod tests {
 
     #[test]
     fn recovery_credit_clamps_at_zero() {
-        let p = StressProfile::new(0.5, 0.9, SleepMode::PowerGated { recovery_credit: 1.0 })
-            .unwrap();
+        let p = StressProfile::new(
+            0.5,
+            0.9,
+            SleepMode::PowerGated {
+                recovery_credit: 1.0,
+            },
+        )
+        .unwrap();
         assert_eq!(p.rate_modulation(&rd(), 0.75), 0.0);
     }
 
@@ -228,9 +238,6 @@ mod tests {
     #[test]
     fn gated_mode_ignores_rail_voltage() {
         let p = StressProfile::new(0.5, 0.5, SleepMode::power_gated()).unwrap();
-        assert_eq!(
-            p.rate_modulation(&rd(), 0.3),
-            p.rate_modulation(&rd(), 1.0)
-        );
+        assert_eq!(p.rate_modulation(&rd(), 0.3), p.rate_modulation(&rd(), 1.0));
     }
 }

@@ -276,9 +276,7 @@ mod tests {
 
     fn solver() -> &'static LifetimeSolver {
         static S: OnceLock<LifetimeSolver> = OnceLock::new();
-        S.get_or_init(|| {
-            LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).unwrap()
-        })
+        S.get_or_init(|| LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).unwrap())
     }
 
     #[test]
@@ -323,7 +321,10 @@ mod tests {
         let nominal = 2.93;
         let lt_small = small.median_bank_lifetime(&table30, 0.5);
         let lt_large = large.median_bank_lifetime(&table30, 0.5);
-        assert!(lt_small < nominal, "variation must cost lifetime: {lt_small}");
+        assert!(
+            lt_small < nominal,
+            "variation must cost lifetime: {lt_small}"
+        );
         assert!(
             lt_large < lt_small,
             "more cells, worse worst-case: {lt_large} vs {lt_small}"

@@ -237,10 +237,7 @@ mod tests {
         let inv = read_inverter();
         let vtc = VtcSolver::sample(&inv, 200).unwrap();
         for w in vtc.samples().windows(2) {
-            assert!(
-                w[1].1 <= w[0].1 + 1e-7,
-                "VTC must be non-increasing: {w:?}"
-            );
+            assert!(w[1].1 <= w[0].1 + 1e-7, "VTC must be non-increasing: {w:?}");
         }
     }
 
@@ -248,13 +245,8 @@ mod tests {
     fn read_disturb_raises_low_node() {
         let design = CellDesign::default_45nm();
         let read = ReadInverter::from_design(&design, 0.0);
-        let hold = ReadInverter::new(
-            design.pullup(),
-            design.pulldown(),
-            None,
-            design.vdd(),
-        )
-        .unwrap();
+        let hold =
+            ReadInverter::new(design.pullup(), design.pulldown(), None, design.vdd()).unwrap();
         let v_read = read.output(design.vdd()).unwrap();
         let v_hold = hold.output(design.vdd()).unwrap();
         assert!(v_hold < 1e-6, "hold low level should be ~0, got {v_hold}");

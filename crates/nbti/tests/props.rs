@@ -1,10 +1,9 @@
-//! Property-based tests for the NBTI physics stack.
+//! Property-based tests for the NBTI physics stack (quickprop-driven).
 
 use nbti_model::{
-    AgingLut, CellDesign, LifetimeSolver, Mosfet, MosfetKind, ReadInverter, SleepMode,
-    SnmSolver, StressProfile, VtcSolver,
+    AgingLut, CellDesign, LifetimeSolver, Mosfet, MosfetKind, ReadInverter, SleepMode, SnmSolver,
+    StressProfile, VtcSolver,
 };
-use proptest::prelude::*;
 use std::sync::OnceLock;
 
 fn solver() -> &'static LifetimeSolver {
@@ -18,114 +17,158 @@ fn solver() -> &'static LifetimeSolver {
 /// release/CI run covers the full budget.
 const CASES: u32 = if cfg!(debug_assertions) { 6 } else { 32 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(CASES))]
-
-    /// Drain current is monotone non-decreasing in both terminal voltages.
-    #[test]
-    fn device_current_monotone(vgs in 0.0f64..1.2, vds in 0.0f64..1.2,
-                               dvg in 0.0f64..0.3, dvd in 0.0f64..0.3) {
+/// Drain current is monotone non-decreasing in both terminal voltages.
+#[test]
+fn device_current_monotone() {
+    quickprop::cases(CASES, |g| {
+        let vgs = g.f64_in(0.0..1.2);
+        let vds = g.f64_in(0.0..1.2);
+        let dvg = g.f64_in(0.0..0.3);
+        let dvd = g.f64_in(0.0..0.3);
         let d = Mosfet::new(MosfetKind::Nmos, 0.32, 3.2e-4, 1.3).unwrap();
         let base = d.drain_current(vgs, vds);
-        prop_assert!(d.drain_current(vgs + dvg, vds) + 1e-18 >= base);
-        prop_assert!(d.drain_current(vgs, vds + dvd) + 1e-18 >= base);
-        prop_assert!(base >= 0.0);
-    }
+        assert!(d.drain_current(vgs + dvg, vds) + 1e-18 >= base);
+        assert!(d.drain_current(vgs, vds + dvd) + 1e-18 >= base);
+        assert!(base >= 0.0);
+    });
+}
 
-    /// The inverter VTC is monotone non-increasing for any physically
-    /// shaped device triple.
-    #[test]
-    fn vtc_monotone_for_random_strengths(
-        k_pu in 0.5e-4f64..3e-4,
-        k_pd in 1.5e-4f64..5e-4,
-        k_ax in 0.5e-4f64..2.5e-4,
-    ) {
+/// The inverter VTC is monotone non-increasing for any physically
+/// shaped device triple.
+#[test]
+fn vtc_monotone_for_random_strengths() {
+    quickprop::cases(CASES, |g| {
+        let k_pu = g.f64_in(0.5e-4..3e-4);
+        let k_pd = g.f64_in(1.5e-4..5e-4);
+        let k_ax = g.f64_in(0.5e-4..2.5e-4);
         let pu = Mosfet::new(MosfetKind::Pmos, 0.35, k_pu, 1.35).unwrap();
         let pd = Mosfet::new(MosfetKind::Nmos, 0.32, k_pd, 1.30).unwrap();
         let ax = Mosfet::new(MosfetKind::Nmos, 0.32, k_ax, 1.30).unwrap();
         let inv = ReadInverter::new(pu, pd, Some(ax), 1.1).unwrap();
         let vtc = VtcSolver::sample(&inv, 65).unwrap();
         for w in vtc.samples().windows(2) {
-            prop_assert!(w[1].1 <= w[0].1 + 1e-6, "VTC rose: {w:?}");
+            assert!(w[1].1 <= w[0].1 + 1e-6, "VTC rose: {w:?}");
         }
-    }
+    });
+}
 
-    /// Read SNM never increases when either device ages further
-    /// (within the physical pre-failure regime).
-    #[test]
-    fn snm_monotone_in_aging(dv1 in 0.0f64..0.25, dv2 in 0.0f64..0.25,
-                             extra in 0.005f64..0.08) {
+/// Read SNM never increases when either device ages further
+/// (within the physical pre-failure regime).
+#[test]
+fn snm_monotone_in_aging() {
+    quickprop::cases(CASES, |g| {
+        let dv1 = g.f64_in(0.0..0.25);
+        let dv2 = g.f64_in(0.0..0.25);
+        let extra = g.f64_in(0.005..0.08);
         let design = CellDesign::default_45nm();
         let snm = SnmSolver::new();
-        let base = snm.extract(
-            &ReadInverter::from_design(&design, dv1),
-            &ReadInverter::from_design(&design, dv2),
-        ).unwrap();
-        let aged = snm.extract(
-            &ReadInverter::from_design(&design, dv1 + extra),
-            &ReadInverter::from_design(&design, dv2),
-        ).unwrap();
-        prop_assert!(aged.snm <= base.snm + 2e-3,
+        let base = snm
+            .extract(
+                &ReadInverter::from_design(&design, dv1),
+                &ReadInverter::from_design(&design, dv2),
+            )
+            .unwrap();
+        let aged = snm
+            .extract(
+                &ReadInverter::from_design(&design, dv1 + extra),
+                &ReadInverter::from_design(&design, dv2),
+            )
+            .unwrap();
+        assert!(
+            aged.snm <= base.snm + 2e-3,
             "SNM grew with aging: {} -> {} at ({dv1}, {dv2}, +{extra})",
-            base.snm, aged.snm);
-    }
+            base.snm,
+            aged.snm
+        );
+    });
+}
 
-    /// Lifetime is monotone non-decreasing in the sleep fraction and
-    /// maximal at balanced p0, for both sleep modes.
-    #[test]
-    fn lifetime_structure(p0 in 0.0f64..=1.0, s in 0.0f64..0.95, ds in 0.01f64..0.05) {
+/// Lifetime is monotone non-decreasing in the sleep fraction and
+/// maximal at balanced p0, for both sleep modes.
+#[test]
+fn lifetime_structure() {
+    quickprop::cases(CASES, |g| {
+        let p0 = g.f64_in(0.0..1.0);
+        let s = g.f64_in(0.0..0.95);
+        let ds = g.f64_in(0.01..0.05);
         let solver = solver();
         for mode in [SleepMode::VoltageScaled, SleepMode::power_gated()] {
-            let lt_lo = solver.lifetime_years(
-                &StressProfile::new(p0, s, mode).unwrap()).unwrap();
-            let lt_hi = solver.lifetime_years(
-                &StressProfile::new(p0, s + ds, mode).unwrap()).unwrap();
-            prop_assert!(lt_hi >= lt_lo * 0.999,
-                "more sleep shortened life: {lt_lo} -> {lt_hi}");
+            let lt_lo = solver
+                .lifetime_years(&StressProfile::new(p0, s, mode).unwrap())
+                .unwrap();
+            let lt_hi = solver
+                .lifetime_years(&StressProfile::new(p0, s + ds, mode).unwrap())
+                .unwrap();
+            assert!(
+                lt_hi >= lt_lo * 0.999,
+                "more sleep shortened life: {lt_lo} -> {lt_hi}"
+            );
             // Balanced content is never worse than this p0.
-            let lt_bal = solver.lifetime_years(
-                &StressProfile::new(0.5, s, mode).unwrap()).unwrap();
-            prop_assert!(lt_bal >= lt_lo * 0.999);
+            let lt_bal = solver
+                .lifetime_years(&StressProfile::new(0.5, s, mode).unwrap())
+                .unwrap();
+            assert!(lt_bal >= lt_lo * 0.999);
         }
-    }
+    });
+}
 
-    /// p0 symmetry: storing mostly zeros ages like storing mostly ones.
-    #[test]
-    fn lifetime_p0_symmetry(p0 in 0.0f64..=1.0, s in 0.0f64..0.9) {
+/// p0 symmetry: storing mostly zeros ages like storing mostly ones.
+#[test]
+fn lifetime_p0_symmetry() {
+    quickprop::cases(CASES, |g| {
+        let p0 = g.f64_in(0.0..1.0);
+        let s = g.f64_in(0.0..0.9);
         let solver = solver();
-        let a = solver.lifetime_years(
-            &StressProfile::new(p0, s, SleepMode::VoltageScaled).unwrap()).unwrap();
-        let b = solver.lifetime_years(
-            &StressProfile::new(1.0 - p0, s, SleepMode::VoltageScaled).unwrap()).unwrap();
-        prop_assert!((a - b).abs() / a < 0.02, "p0 symmetry broken: {a} vs {b}");
-    }
+        let a = solver
+            .lifetime_years(&StressProfile::new(p0, s, SleepMode::VoltageScaled).unwrap())
+            .unwrap();
+        let b = solver
+            .lifetime_years(&StressProfile::new(1.0 - p0, s, SleepMode::VoltageScaled).unwrap())
+            .unwrap();
+        assert!((a - b).abs() / a < 0.02, "p0 symmetry broken: {a} vs {b}");
+    });
+}
 
-    /// The LUT interpolates the direct solve within 5 % anywhere strictly
-    /// inside the grid.
-    #[test]
-    fn lut_tracks_direct_solve(p0 in 0.05f64..0.95, s in 0.05f64..0.95) {
+/// The LUT interpolates the direct solve within 5 % anywhere strictly
+/// inside the grid.
+#[test]
+fn lut_tracks_direct_solve() {
+    quickprop::cases(CASES, |g| {
+        let p0 = g.f64_in(0.05..0.95);
+        let s = g.f64_in(0.05..0.95);
         static LUT: OnceLock<AgingLut> = OnceLock::new();
         let lut = LUT.get_or_init(|| {
             AgingLut::build(solver(), SleepMode::VoltageScaled, 13, 13, 500.0).unwrap()
         });
-        let direct = solver().lifetime_years(
-            &StressProfile::new(p0, s, SleepMode::VoltageScaled).unwrap()).unwrap();
+        let direct = solver()
+            .lifetime_years(&StressProfile::new(p0, s, SleepMode::VoltageScaled).unwrap())
+            .unwrap();
         let interp = lut.lifetime_years(p0, s).unwrap();
-        prop_assert!((direct - interp).abs() / direct < 0.05,
-            "LUT off at ({p0}, {s}): {interp} vs {direct}");
-    }
+        assert!(
+            (direct - interp).abs() / direct < 0.05,
+            "LUT off at ({p0}, {s}): {interp} vs {direct}"
+        );
+    });
+}
 
-    /// Gating is always at least as good as voltage scaling, which is
-    /// always at least as good as no sleep at all.
-    #[test]
-    fn sleep_mode_ordering(p0 in 0.1f64..0.9, s in 0.05f64..0.95) {
+/// Gating is always at least as good as voltage scaling, which is
+/// always at least as good as no sleep at all.
+#[test]
+fn sleep_mode_ordering() {
+    quickprop::cases(CASES, |g| {
+        let p0 = g.f64_in(0.1..0.9);
+        let s = g.f64_in(0.05..0.95);
         let solver = solver();
-        let none = solver.lifetime_years(&StressProfile::always_on(p0)).unwrap();
-        let vs = solver.lifetime_years(
-            &StressProfile::new(p0, s, SleepMode::VoltageScaled).unwrap()).unwrap();
-        let pg = solver.lifetime_years(
-            &StressProfile::new(p0, s, SleepMode::power_gated()).unwrap()).unwrap();
-        prop_assert!(vs >= none * 0.999);
-        prop_assert!(pg >= vs * 0.999);
-    }
+        let none = solver
+            .lifetime_years(&StressProfile::always_on(p0))
+            .unwrap();
+        let vs = solver
+            .lifetime_years(&StressProfile::new(p0, s, SleepMode::VoltageScaled).unwrap())
+            .unwrap();
+        let pg = solver
+            .lifetime_years(&StressProfile::new(p0, s, SleepMode::power_gated()).unwrap())
+            .unwrap();
+        assert!(vs >= none * 0.999);
+        assert!(pg >= vs * 0.999);
+    });
 }

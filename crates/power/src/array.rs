@@ -147,6 +147,9 @@ mod tests {
     fn rejects_zero_dimensions() {
         assert!(BankArray::new(0, 128, 19).is_err());
         assert!(BankArray::new(64, 0, 19).is_err());
-        assert!(BankArray::new(64, 128, 0).is_ok(), "tag-less arrays are fine");
+        assert!(
+            BankArray::new(64, 128, 0).is_ok(),
+            "tag-less arrays are fine"
+        );
     }
 }

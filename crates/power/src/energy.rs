@@ -59,9 +59,7 @@ impl EnergyModel {
     pub fn access_energy_fj(&self, array: &BankArray) -> f64 {
         let width = array.access_width_bits() as f64;
         let depth = array.depth_lines() as f64;
-        width
-            * (self.tech.dyn_fixed_fj_per_bit()
-                + self.tech.dyn_bitline_fj_per_bit_row() * depth)
+        width * (self.tech.dyn_fixed_fj_per_bit() + self.tech.dyn_bitline_fj_per_bit_row() * depth)
     }
 
     /// Active-state leakage of `array` over one clock cycle, in fJ.

@@ -41,12 +41,18 @@ impl fmt::Display for PowerError {
                 name,
                 value,
                 expected,
-            } => write!(f, "parameter `{name}` = {value} is invalid (expected {expected})"),
+            } => write!(
+                f,
+                "parameter `{name}` = {value} is invalid (expected {expected})"
+            ),
             PowerError::InvalidGeometry {
                 name,
                 value,
                 expected,
-            } => write!(f, "geometry `{name}` = {value} is invalid (expected {expected})"),
+            } => write!(
+                f,
+                "geometry `{name}` = {value} is invalid (expected {expected})"
+            ),
             PowerError::InfeasiblePartitioning { banks, max_banks } => write!(
                 f,
                 "partitioning into {banks} banks exceeds the characterized maximum of {max_banks}"

@@ -145,7 +145,10 @@ impl Technology {
             ("vdd_low", self.vdd_low),
             ("cycle_ns", self.cycle_ns),
             ("dyn_fixed_fj_per_bit", self.dyn_fixed_fj_per_bit),
-            ("dyn_bitline_fj_per_bit_row", self.dyn_bitline_fj_per_bit_row),
+            (
+                "dyn_bitline_fj_per_bit_row",
+                self.dyn_bitline_fj_per_bit_row,
+            ),
             ("leak_fj_per_bit_cycle", self.leak_fj_per_bit_cycle),
             ("wake_fj_per_data_bit", self.wake_fj_per_data_bit),
             ("wake_fj_per_tag_bit", self.wake_fj_per_tag_bit),
@@ -247,8 +250,14 @@ mod tests {
         let t = Technology::builder().cycle_ns(2.0).build().unwrap();
         assert_eq!(t.cycle_ns(), 2.0);
         assert!(Technology::builder().vdd_low(2.0).build().is_err());
-        assert!(Technology::builder().drowsy_leak_factor(1.5).build().is_err());
-        assert!(Technology::builder().leak_fj_per_bit_cycle(-1.0).build().is_err());
+        assert!(Technology::builder()
+            .drowsy_leak_factor(1.5)
+            .build()
+            .is_err());
+        assert!(Technology::builder()
+            .leak_fj_per_bit_cycle(-1.0)
+            .build()
+            .is_err());
         assert!(Technology::builder().addr_bits(4).build().is_err());
     }
 

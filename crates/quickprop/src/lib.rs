@@ -1,0 +1,168 @@
+//! A tiny, fully deterministic property-testing harness.
+//!
+//! The workspace builds offline, so it cannot depend on `proptest`.
+//! This crate provides the small subset the test suites actually use: a
+//! seeded generator ([`Gen`]) with ranged samplers, and a case driver
+//! ([`cases`]) that reruns a property over many generated inputs and
+//! reports the failing case's seed.
+//!
+//! Determinism is a feature, not a limitation: every run explores the
+//! same inputs, so CI failures always reproduce locally.
+//!
+//! # Examples
+//!
+//! ```
+//! quickprop::cases(32, |g| {
+//!     let a = g.u64_in(0..1000);
+//!     let b = g.u64_in(0..1000);
+//!     assert!(a + b >= a, "overflow impossible in range");
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A SplitMix64-backed generator handed to each property case.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+    case: u32,
+}
+
+impl Gen {
+    /// Creates a generator for one case from a base seed.
+    pub fn new(seed: u64, case: u32) -> Self {
+        Self {
+            state: seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            case,
+        }
+    }
+
+    /// The case index (for labelling failures).
+    pub fn case(&self) -> u32 {
+        self.case
+    }
+
+    /// The next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `u64` in `range` (empty ranges yield `range.start`).
+    pub fn u64_in(&mut self, range: Range<u64>) -> u64 {
+        let span = range.end.saturating_sub(range.start);
+        if span == 0 {
+            return range.start;
+        }
+        range.start + self.next_u64() % span
+    }
+
+    /// A uniform `u32` in `range`.
+    pub fn u32_in(&mut self, range: Range<u32>) -> u32 {
+        self.u64_in(range.start as u64..range.end as u64) as u32
+    }
+
+    /// A uniform `usize` in `range`.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.u64_in(range.start as u64..range.end as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform `f64` in `range`.
+    pub fn f64_in(&mut self, range: Range<f64>) -> f64 {
+        range.start + self.f64_unit() * (range.end - range.start)
+    }
+
+    /// A vector of `len` uniform `f64`s in `range`.
+    pub fn vec_f64(&mut self, range: Range<f64>, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.f64_in(range.clone())).collect()
+    }
+
+    /// Picks one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.usize_in(0..items.len())]
+    }
+}
+
+/// Default base seed for [`cases`].
+pub const DEFAULT_SEED: u64 = 0x5eed_cafe_f00d_0001;
+
+/// Runs `property` over `n` deterministic cases. On panic, the harness
+/// re-raises with the case index in the message so the failure can be
+/// reproduced with [`one_case`].
+pub fn cases(n: u32, mut property: impl FnMut(&mut Gen)) {
+    for case in 0..n {
+        let mut g = Gen::new(DEFAULT_SEED, case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut g);
+        }));
+        if let Err(payload) = result {
+            let detail = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic");
+            panic!("property failed at case {case}/{n}: {detail}");
+        }
+    }
+}
+
+/// Runs a single case by index — the reproduction entry point for a
+/// failure reported by [`cases`].
+pub fn one_case(case: u32, mut property: impl FnMut(&mut Gen)) {
+    let mut g = Gen::new(DEFAULT_SEED, case);
+    property(&mut g);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = Gen::new(1, 0);
+        let mut b = Gen::new(1, 0);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut g = Gen::new(7, 3);
+        for _ in 0..1000 {
+            let v = g.u64_in(10..20);
+            assert!((10..20).contains(&v));
+            let f = g.f64_in(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn cases_run_the_requested_count() {
+        let mut count = 0;
+        cases(17, |_| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed at case 0")]
+    fn failures_report_the_case() {
+        cases(4, |_| panic!("boom"));
+    }
+}

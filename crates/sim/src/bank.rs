@@ -126,9 +126,7 @@ impl BankPower {
             } else {
                 if self.counters[b] < self.breakeven {
                     self.counters[b] += 1;
-                    if self.counters[b] == self.breakeven
-                        && self.states[b] == BankState::Active
-                    {
+                    if self.counters[b] == self.breakeven && self.states[b] == BankState::Active {
                         self.states[b] = BankState::Drowsy;
                         ev.newly_drowsy += 1;
                     }

@@ -35,7 +35,10 @@ impl fmt::Display for SimError {
                 name,
                 value,
                 expected,
-            } => write!(f, "geometry `{name}` = {value} is invalid (expected {expected})"),
+            } => write!(
+                f,
+                "geometry `{name}` = {value} is invalid (expected {expected})"
+            ),
             SimError::InvalidConfig { name, reason } => {
                 write!(f, "configuration `{name}` is invalid: {reason}")
             }

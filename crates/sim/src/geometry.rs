@@ -52,12 +52,7 @@ impl CacheGeometry {
     /// * `size_bytes`, `line_bytes`, `ways`, `banks` are powers of two,
     /// * the cache holds at least one set per bank,
     /// * `addr_bits` (fixed at 32 here) covers the cache.
-    pub fn new(
-        size_bytes: u64,
-        line_bytes: u32,
-        ways: u32,
-        banks: u32,
-    ) -> Result<Self, SimError> {
+    pub fn new(size_bytes: u64, line_bytes: u32, ways: u32, banks: u32) -> Result<Self, SimError> {
         if !is_pow2(size_bytes) {
             return Err(SimError::InvalidGeometry {
                 name: "size_bytes",

@@ -54,6 +54,6 @@ pub use cache::{AccessKind, AccessResult, CacheArray};
 pub use error::SimError;
 pub use geometry::CacheGeometry;
 pub use idle::{IdleStats, IdleTracker};
-pub use mapping::{BankMapping, IdentityMapping};
+pub use mapping::{is_bijective, BankMapping, FnMapping, IdentityMapping};
 pub use run::{Access, SimConfig, Simulator};
 pub use stats::{BankStats, SimOutcome};

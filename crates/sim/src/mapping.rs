@@ -27,8 +27,49 @@ pub trait BankMapping {
     fn update(&mut self);
 
     /// A short human-readable name for reports.
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "custom"
+    }
+}
+
+impl BankMapping for Box<dyn BankMapping> {
+    fn map_bank(&self, logical: u32, banks: u32) -> u32 {
+        self.as_ref().map_bank(logical, banks)
+    }
+
+    fn update(&mut self) {
+        self.as_mut().update();
+    }
+
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+}
+
+/// A stateless mapping defined by a closure — the shortest path from
+/// user code to a registrable policy. The closure receives
+/// `(logical, banks)` and must be a bijection over `0..banks`; `update`
+/// is a no-op.
+pub struct FnMapping<F> {
+    f: F,
+}
+
+impl<F: Fn(u32, u32) -> u32> FnMapping<F> {
+    /// Wraps a `(logical, banks) -> physical` closure.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: Fn(u32, u32) -> u32> BankMapping for FnMapping<F> {
+    fn map_bank(&self, logical: u32, banks: u32) -> u32 {
+        (self.f)(logical, banks)
+    }
+
+    fn update(&mut self) {}
+
+    fn name(&self) -> &str {
+        "fn"
     }
 }
 
@@ -44,7 +85,7 @@ impl BankMapping for IdentityMapping {
 
     fn update(&mut self) {}
 
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "identity"
     }
 }

@@ -62,10 +62,7 @@ impl SimConfig {
     /// # Errors
     ///
     /// Propagates power-model errors.
-    pub fn with_technology(
-        geometry: CacheGeometry,
-        tech: Technology,
-    ) -> Result<Self, SimError> {
+    pub fn with_technology(geometry: CacheGeometry, tech: Technology) -> Result<Self, SimError> {
         let energy = EnergyModel::new(tech)?;
         let overhead = PartitionOverhead::for_banks(geometry.banks())?;
         let breakeven = BreakevenAnalysis::for_bank(&energy, &geometry.bank_array())?;
@@ -178,8 +175,7 @@ impl Simulator {
         let bank_array = config.geometry().bank_array();
         let em = config.energy_model();
         let access_fj = em.access_energy_fj(&bank_array);
-        let access_overhead_fj =
-            access_fj * (config.overhead().access_energy_factor() - 1.0);
+        let access_overhead_fj = access_fj * (config.overhead().access_energy_factor() - 1.0);
         let wake_fj = em.wake_energy_fj(&bank_array);
         let leak_active_fj = em.leak_fj_per_cycle_active(&bank_array);
         let leak_drowsy_fj = em.leak_fj_per_cycle_drowsy(&bank_array);
@@ -275,8 +271,7 @@ impl Simulator {
             }
         }
         let drowsy = banks - active;
-        let leak =
-            active as f64 * self.leak_active_fj + drowsy as f64 * self.leak_drowsy_fj;
+        let leak = active as f64 * self.leak_active_fj + drowsy as f64 * self.leak_drowsy_fj;
         self.ledger.leakage_fj += leak;
         self.ledger.overhead_fj += leak * self.leak_overhead_factor;
     }
@@ -429,8 +424,8 @@ mod tests {
         // banks = 1: no partitioning gain, but the single block can still
         // drowse through long CPU-idle stretches.
         let geom = CacheGeometry::direct_mapped(8 * 1024, 16, 1).unwrap();
-        let mut s = Simulator::new(SimConfig::new(geom).unwrap(), Box::new(IdentityMapping))
-            .unwrap();
+        let mut s =
+            Simulator::new(SimConfig::new(geom).unwrap(), Box::new(IdentityMapping)).unwrap();
         for i in 0..10_000u64 {
             s.step(Access::read((i % 64) * 16));
             if i.is_multiple_of(100) {
@@ -441,7 +436,10 @@ mod tests {
         }
         let out = s.finish();
         out.validate().unwrap();
-        assert!(out.sleep_fraction(0) > 0.3, "the block drowses during stalls");
+        assert!(
+            out.sleep_fraction(0) > 0.3,
+            "the block drowses during stalls"
+        );
         assert!(out.energy_saving() > 0.0);
         assert!(
             out.energy_saving() < 0.25,
@@ -509,7 +507,9 @@ mod tests {
             Simulator::new(SimConfig::new(geom4).unwrap(), Box::new(IdentityMapping)).unwrap();
         let mut x = 777u64;
         for _ in 0..50_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (x >> 20) % (48 * 1024);
             let r1 = s1.step(Access::read(a));
             let r4 = s4.step(Access::read(a));
@@ -558,7 +558,10 @@ mod tests {
         }
         let (d, c) = (dirty.finish(), clean.finish());
         d.validate().unwrap();
-        assert!(d.writebacks > 0, "conflict-evicted dirty lines must write back");
+        assert!(
+            d.writebacks > 0,
+            "conflict-evicted dirty lines must write back"
+        );
         assert_eq!(c.writebacks, 0);
         assert_eq!(d.misses, c.misses, "same placement conflicts");
         assert!(

@@ -1,134 +1,171 @@
-//! Property-based tests for the cache simulator.
+//! Property-based tests for the cache simulator (quickprop-driven).
 
 use cache_sim::cache::ReferenceCache;
 use cache_sim::{
     Access, AccessKind, BankPower, CacheArray, CacheGeometry, IdentityMapping, IdleTracker,
     SimConfig, Simulator,
 };
-use proptest::prelude::*;
+use quickprop::Gen;
 
 const CASES: u32 = if cfg!(debug_assertions) { 16 } else { 64 };
 
-/// Strategy: a random valid direct-mapped/banked geometry.
-fn geometry() -> impl Strategy<Value = CacheGeometry> {
-    (12u32..16, 4u32..6, 1u32..4, 0u32..3).prop_map(|(size_log, line_log, bank_log, ways_log)| {
-        CacheGeometry::new(
-            1u64 << size_log,
-            1u32 << line_log,
-            1u32 << ways_log,
-            1u32 << bank_log.min(size_log - line_log - ways_log),
-        )
-        .expect("constructed geometry is valid")
-    })
+/// A random valid direct-mapped/banked geometry.
+fn geometry(g: &mut Gen) -> CacheGeometry {
+    let size_log = g.u32_in(12..16);
+    let line_log = g.u32_in(4..6);
+    let bank_log = g.u32_in(1..4);
+    let ways_log = g.u32_in(0..3);
+    CacheGeometry::new(
+        1u64 << size_log,
+        1u32 << line_log,
+        1u32 << ways_log,
+        1u32 << bank_log.min(size_log - line_log - ways_log),
+    )
+    .expect("constructed geometry is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(CASES))]
-
-    /// The tag array agrees with a brute-force LRU reference model on
-    /// arbitrary geometries and address streams.
-    #[test]
-    fn cache_matches_reference_model(geom in geometry(), seed in 0u64..10_000) {
+/// The tag array agrees with a brute-force LRU reference model on
+/// arbitrary geometries and address streams.
+#[test]
+fn cache_matches_reference_model() {
+    quickprop::cases(CASES, |g| {
+        let geom = geometry(g);
+        let seed = g.u64_in(0..10_000);
         let mut dut = CacheArray::new(geom);
         let mut reference = ReferenceCache::new(geom).unwrap();
         let mut x = seed | 1;
         for _ in 0..3_000 {
-            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
             let addr = x % (4 * geom.size_bytes());
             let got = dut.access_addr(addr, AccessKind::Read).hit;
             let want = reference.access_addr(addr);
-            prop_assert_eq!(got, want, "divergence at {:#x} on {:?}", addr, geom);
+            assert_eq!(got, want, "divergence at {addr:#x} on {geom:?}");
         }
-    }
+    });
+}
 
-    /// Bank power accounting: sleep cycles never exceed idle cycles, and
-    /// wake count equals the number of sleep episodes that ended in an
-    /// access.
-    #[test]
-    fn bank_power_invariants(seed in 0u64..10_000, breakeven in 2u32..64) {
+/// Bank power accounting: sleep cycles never exceed idle cycles, and
+/// wake count equals the number of sleep episodes that ended in an
+/// access.
+#[test]
+fn bank_power_invariants() {
+    quickprop::cases(CASES, |g| {
+        let seed = g.u64_in(0..10_000);
+        let breakeven = g.u32_in(2..64);
         let banks = 4u32;
         let mut power = BankPower::new(banks, breakeven);
         let mut idle = IdleTracker::new(banks, breakeven);
         let mut x = seed | 1;
         for _ in 0..5_000 {
-            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
             // ~20 % of cycles have no access at all.
-            let accessed = if x % 10 < 2 { None } else { Some(((x >> 8) % banks as u64) as u32) };
+            let accessed = if x % 10 < 2 {
+                None
+            } else {
+                Some(((x >> 8) % banks as u64) as u32)
+            };
             power.cycle(accessed);
             idle.record(accessed);
         }
         let cycles = power.cycles();
         let stats = idle.finish();
         for b in 0..banks {
-            prop_assert!(power.sleep_cycles(b) <= cycles);
+            assert!(power.sleep_cycles(b) <= cycles);
             // Sleep is bounded by total idle time (open intervals included).
-            prop_assert!(power.sleep_cycles(b) <= stats[b as usize].idle_cycles
-                + breakeven as u64);
+            assert!(power.sleep_cycles(b) <= stats[b as usize].idle_cycles + breakeven as u64);
         }
-    }
+    });
+}
 
-    /// Full simulator invariants and the monolithic-baseline dominance
-    /// hold on random mixes of accesses and idle cycles.
-    #[test]
-    fn simulator_invariants(geom in geometry(), seed in 0u64..10_000) {
-        let mut sim = Simulator::new(
-            SimConfig::new(geom).unwrap(),
-            Box::new(IdentityMapping),
-        ).unwrap();
+/// Full simulator invariants and the monolithic-baseline dominance
+/// hold on random mixes of accesses and idle cycles.
+#[test]
+fn simulator_invariants() {
+    quickprop::cases(CASES, |g| {
+        let geom = geometry(g);
+        let seed = g.u64_in(0..10_000);
+        let mut sim =
+            Simulator::new(SimConfig::new(geom).unwrap(), Box::new(IdentityMapping)).unwrap();
         let mut x = seed | 1;
         for _ in 0..4_000 {
-            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
             if x % 7 == 0 {
                 sim.idle_cycle();
             } else {
-                let kind = if x % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
-                sim.step(Access { addr: x % (2 * geom.size_bytes()), kind });
+                let kind = if x % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                sim.step(Access {
+                    addr: x % (2 * geom.size_bytes()),
+                    kind,
+                });
             }
         }
         let out = sim.finish();
-        prop_assert!(out.validate().is_ok(), "{:?}", out.validate());
+        assert!(out.validate().is_ok(), "{:?}", out.validate());
         // Energy categories are individually non-negative.
-        prop_assert!(out.energy.dynamic_fj >= 0.0);
-        prop_assert!(out.energy.leakage_fj >= 0.0);
-        prop_assert!(out.energy.wake_fj >= 0.0);
-        prop_assert!(out.energy.overhead_fj >= 0.0);
-    }
+        assert!(out.energy.dynamic_fj >= 0.0);
+        assert!(out.energy.leakage_fj >= 0.0);
+        assert!(out.energy.wake_fj >= 0.0);
+        assert!(out.energy.overhead_fj >= 0.0);
+    });
+}
 
-    /// Flushing drops every line and the next pass over a working set
-    /// misses entirely.
-    #[test]
-    fn flush_semantics(geom in geometry(), n_lines in 1u64..64) {
+/// Flushing drops every line and the next pass over a working set
+/// misses entirely.
+#[test]
+fn flush_semantics() {
+    quickprop::cases(CASES, |g| {
+        let geom = geometry(g);
+        let n_lines = g.u64_in(1..64);
         let mut cache = CacheArray::new(geom);
         let lines = n_lines.min(geom.lines());
         for i in 0..lines {
             cache.access_addr(i * geom.line_bytes() as u64, AccessKind::Write);
         }
-        prop_assert!(cache.valid_lines() > 0);
+        assert!(cache.valid_lines() > 0);
         let dropped = cache.flush();
-        prop_assert!(dropped <= lines);
-        prop_assert_eq!(cache.valid_lines(), 0);
+        assert!(dropped <= lines);
+        assert_eq!(cache.valid_lines(), 0);
         for i in 0..lines {
-            prop_assert!(!cache.access_addr(i * geom.line_bytes() as u64, AccessKind::Read).hit);
+            assert!(
+                !cache
+                    .access_addr(i * geom.line_bytes() as u64, AccessKind::Read)
+                    .hit
+            );
         }
-    }
+    });
+}
 
-    /// Idle intervals partition time exactly: per bank,
-    /// `idle + accesses == cycles`.
-    #[test]
-    fn idle_partition_of_time(seed in 0u64..10_000) {
+/// Idle intervals partition time exactly: per bank,
+/// `idle + accesses == cycles`.
+#[test]
+fn idle_partition_of_time() {
+    quickprop::cases(CASES, |g| {
+        let seed = g.u64_in(0..10_000);
         let banks = 8u32;
         let mut idle = IdleTracker::new(banks, 10);
         let mut touches = vec![0u64; banks as usize];
         let mut x = seed | 1;
         for _ in 0..2_000 {
-            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
             let b = ((x >> 5) % banks as u64) as u32;
             touches[b as usize] += 1;
             idle.record(Some(b));
         }
         let cycles = idle.cycles();
         for (b, s) in idle.finish().iter().enumerate() {
-            prop_assert_eq!(s.idle_cycles + touches[b], cycles);
+            assert_eq!(s.idle_cycles + touches[b], cycles);
         }
-    }
+    });
 }

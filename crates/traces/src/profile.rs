@@ -311,8 +311,7 @@ impl Iterator for TraceGen {
         let epoch = self.cycle / self.epoch_cycles;
         let active_segment = (epoch % p.segments as u64) as u32;
         let in_burst = self.cycle % p.burst_period < p.burst_len;
-        let burst_prob =
-            (p.leak_through * p.burst_period as f64 / p.burst_len as f64).min(1.0);
+        let burst_prob = (p.leak_through * p.burst_period as f64 / p.burst_len as f64).min(1.0);
         let segment = if bank == p.resident_bank {
             // Resident data (stack/globals) lives in segment 0 for good.
             0
@@ -345,13 +344,17 @@ impl Iterator for TraceGen {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::region::AccessPattern;
     use crate::reference::QUARTER_BYTES;
+    use crate::region::AccessPattern;
     use crate::schedule::ScheduleBuilder;
 
     fn tiny_profile() -> WorkloadProfile {
         let regions = [
-            vec![Region::new(0, 1024, AccessPattern::Sequential { stride: 16 })],
+            vec![Region::new(
+                0,
+                1024,
+                AccessPattern::Sequential { stride: 16 },
+            )],
             vec![Region::new(QUARTER_BYTES, 1024, AccessPattern::Random)],
             vec![Region::new(2 * QUARTER_BYTES, 1024, AccessPattern::Random)],
             vec![Region::new(3 * QUARTER_BYTES, 1024, AccessPattern::Random)],
@@ -383,7 +386,11 @@ mod tests {
         let p = tiny_profile();
         let footprint = p.footprint_bytes();
         for acc in p.trace(1).take(20_000) {
-            assert!(acc.addr < footprint, "address {} escapes footprint", acc.addr);
+            assert!(
+                acc.addr < footprint,
+                "address {} escapes footprint",
+                acc.addr
+            );
         }
     }
 
@@ -437,8 +444,14 @@ mod tests {
             .collect();
         let frac0_first = first.iter().filter(|&&s| s == 0).count() as f64 / first.len() as f64;
         let frac1_second = second.iter().filter(|&&s| s == 1).count() as f64 / second.len() as f64;
-        assert!(frac0_first > 0.8, "epoch 0 should favour segment 0: {frac0_first}");
-        assert!(frac1_second > 0.8, "epoch 1 should favour segment 1: {frac1_second}");
+        assert!(
+            frac0_first > 0.8,
+            "epoch 0 should favour segment 0: {frac0_first}"
+        );
+        assert!(
+            frac1_second > 0.8,
+            "epoch 1 should favour segment 1: {frac1_second}"
+        );
     }
 
     #[test]

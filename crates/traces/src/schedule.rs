@@ -169,11 +169,12 @@ impl ScheduleBuilder {
 
         let mut idle = [[false; REF_BANKS]; 64];
         debug_assert!(n <= 64, "schedule builder supports up to 64 slots");
-        let place_arc = |bank: usize, start: usize, len: usize, idle: &mut [[bool; REF_BANKS]; 64]| {
-            for k in 0..len {
-                idle[(start + k) % n][bank] = true;
-            }
-        };
+        let place_arc =
+            |bank: usize, start: usize, len: usize, idle: &mut [[bool; REF_BANKS]; 64]| {
+                for k in 0..len {
+                    idle[(start + k) % n][bank] = true;
+                }
+            };
         // Busiest bank: arc at 0. Second busiest: immediately after, so the
         // two are disjoint whenever len0 + len1 <= n.
         place_arc(order[0], 0, idle_len[order[0]], &mut idle);

@@ -81,7 +81,11 @@ fn style_of(name: &str) -> Style {
 /// the Table IV effect.
 fn regions_for(bank: usize, style: Style, parity: usize) -> Vec<Region> {
     let base = bank as u64 * QUARTER_BYTES;
-    let half = if (bank + parity).is_multiple_of(2) { 0 } else { 2048 };
+    let half = if (bank + parity).is_multiple_of(2) {
+        0
+    } else {
+        2048
+    };
     let at = |off: u64| base + half + off;
     let other_half = base + (half ^ 2048);
     match style {
@@ -92,7 +96,11 @@ fn regions_for(bank: usize, style: Style, parity: usize) -> Vec<Region> {
         )],
         Style::Blocked => vec![
             Region::new(at(0), 1536, AccessPattern::Hotspot { hot: 0.3 }),
-            Region::new(other_half + 256, 1024, AccessPattern::Sequential { stride: 16 }),
+            Region::new(
+                other_half + 256,
+                1024,
+                AccessPattern::Sequential { stride: 16 },
+            ),
         ],
         Style::Crypto => vec![
             Region::new(at(0), 768, AccessPattern::Hotspot { hot: 0.25 }),

@@ -8,7 +8,11 @@
 use cache_sim::{CacheGeometry, IdentityMapping, SimConfig, Simulator};
 use trace_synth::suite;
 
-const TRACE_CYCLES: usize = if cfg!(debug_assertions) { 160_000 } else { 320_000 };
+const TRACE_CYCLES: usize = if cfg!(debug_assertions) {
+    160_000
+} else {
+    320_000
+};
 
 fn measure(profile: &trace_synth::WorkloadProfile, seed: u64) -> Vec<f64> {
     let geom = CacheGeometry::direct_mapped(
@@ -17,8 +21,11 @@ fn measure(profile: &trace_synth::WorkloadProfile, seed: u64) -> Vec<f64> {
         trace_synth::reference::BANKS,
     )
     .expect("reference geometry");
-    let mut sim = Simulator::new(SimConfig::new(geom).expect("config"), Box::new(IdentityMapping))
-        .expect("simulator");
+    let mut sim = Simulator::new(
+        SimConfig::new(geom).expect("config"),
+        Box::new(IdentityMapping),
+    )
+    .expect("simulator");
     for acc in profile.trace(seed).take(TRACE_CYCLES) {
         sim.step(acc);
     }

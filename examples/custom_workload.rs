@@ -1,18 +1,40 @@
 //! Builds a custom synthetic workload from scratch — regions, phase
-//! schedule, patterns — runs it through the partitioned cache and the
-//! aging pipeline. This is the path a user takes to evaluate the
-//! architecture on *their* traffic rather than the MediaBench models.
+//! schedule, patterns — and a custom indexing policy registered from
+//! user code, then runs both through the Study API. This is the path a
+//! user takes to evaluate the architecture on *their* traffic rather
+//! than the MediaBench models.
 //!
 //! ```sh
 //! cargo run --release --example custom_workload
 //! ```
 
-use nbti_cache_repro::arch::arch::{PartitionedCache, UpdateSchedule};
-use nbti_cache_repro::arch::experiment::ExperimentConfig;
-use nbti_cache_repro::arch::policy::PolicyKind;
-use nbti_cache_repro::traces::{
-    AccessPattern, Region, ScheduleBuilder, WorkloadProfile,
-};
+use nbti_cache_repro::arch::experiment::ExperimentContext;
+use nbti_cache_repro::arch::{PolicyRegistry, Probing, StudySpec};
+use nbti_cache_repro::sim::BankMapping;
+use nbti_cache_repro::traces::{AccessPattern, Region, ScheduleBuilder, WorkloadProfile};
+
+/// A user-defined policy: probing that skips ahead by a seed-derived
+/// stride (any odd stride is coprime to a power-of-two M, so the window
+/// fairness of plain probing is preserved).
+struct StridedProbing {
+    stride: u32,
+    banks: u32,
+    offset: u32,
+}
+
+impl BankMapping for StridedProbing {
+    fn map_bank(&self, logical: u32, banks: u32) -> u32 {
+        (logical + self.offset) & (banks - 1)
+    }
+
+    fn update(&mut self) {
+        self.offset = (self.offset + self.stride) & (self.banks - 1);
+    }
+
+    fn name(&self) -> &str {
+        "strided-probing"
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A packet-processing flavour: one hot flow table, one streaming
@@ -22,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Bank 0: flow table, heavily skewed lookups.
         vec![Region::new(0, 2048, AccessPattern::Hotspot { hot: 0.2 })],
         // Bank 1: payload streaming.
-        vec![Region::new(quarter, 2048, AccessPattern::Sequential { stride: 16 })],
+        vec![Region::new(
+            quarter,
+            2048,
+            AccessPattern::Sequential { stride: 16 },
+        )],
         // Bank 2: statistics counters, random scattered updates.
         vec![Region::new(2 * quarter, 1024, AccessPattern::Random)],
         // Bank 3: config block, touched rarely.
@@ -41,25 +67,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0.5,       // balanced stored values
     );
 
-    let cfg = ExperimentConfig::paper_reference();
-    let ctx = cfg.build_context()?;
-    let arch = PartitionedCache::new(cfg.geometry()?, PolicyKind::Probing)?;
-    let out = arch.simulate(
-        profile.trace(2024).take(320_000),
-        UpdateSchedule::Never,
+    // Register the custom policy next to the built-ins.
+    let mut registry = PolicyRegistry::builtin();
+    registry.register_fn(
+        "strided-probing",
+        "probing with a seed-derived odd stride (user example)",
+        |banks, seed| {
+            Probing::new(banks)?; // reuse the built-in bank-count validation
+            Ok(Box::new(StridedProbing {
+                stride: ((seed as u32) | 1) & (banks - 1) | 1,
+                banks,
+                offset: 0,
+            }))
+        },
     )?;
-    out.validate().map_err(std::io::Error::other)?;
 
-    println!("workload         : {}", profile.name());
-    println!("miss rate        : {:.3}", out.miss_rate());
-    println!("useful idleness  : {:?}",
-        out.useful_idleness_all().iter().map(|v| format!("{:.1}%", v * 100.0)).collect::<Vec<_>>());
-    println!("energy saving    : {:.1} %", 100.0 * out.energy_saving());
+    // One workload, three policies, one declarative run.
+    let ctx = ExperimentContext::new()?;
+    let report = StudySpec::new("packet pipeline study")
+        .registry(registry)
+        .workloads([profile])
+        .policies(["identity", "probing", "strided-probing"])
+        .base_seed(2024)
+        .run(&ctx)?;
 
-    let sleep = out.sleep_fraction_all();
-    let lt0 = ctx.aging.cache_lifetime(&sleep, profile.p0(), PolicyKind::Identity)?;
-    let lt = ctx.aging.cache_lifetime(&sleep, profile.p0(), PolicyKind::Probing)?;
-    println!("lifetime LT0/LT  : {lt0:.2} / {lt:.2} years (+{:.0} %)",
-        100.0 * (lt - lt0) / lt0);
+    let baseline = &report.records()[0];
+    println!("workload         : {}", baseline.scenario.workload);
+    println!("miss rate        : {:.3}", baseline.miss_rate);
+    println!(
+        "useful idleness  : {:?}",
+        baseline
+            .useful_idleness
+            .iter()
+            .map(|v| format!("{:.1}%", v * 100.0))
+            .collect::<Vec<_>>()
+    );
+    println!("energy saving    : {:.1} %", 100.0 * baseline.esav);
+    println!();
+    for r in report.records() {
+        println!(
+            "{:>16} : LT {:.2} years (+{:.0} % over no re-indexing)",
+            r.scenario.policy,
+            r.lt_years,
+            100.0 * (r.lt_years - r.lt0_years) / r.lt0_years
+        );
+    }
     Ok(())
 }

@@ -30,8 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect::<Vec<_>>()
     );
     println!("energy saving    : {:.1} %", 100.0 * result.esav);
-    println!("lifetime LT0     : {:.2} years (power management only)", result.lt0_years);
-    println!("lifetime LT      : {:.2} years (with Probing re-indexing)", result.lt_years);
+    println!(
+        "lifetime LT0     : {:.2} years (power management only)",
+        result.lt0_years
+    );
+    println!(
+        "lifetime LT      : {:.2} years (with Probing re-indexing)",
+        result.lt_years
+    );
     println!(
         "re-indexing gain : +{:.0} % over the power-managed cache",
         100.0 * (result.lt_years - result.lt0_years) / result.lt0_years

@@ -9,7 +9,35 @@
 //! * [`sim`] — trace-driven banked cache simulator.
 //! * [`traces`] — synthetic MediaBench-like workload generators.
 //! * [`arch`] — the paper's contribution: partitioned caches with
-//!   coarse-grain dynamic indexing, plus the experiment pipeline.
+//!   coarse-grain dynamic indexing, plus the **Study API** — the open
+//!   scenario-grid engine the whole evaluation runs on.
+//!
+//! # Quick start
+//!
+//! Declare a study over any slice of the evaluation grid; axes accept
+//! one or many values, scenarios run in parallel, and the report
+//! serializes to JSON:
+//!
+//! ```no_run
+//! use nbti_cache_repro::arch::experiment::ExperimentContext;
+//! use nbti_cache_repro::arch::StudySpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctx = ExperimentContext::new()?; // calibrated 2.93-year cell
+//! let report = StudySpec::new("sweep")
+//!     .cache_kb([8, 16, 32])
+//!     .banks([2, 4, 8])
+//!     .policies(["probing", "scrambling", "gray", "rotate-xor"])
+//!     .run(&ctx)?;
+//! println!("{}", report.to_json());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The paper's tables are ~10-line presets over the same engine
+//! (`arch::presets` + `arch::views`), and new indexing policies
+//! register by name (`arch::PolicyRegistry`) without touching this
+//! workspace — see `examples/policy_comparison.rs`.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.

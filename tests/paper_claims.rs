@@ -68,11 +68,8 @@ fn lifetime_grows_with_bank_count() {
     for banks in [2u32, 4, 8] {
         let results = run_suite(&quick(16, banks), &ctx).expect("suite");
         let lt = results.iter().map(|r| r.lt_years).sum::<f64>() / results.len() as f64;
-        let idle = results
-            .iter()
-            .map(|r| r.avg_useful_idleness())
-            .sum::<f64>()
-            / results.len() as f64;
+        let idle =
+            results.iter().map(|r| r.avg_useful_idleness()).sum::<f64>() / results.len() as f64;
         assert!(lt > last_lt, "LT must grow with M: {lt} after {last_lt}");
         assert!(idle > last_idle, "idleness must grow with M");
         last_lt = lt;
@@ -92,12 +89,7 @@ fn headline_claims_within_tolerance() {
     let base = ExperimentConfig::paper_reference().with_trace_cycles(160_000);
     let data: Vec<(u64, _)> = [8u64, 16, 32]
         .iter()
-        .map(|&kb| {
-            (
-                kb,
-                run_suite(&base.with_cache_kb(kb), &ctx).expect("suite"),
-            )
-        })
+        .map(|&kb| (kb, run_suite(&base.with_cache_kb(kb), &ctx).expect("suite")))
         .collect();
     let s = claims_from(&data);
     // Power management alone: paper says ~9 %; accept the single-digit

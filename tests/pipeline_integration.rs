@@ -15,7 +15,8 @@ fn every_benchmark_outcome_is_internally_consistent() {
         let out = arch
             .simulate(p.trace(50 + i as u64).take(120_000), UpdateSchedule::Never)
             .unwrap();
-        out.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+        out.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
         assert_eq!(out.accesses, 120_000, "{}", p.name());
         assert!(out.miss_rate() < 0.5, "{}: miss rate implausible", p.name());
         // Sleep is always a subset of useful idleness.
@@ -85,7 +86,10 @@ fn miss_rate_is_policy_invariant_and_update_cost_is_bounded() {
     // Updating once per 20k cycles costs at most 4 refills of the cache.
     let arch = PartitionedCache::new(geom, PolicyKind::Probing).unwrap();
     let updated = arch
-        .simulate(p.trace(11).take(80_000), UpdateSchedule::EveryCycles(20_000))
+        .simulate(
+            p.trace(11).take(80_000),
+            UpdateSchedule::EveryCycles(20_000),
+        )
         .unwrap();
     let lines = geom.lines();
     assert!(updated.misses <= baseline_misses.unwrap() + updated.updates * lines);
@@ -97,19 +101,13 @@ fn aging_pipeline_matches_closed_form_for_linear_rates() {
     // fraction, so probing's rotation average has a closed form:
     // LT = LT_cell / mean(m(S_i)).
     let solver = LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).unwrap();
-    let r_v = solver
-        .rd()
-        .voltage_acceleration(solver.design().vdd_low());
+    let r_v = solver.rd().voltage_acceleration(solver.design().vdd_low());
     let aging = nbti_cache_repro::arch::aging::AgingAnalysis::new(solver);
     let sleep = [0.9, 0.7, 0.2, 0.05];
     let lt = aging
         .cache_lifetime(&sleep, 0.5, PolicyKind::Probing)
         .unwrap();
-    let mean_m = sleep
-        .iter()
-        .map(|s| (1.0 - s) + s * r_v)
-        .sum::<f64>()
-        / 4.0;
+    let mean_m = sleep.iter().map(|s| (1.0 - s) + s * r_v).sum::<f64>() / 4.0;
     let closed_form = 2.93 / mean_m;
     assert!(
         (lt - closed_form).abs() / closed_form < 0.02,
