@@ -8,12 +8,16 @@
 //! ```
 //!
 //! Axes default to the paper's reference point; `--workloads all` (the
-//! default) runs the full 18-benchmark suite. Without `--json` a
-//! compact summary table is printed.
+//! default) runs the full 18-benchmark suite. The workload axis also
+//! takes external trace files — `--trace csv:/path/to/trace.csv`
+//! (formats: `csv`, `din`, `lackey`, or `file:` to infer from the
+//! extension; repeat the flag for several traces) — whose format and
+//! content hash are recorded in the report for reproducibility.
+//! Without `--json` a compact summary table is printed.
 
 use aging_cache::report::{pct, years, Table};
 use aging_cache::study::StudySpec;
-use aging_cache::PolicyRegistry;
+use aging_cache::{PolicyRegistry, WorkloadRegistry};
 use repro_bench::context;
 
 fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Vec<T> {
@@ -32,6 +36,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec = StudySpec::new("cli study");
     let mut json = false;
+    // The workload axis is assembled from --workloads and --trace and
+    // applied once after parsing: `None` = the full default suite.
+    let mut workloads: Option<Vec<String>> = None;
+    let mut traces: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -46,6 +54,13 @@ fn main() {
             }
             return;
         }
+        if flag == "--list-workloads" {
+            for (name, workload) in WorkloadRegistry::global().iter() {
+                println!("{name:<12} {}", workload.description());
+            }
+            println!("{:<12} external trace files also work: csv:/path, din:/path, lackey:/path, file:/path", "…");
+            return;
+        }
         let Some(value) = args.get(i + 1) else {
             eprintln!("flag {flag} needs a value");
             std::process::exit(2);
@@ -56,13 +71,25 @@ fn main() {
             "--banks" => spec.banks(parse_list(value, flag)),
             "--update-days" => spec.update_days(parse_list(value, flag)),
             "--policies" => spec.policies(value.split(',').map(str::trim)),
-            "--workloads" if value == "all" => spec,
-            "--workloads" => spec
-                .workload_names(value.split(',').map(str::trim))
-                .unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2);
-                }),
+            "--workloads" if value == "all" => {
+                // Explicit full suite (in suite order), so a --trace
+                // appends to it instead of replacing it.
+                workloads = Some(
+                    trace_synth::suite::mediabench()
+                        .iter()
+                        .map(|p| p.name().to_string())
+                        .collect(),
+                );
+                spec
+            }
+            "--workloads" => {
+                workloads = Some(value.split(',').map(|s| s.trim().to_string()).collect());
+                spec
+            }
+            "--trace" => {
+                traces.push(value.clone());
+                spec
+            }
             "--trace-cycles" => spec.trace_cycles(parse_list(value, flag)[0]),
             "--seed" => spec.base_seed(parse_list(value, flag)[0]),
             "--threads" => spec.threads(parse_list(value, flag)[0]),
@@ -70,12 +97,30 @@ fn main() {
                 eprintln!("unknown flag {flag}");
                 eprintln!(
                     "flags: --cache-kb --line-bytes --banks --update-days --policies \
-                     --workloads --trace-cycles --seed --threads --json --list-policies"
+                     --workloads --trace <format:path> --trace-cycles --seed --threads \
+                     --json --list-policies --list-workloads"
                 );
                 std::process::exit(2);
             }
         };
         i += 2;
+    }
+    // --trace appends to the --workloads selection (or, with
+    // `--workloads all`/no selection, replaces the default suite); each
+    // file's format and content hash lands in the report.
+    let keys = match (workloads, traces.is_empty()) {
+        (Some(mut named), _) => {
+            named.extend(traces);
+            Some(named)
+        }
+        (None, false) => Some(traces),
+        (None, true) => None, // default suite
+    };
+    if let Some(keys) = keys {
+        spec = spec.workload_names(&keys).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
     }
 
     let report = match spec.run(&context()) {

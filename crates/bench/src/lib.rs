@@ -25,9 +25,8 @@
 //! | `study` | arbitrary scenario grids from the command line |
 //!
 //! Run any of them with `cargo run --release -p repro-bench --bin <name>`.
-//! Table binaries accept `--json` to emit the raw
-//! [`StudyReport`](aging_cache::study::StudyReport) instead of the
-//! rendered table.
+//! Table binaries accept `--json` to emit the raw [`StudyReport`]
+//! instead of the rendered table.
 
 pub mod harness;
 

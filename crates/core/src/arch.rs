@@ -7,6 +7,7 @@ use crate::policy::PolicyKind;
 use crate::registry::PolicyRegistry;
 use crate::selector::BlockSelector;
 use cache_sim::{Access, CacheGeometry, SimConfig, SimOutcome, Simulator};
+use trace_synth::{IterSource, TraceSource, BATCH_ACCESSES};
 
 /// When to pulse the dynamic-indexing `update` signal during a simulated
 /// trace.
@@ -149,7 +150,12 @@ impl PartitionedCache {
         BlockSelector::new(self.geometry.banks())
     }
 
-    /// Runs a trace through the power-managed cache.
+    /// Runs a trace through the power-managed cache, one access at a
+    /// time — the reference scalar path.
+    ///
+    /// Prefer [`PartitionedCache::simulate_batched`] (same results,
+    /// bitwise, measurably faster) unless you are benchmarking against
+    /// it.
     ///
     /// # Errors
     ///
@@ -164,6 +170,91 @@ impl PartitionedCache {
         let mut sim = Simulator::new(config, mapping)?;
         for access in trace {
             sim.step(access);
+            if let UpdateSchedule::EveryCycles(n) = update {
+                if n > 0 && sim.cycles() % n == 0 {
+                    sim.update_mapping()?;
+                }
+            }
+        }
+        Ok(sim.finish())
+    }
+
+    /// Runs a trace through the batched fast path
+    /// ([`Simulator::step_batch`]): bitwise-identical outcomes to
+    /// [`PartitionedCache::simulate`], with per-access dispatch, power
+    /// sweeps and stats updates amortized over fixed-size batches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction/update errors.
+    pub fn simulate_batched(
+        &self,
+        trace: impl IntoIterator<Item = Access>,
+        update: UpdateSchedule,
+    ) -> Result<SimOutcome, CoreError> {
+        let mut source = IterSource::new(trace.into_iter());
+        self.simulate_source(&mut source, None, update)
+    }
+
+    /// Streams a [`TraceSource`] through the batched fast path in
+    /// constant memory: accesses are pulled in chunks of at most
+    /// [`BATCH_ACCESSES`], so multi-gigabyte trace files never
+    /// materialize in RAM.
+    ///
+    /// `limit` caps the number of accesses consumed (mandatory for
+    /// infinite synthetic sources); `None` runs the source dry.
+    /// Batches are clipped at update-schedule boundaries, so updates
+    /// fire on exactly the cycles the scalar path would pick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction/update errors and trace
+    /// decode errors ([`CoreError::Trace`]).
+    pub fn simulate_source(
+        &self,
+        source: &mut dyn TraceSource,
+        limit: Option<u64>,
+        update: UpdateSchedule,
+    ) -> Result<SimOutcome, CoreError> {
+        let config = SimConfig::new(self.geometry)?;
+        let mapping = self.build_mapping()?;
+        let mut sim = Simulator::new(config, mapping)?;
+        let mut buf: Vec<Access> = Vec::with_capacity(BATCH_ACCESSES);
+        let mut remaining = limit;
+        loop {
+            let mut room = BATCH_ACCESSES as u64;
+            if let UpdateSchedule::EveryCycles(n) = update {
+                if n > 0 {
+                    room = room.min(n - sim.cycles() % n);
+                }
+            }
+            if let Some(rem) = remaining {
+                room = room.min(rem);
+            }
+            if room == 0 {
+                break;
+            }
+            buf.clear();
+            let got = source.next_batch(&mut buf, room as usize)?;
+            if got == 0 {
+                break;
+            }
+            // `max` is a hard contract: an overshooting source would
+            // wrap the remaining-access budget and fire mapping updates
+            // on the wrong cycles, so reject it instead of trusting it.
+            if got as u64 > room || got != buf.len() {
+                return Err(CoreError::Report {
+                    message: format!(
+                        "trace source violated next_batch contract: \
+                         appended {got} accesses (buffer {}) for max {room}",
+                        buf.len()
+                    ),
+                });
+            }
+            sim.step_batch(&buf);
+            if let Some(rem) = &mut remaining {
+                *rem -= got as u64;
+            }
             if let UpdateSchedule::EveryCycles(n) = update {
                 if n > 0 && sim.cycles() % n == 0 {
                     sim.update_mapping()?;

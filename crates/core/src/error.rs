@@ -40,6 +40,20 @@ pub enum CoreError {
         /// The colliding name.
         name: String,
     },
+    /// A workload key resolved to nothing in the registry.
+    UnknownWorkload {
+        /// The unresolved key.
+        name: String,
+        /// Comma-separated list of registered names.
+        known: String,
+    },
+    /// A workload name was registered twice.
+    DuplicateWorkload {
+        /// The colliding name.
+        name: String,
+    },
+    /// A trace source failed to open or decode.
+    Trace(trace_synth::TraceError),
     /// A study report failed to serialize or deserialize.
     Report {
         /// What went wrong.
@@ -72,6 +86,17 @@ impl fmt::Display for CoreError {
             CoreError::DuplicatePolicy { name } => {
                 write!(f, "policy `{name}` is already registered")
             }
+            CoreError::UnknownWorkload { name, known } => {
+                write!(
+                    f,
+                    "unknown workload `{name}` (registered: {known}; file-backed \
+                     workloads use `csv:`, `din:`, `lackey:` or `file:` keys)"
+                )
+            }
+            CoreError::DuplicateWorkload { name } => {
+                write!(f, "workload `{name}` is already registered")
+            }
+            CoreError::Trace(e) => write!(f, "trace error: {e}"),
             CoreError::Report { message } => write!(f, "study report error: {message}"),
             CoreError::WorkerPanicked => write!(f, "a study worker thread panicked"),
         }
@@ -92,6 +117,7 @@ impl Error for CoreError {
             CoreError::Sim(e) => Some(e),
             CoreError::Nbti(e) => Some(e),
             CoreError::Power(e) => Some(e),
+            CoreError::Trace(e) => Some(e),
             _ => None,
         }
     }
@@ -112,6 +138,12 @@ impl From<nbti_model::NbtiError> for CoreError {
 impl From<sram_power::PowerError> for CoreError {
     fn from(e: sram_power::PowerError) -> Self {
         CoreError::Power(e)
+    }
+}
+
+impl From<trace_synth::TraceError> for CoreError {
+    fn from(e: trace_synth::TraceError) -> Self {
+        CoreError::Trace(e)
     }
 }
 

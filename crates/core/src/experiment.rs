@@ -2,7 +2,7 @@
 //!
 //! Since the Study API redesign this module is a thin compatibility
 //! layer: the measurement engine is [`crate::study`] (declarative
-//! [`StudySpec`](crate::study::StudySpec) grids run in parallel), the
+//! [`crate::study::StudySpec`] grids run in parallel), the
 //! paper's tables are presets over it ([`crate::presets`]) and the
 //! rendering is a set of pure views ([`crate::views`]). The `tableN`
 //! functions here wire those three together so historic callers — and

@@ -22,6 +22,10 @@
 //! * [`registry`] — the open, string-keyed [`registry::PolicyRegistry`]:
 //!   five built-in policies (`identity`, `probing`, `scrambling`,
 //!   `gray`, `rotate-xor`) plus user-registered ones;
+//! * [`workload`] — the open workload axis: the
+//!   [`workload::WorkloadRegistry`] resolves suite names and
+//!   file-backed trace keys (`csv:path`, `din:path`, `lackey:path`) to
+//!   streaming access sources with content-hash provenance;
 //! * [`study`] — the Study API: declarative [`study::StudySpec`] grids
 //!   expanded into [`study::ScenarioGrid`]s, run across threads into
 //!   serializable [`study::StudyReport`]s;
@@ -105,6 +109,7 @@ pub mod report;
 pub mod selector;
 pub mod study;
 pub mod views;
+pub mod workload;
 
 pub use aging::AgingAnalysis;
 pub use arch::PartitionedCache;
@@ -116,3 +121,6 @@ pub use policy::{GrayRotation, PolicyKind, Probing, RotateXor, Scrambling};
 pub use registry::{IndexingPolicy, PolicyRegistry};
 pub use selector::{BlockSelector, Rail};
 pub use study::{Scenario, ScenarioGrid, ScenarioRecord, StudyReport, StudySpec};
+pub use workload::{
+    FileWorkload, SyntheticWorkload, Workload, WorkloadRegistry, WorkloadSourceInfo,
+};

@@ -7,6 +7,40 @@
 //!
 //! All presets pin the policy seed to `1` (the historic LFSR seed) so
 //! the measured values match the pre-redesign runners bit-for-bit.
+//!
+//! # Examples
+//!
+//! Regenerating a paper table is preset → run → view:
+//!
+//! ```no_run
+//! use aging_cache::experiment::{ExperimentConfig, ExperimentContext};
+//! use aging_cache::{presets, views};
+//!
+//! # fn main() -> Result<(), aging_cache::CoreError> {
+//! let cfg = ExperimentConfig::paper_reference(); // 16 kB, 16 B, M = 4
+//! let ctx = ExperimentContext::new()?;
+//! let report = presets::table2(&cfg).run(&ctx)?;
+//! println!("{}", views::table2(&report)?);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! A preset is an ordinary [`StudySpec`], so axes can be overridden
+//! before running — e.g. Table II on a trace file instead of the
+//! synthetic suite:
+//!
+//! ```no_run
+//! # use aging_cache::experiment::{ExperimentConfig, ExperimentContext};
+//! # use aging_cache::presets;
+//! # fn main() -> Result<(), aging_cache::CoreError> {
+//! # let cfg = ExperimentConfig::paper_reference();
+//! # let ctx = ExperimentContext::new()?;
+//! let report = presets::table2(&cfg)
+//!     .workload_names(["csv:/traces/my_app.csv"])?
+//!     .run(&ctx)?;
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::experiment::ExperimentConfig;
 use crate::study::StudySpec;

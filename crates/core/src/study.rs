@@ -19,6 +19,15 @@
 //! over this engine ([`crate::presets`]) plus pure table views
 //! ([`crate::views`]).
 //!
+//! Both evaluation axes are open: policies resolve through the
+//! [`PolicyRegistry`] and workloads through the
+//! [`WorkloadRegistry`], which
+//! accepts suite names (`"sha"`) and file-backed trace keys
+//! (`csv:path`, `din:path`, `lackey:path`) interchangeably. File
+//! workloads stream in constant memory through the batched simulator
+//! fast path, and their provenance (format + content hash) is embedded
+//! in every [`ScenarioRecord`]'s scenario.
+//!
 //! # Seed derivation
 //!
 //! Determinism is load-bearing: a grid must produce byte-identical
@@ -60,8 +69,8 @@ use crate::arch::{PartitionedCache, UpdateSchedule};
 use crate::error::CoreError;
 use crate::experiment::ExperimentContext;
 use crate::json::Json;
-use crate::policy::PolicyKind;
 use crate::registry::{derive_policy_seed, PolicyRegistry};
+use crate::workload::{SyntheticWorkload, Workload, WorkloadRegistry, WorkloadSourceInfo};
 use cache_sim::CacheGeometry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -71,6 +80,7 @@ use trace_synth::{suite, WorkloadProfile};
 /// Measured simulation outputs shared by scenarios that differ only in
 /// policy or update period.
 struct SimMeasurement {
+    cycles: u64,
     esav: f64,
     miss_rate: f64,
     useful_idleness: Vec<f64>,
@@ -104,8 +114,10 @@ pub const DEFAULT_BASE_SEED: u64 = 1000;
 ///
 /// Defaults describe the paper's reference point (16 kB cache, 16 B
 /// lines, 4 banks, daily updates, the Probing policy, the full
-/// 18-workload MediaBench-like suite).
-#[derive(Debug, Clone)]
+/// 18-workload MediaBench-like suite). The workload axis is open:
+/// synthetic profiles and file-backed traces (`csv:path`, `din:path`,
+/// `lackey:path` keys via [`StudySpec::workload_names`]) mix freely.
+#[derive(Clone)]
 pub struct StudySpec {
     name: String,
     cache_bytes: Vec<u64>,
@@ -113,12 +125,32 @@ pub struct StudySpec {
     banks: Vec<u32>,
     update_days: Vec<f64>,
     policies: Vec<String>,
-    workloads: Vec<WorkloadProfile>,
+    workloads: Vec<Arc<dyn Workload>>,
     trace_cycles: u64,
     base_seed: u64,
     policy_seed: Option<u64>,
     threads: Option<usize>,
     registry: PolicyRegistry,
+    workload_registry: WorkloadRegistry,
+}
+
+impl std::fmt::Debug for StudySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StudySpec")
+            .field("name", &self.name)
+            .field("cache_bytes", &self.cache_bytes)
+            .field("line_bytes", &self.line_bytes)
+            .field("banks", &self.banks)
+            .field("update_days", &self.update_days)
+            .field("policies", &self.policies)
+            .field(
+                "workloads",
+                &self.workloads.iter().map(|w| w.name()).collect::<Vec<_>>(),
+            )
+            .field("trace_cycles", &self.trace_cycles)
+            .field("base_seed", &self.base_seed)
+            .finish_non_exhaustive()
+    }
 }
 
 impl StudySpec {
@@ -131,12 +163,18 @@ impl StudySpec {
             banks: vec![4],
             update_days: vec![1.0],
             policies: vec!["probing".into()],
-            workloads: suite::mediabench(),
+            // Suite order (not registry name order): the historic
+            // `seed + i` rule keys off this ordering.
+            workloads: suite::mediabench()
+                .into_iter()
+                .map(|p| Arc::new(SyntheticWorkload::new(p)) as Arc<dyn Workload>)
+                .collect(),
             trace_cycles: DEFAULT_TRACE_CYCLES,
             base_seed: DEFAULT_BASE_SEED,
             policy_seed: None,
             threads: None,
             registry: PolicyRegistry::builtin(),
+            workload_registry: WorkloadRegistry::builtin(),
         }
     }
 
@@ -183,37 +221,54 @@ impl StudySpec {
         self
     }
 
-    /// Sets the workload axis to explicit profiles; one or many values.
+    /// Sets the workload axis to explicit synthetic profiles; one or
+    /// many values.
     #[must_use]
     pub fn workloads(mut self, workloads: impl IntoIterator<Item = WorkloadProfile>) -> Self {
+        self.workloads = workloads
+            .into_iter()
+            .map(|p| Arc::new(SyntheticWorkload::new(p)) as Arc<dyn Workload>)
+            .collect();
+        self
+    }
+
+    /// Sets the workload axis to explicit [`Workload`] objects (mixing
+    /// synthetic and file-backed freely); one or many values.
+    #[must_use]
+    pub fn workload_objects(
+        mut self,
+        workloads: impl IntoIterator<Item = Arc<dyn Workload>>,
+    ) -> Self {
         self.workloads = workloads.into_iter().collect();
         self
     }
 
-    /// Sets the workload axis by suite name.
+    /// Sets the workload axis by registry key: suite names (`"sha"`),
+    /// user-registered names, and file-backed `format:path` keys
+    /// (`csv:…`, `din:…`, `lackey:…`, `file:…`) all resolve.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Report`] for a name outside the
-    /// MediaBench-like suite.
+    /// Returns [`CoreError::UnknownWorkload`] for an unresolvable key,
+    /// or [`CoreError::Trace`] when a trace file cannot be read.
     pub fn workload_names<S: AsRef<str>>(
         mut self,
         names: impl IntoIterator<Item = S>,
     ) -> Result<Self, CoreError> {
         let mut workloads = Vec::new();
         for name in names {
-            let name = name.as_ref();
-            match suite::by_name(name) {
-                Some(p) => workloads.push(p),
-                None => {
-                    return Err(CoreError::Report {
-                        message: format!("workload `{name}` is not in the suite"),
-                    })
-                }
-            }
+            workloads.push(self.workload_registry.resolve(name.as_ref())?);
         }
         self.workloads = workloads;
         Ok(self)
+    }
+
+    /// Replaces the workload registry (to resolve custom workloads by
+    /// name in [`StudySpec::workload_names`]).
+    #[must_use]
+    pub fn workload_registry(mut self, registry: WorkloadRegistry) -> Self {
+        self.workload_registry = registry;
+        self
     }
 
     /// Sets the simulated trace length in cycles.
@@ -325,6 +380,7 @@ impl StudySpec {
                                     policy: policy.clone(),
                                     workload: w.name().to_string(),
                                     workload_index: wi,
+                                    workload_source: w.source_info(),
                                     trace_cycles: self.trace_cycles,
                                     trace_seed: self.base_seed + wi as u64,
                                     policy_seed: self.policy_seed.unwrap_or_else(|| {
@@ -375,6 +431,10 @@ pub struct Scenario {
     pub workload: String,
     /// Index of the workload on the spec's workload axis.
     pub workload_index: usize,
+    /// Provenance of a file-backed workload (trace format + content
+    /// hash), `None` for synthetic workloads. Serialized into reports
+    /// so published results name exactly which trace produced them.
+    pub workload_source: Option<WorkloadSourceInfo>,
     /// Simulated trace length in cycles.
     pub trace_cycles: u64,
     /// Derived trace seed (`base_seed + workload_index`).
@@ -385,7 +445,7 @@ pub struct Scenario {
 
 impl Scenario {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("id", Json::Num(self.id as f64)),
             ("cache_bytes", Json::Num(self.cache_bytes as f64)),
             ("line_bytes", Json::Num(self.line_bytes as f64)),
@@ -399,7 +459,20 @@ impl Scenario {
             // 53 bits exactly, so emit them as decimal strings.
             ("trace_seed", Json::Str(self.trace_seed.to_string())),
             ("policy_seed", Json::Str(self.policy_seed.to_string())),
-        ])
+        ];
+        // Omitted entirely for synthetic workloads, so reports written
+        // before the workload axis opened parse (and emit) unchanged.
+        if let Some(source) = &self.workload_source {
+            pairs.push((
+                "workload_source",
+                Json::obj(vec![
+                    ("format", Json::Str(source.format.clone())),
+                    ("hash", Json::Str(source.hash.clone())),
+                    ("path", Json::Str(source.path.clone())),
+                ]),
+            ));
+        }
+        Json::obj(pairs)
     }
 
     fn u64_field(v: &Json, key: &str) -> Result<u64, CoreError> {
@@ -413,7 +486,16 @@ impl Scenario {
     }
 
     fn from_json(v: &Json) -> Result<Self, CoreError> {
+        let workload_source = match v.get("workload_source") {
+            None => None,
+            Some(s) => Some(WorkloadSourceInfo {
+                format: s.field("format")?.as_str("format")?.to_string(),
+                hash: s.field("hash")?.as_str("hash")?.to_string(),
+                path: s.field("path")?.as_str("path")?.to_string(),
+            }),
+        };
         Ok(Self {
+            workload_source,
             id: v.field("id")?.as_num("id")? as usize,
             cache_bytes: v.field("cache_bytes")?.as_num("cache_bytes")? as u64,
             line_bytes: v.field("line_bytes")?.as_num("line_bytes")? as u32,
@@ -430,13 +512,26 @@ impl Scenario {
 }
 
 /// An expanded grid, ready to run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ScenarioGrid {
     name: String,
     scenarios: Vec<Scenario>,
-    workloads: Vec<WorkloadProfile>,
+    workloads: Vec<Arc<dyn Workload>>,
     registry: PolicyRegistry,
     threads: Option<usize>,
+}
+
+impl std::fmt::Debug for ScenarioGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioGrid")
+            .field("name", &self.name)
+            .field("scenarios", &self.scenarios.len())
+            .field(
+                "workloads",
+                &self.workloads.iter().map(|w| w.name()).collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 impl ScenarioGrid {
@@ -540,21 +635,33 @@ impl ScenarioGrid {
         if let Some(hit) = memo.lock().expect("memo poisoned").sims.get(&key) {
             return Ok(Arc::clone(hit));
         }
-        let profile = &self.workloads[scenario.workload_index];
+        let workload = &self.workloads[scenario.workload_index];
         let geom = CacheGeometry::direct_mapped(
             scenario.cache_bytes,
             scenario.line_bytes,
             scenario.banks,
         )?;
-        let arch = PartitionedCache::new(geom, PolicyKind::Identity)?;
-        let out = arch.simulate(
-            profile
-                .trace(scenario.trace_seed)
-                .take(scenario.trace_cycles as usize),
+        let arch = PartitionedCache::new_named(geom, "identity", PolicyRegistry::global().clone())?;
+        // Stream the workload through the batched fast path: synthetic
+        // generators and multi-GB trace files both run in constant
+        // memory, with bitwise-identical outcomes to the scalar loop.
+        let mut source = workload.open(scenario.trace_seed)?;
+        let out = arch.simulate_source(
+            source.as_mut(),
+            Some(scenario.trace_cycles),
             UpdateSchedule::Never,
         )?;
+        if out.accesses == 0 {
+            return Err(CoreError::Report {
+                message: format!(
+                    "workload `{}` produced no accesses (empty trace?)",
+                    scenario.workload
+                ),
+            });
+        }
         debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
         let measured = Arc::new(SimMeasurement {
+            cycles: out.cycles,
             esav: out.energy_saving(),
             miss_rate: out.miss_rate(),
             useful_idleness: out.useful_idleness_all(),
@@ -633,6 +740,7 @@ impl ScenarioGrid {
 
         Ok(ScenarioRecord {
             scenario: scenario.clone(),
+            sim_cycles: measured.cycles,
             esav: measured.esav,
             miss_rate: measured.miss_rate,
             useful_idleness: measured.useful_idleness.clone(),
@@ -648,6 +756,10 @@ impl ScenarioGrid {
 pub struct ScenarioRecord {
     /// The grid point this record measures.
     pub scenario: Scenario,
+    /// Cycles actually simulated. Equals `scenario.trace_cycles` for
+    /// synthetic workloads; a file-backed trace shorter than the cap
+    /// ends the run early, and this records the truth.
+    pub sim_cycles: u64,
     /// Energy saving vs the monolithic always-on cache.
     pub esav: f64,
     /// Cache miss rate on the trace.
@@ -671,6 +783,7 @@ impl ScenarioRecord {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("scenario", self.scenario.to_json()),
+            ("sim_cycles", Json::Num(self.sim_cycles as f64)),
             ("esav", Json::Num(self.esav)),
             ("miss_rate", Json::Num(self.miss_rate)),
             ("useful_idleness", Json::nums(&self.useful_idleness)),
@@ -688,8 +801,16 @@ impl ScenarioRecord {
                 .map(|item| item.as_num(key).map_err(CoreError::from))
                 .collect()
         };
+        let scenario = Scenario::from_json(v.field("scenario")?)?;
+        // Reports written before the workload axis opened lack the
+        // field; for them the requested length is the simulated length.
+        let sim_cycles = match v.get("sim_cycles") {
+            Some(n) => n.as_num("sim_cycles")? as u64,
+            None => scenario.trace_cycles,
+        };
         Ok(Self {
-            scenario: Scenario::from_json(v.field("scenario")?)?,
+            scenario,
+            sim_cycles,
             esav: v.field("esav")?.as_num("esav")?,
             miss_rate: v.field("miss_rate")?.as_num("miss_rate")?,
             useful_idleness: nums("useful_idleness")?,
@@ -853,6 +974,37 @@ mod tests {
     }
 
     #[test]
+    fn short_file_trace_records_actual_cycles() {
+        // A file-backed trace shorter than trace_cycles must not claim
+        // the full requested length in its record.
+        let accesses: Vec<_> = suite::by_name("sha")
+            .unwrap()
+            .trace(9)
+            .take(5_000)
+            .collect();
+        let mut text = String::new();
+        trace_synth::formats::write_csv(&mut text, &accesses);
+        let dir = std::env::temp_dir().join("nbti-study-short-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("short.csv");
+        std::fs::write(&path, &text).unwrap();
+
+        let ctx = ExperimentContext::new().unwrap();
+        let report = StudySpec::new("short")
+            .workload_names([format!("csv:{}", path.display())])
+            .unwrap()
+            .trace_cycles(40_000)
+            .run(&ctx)
+            .unwrap();
+        let r = &report.records()[0];
+        assert_eq!(r.scenario.trace_cycles, 40_000, "the request is recorded");
+        assert_eq!(r.sim_cycles, 5_000, "the truth is recorded");
+        // And it survives the JSON round-trip.
+        let back = StudyReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.records()[0].sim_cycles, 5_000);
+    }
+
+    #[test]
     fn report_json_roundtrip_without_running() {
         let scenario = Scenario {
             id: 0,
@@ -863,6 +1015,7 @@ mod tests {
             policy: "probing".into(),
             workload: "sha".into(),
             workload_index: 0,
+            workload_source: None,
             trace_cycles: 1000,
             trace_seed: 1000,
             policy_seed: 1,
@@ -871,6 +1024,7 @@ mod tests {
             "roundtrip",
             vec![ScenarioRecord {
                 scenario,
+                sim_cycles: 1000,
                 esav: 0.443,
                 miss_rate: 0.01,
                 useful_idleness: vec![0.1, 0.9, 0.95, 0.05],

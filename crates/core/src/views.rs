@@ -5,7 +5,25 @@
 //! functions are pure: `StudyReport` in, [`Table`] out, with the paper's
 //! published values ([`crate::paper`]) laid alongside. They accept any
 //! report with the right shape — presets produce that shape, but so can
-//! custom specs.
+//! custom specs, and a report parsed back from JSON renders the same
+//! table a live run would.
+//!
+//! # Examples
+//!
+//! Views compose with serialized reports — render first, persist, and
+//! re-render later without re-measuring:
+//!
+//! ```no_run
+//! use aging_cache::study::StudyReport;
+//! use aging_cache::views;
+//!
+//! # fn main() -> Result<(), aging_cache::CoreError> {
+//! let json = std::fs::read_to_string("table2.json").expect("saved report");
+//! let report = StudyReport::from_json(&json)?;
+//! println!("{}", views::table2(&report)?);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::error::CoreError;
 use crate::experiment::{claims_from, BenchResult};
@@ -468,10 +486,12 @@ mod tests {
                 policy: policy.into(),
                 workload: workload.into(),
                 workload_index: wi,
+                workload_source: None,
                 trace_cycles: 1000,
                 trace_seed: 1000 + wi as u64,
                 policy_seed: 1,
             },
+            sim_cycles: 1000,
             esav: 0.4,
             miss_rate: 0.05,
             useful_idleness: vec![0.4; banks as usize],

@@ -117,6 +117,41 @@ impl IdleTracker {
         stats.histogram[bucket.min(BUCKETS - 1)] += 1;
     }
 
+    /// Batched equivalent of calling [`IdleTracker::record`] once per
+    /// element of `accessed` (one accessed bank per cycle).
+    ///
+    /// Intervals only close on accesses, so the tracker needs no
+    /// per-cycle bank sweep at all: it keeps a virtual last-access
+    /// timestamp per bank and closes the interval of the accessed bank
+    /// in `O(1)`. Work is `O(accesses + banks)` per call and the
+    /// tracker state is settled to exactly what the per-cycle path
+    /// would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if an accessed bank index is out of
+    /// range.
+    pub fn record_batch(&mut self, accessed: &[u32]) {
+        let banks = self.open_run.len();
+        let c0 = self.cycles;
+        let mut last: Vec<u64> = (0..banks).map(|b| c0 - self.open_run[b]).collect();
+        for (i, &bank) in accessed.iter().enumerate() {
+            debug_assert!((bank as usize) < banks, "bank {bank} out of range");
+            let c = c0 + i as u64 + 1;
+            let bi = bank as usize;
+            let run = c - 1 - last[bi];
+            if run > 0 {
+                Self::close(&mut self.stats[bi], run, self.breakeven);
+            }
+            last[bi] = c;
+        }
+        let cn = c0 + accessed.len() as u64;
+        self.cycles = cn;
+        for (open, &l) in self.open_run.iter_mut().zip(&last) {
+            *open = cn - l;
+        }
+    }
+
     /// Closes all open intervals and returns the per-bank statistics.
     pub fn finish(mut self) -> Vec<IdleStats> {
         for b in 0..self.open_run.len() {
@@ -216,6 +251,28 @@ mod tests {
         t.record(Some(0));
         let s = t.finish();
         assert_eq!(s[0].long_intervals, 0, "len == breakeven is not 'longer'");
+    }
+
+    #[test]
+    fn record_batch_matches_per_cycle() {
+        let mut x = 0xdead_beef_1234u64;
+        let accesses: Vec<u32> = (0..6000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 40) % 4) as u32
+            })
+            .collect();
+        let mut reference = IdleTracker::new(4, 9);
+        for &b in &accesses {
+            reference.record(Some(b));
+        }
+        let mut batched = IdleTracker::new(4, 9);
+        for chunk in accesses.chunks(113) {
+            batched.record_batch(chunk);
+        }
+        assert_eq!(batched.cycles, reference.cycles);
+        assert_eq!(batched.open_run, reference.open_run);
+        assert_eq!(batched.finish(), reference.finish());
     }
 
     #[test]

@@ -138,6 +138,11 @@ pub struct Simulator {
     misses: u64,
     writebacks: u64,
     updates: u64,
+    // Scratch buffers reused across step_batch calls.
+    phys: Vec<u32>,
+    phys_sets: Vec<u64>,
+    lut: Vec<u32>,
+    leak_lut: Vec<f64>,
     // Pre-computed per-event energies (fJ).
     access_fj: f64,
     access_overhead_fj: f64,
@@ -192,6 +197,10 @@ impl Simulator {
             misses: 0,
             writebacks: 0,
             updates: 0,
+            phys: Vec::new(),
+            phys_sets: Vec::new(),
+            lut: Vec::new(),
+            leak_lut: Vec::new(),
             access_fj,
             access_overhead_fj,
             wake_fj,
@@ -251,6 +260,98 @@ impl Simulator {
         self.ledger.overhead_fj += self.access_overhead_fj;
         self.charge_leakage();
         result
+    }
+
+    /// Executes a batch of accesses, one cycle each — the hot path.
+    ///
+    /// Produces **bitwise-identical** state to calling
+    /// [`Simulator::step`] once per element (the `batched_equivalence`
+    /// integration tests enforce this on every built-in workload), but
+    /// amortizes the per-access overheads the scalar path pays:
+    ///
+    /// * the virtual `map_bank` dispatch collapses to one logical→
+    ///   physical bank LUT per batch (the mapping can only change via
+    ///   [`Simulator::update_mapping`], never mid-batch);
+    /// * the `O(banks)` per-cycle sweeps in [`BankPower`] and
+    ///   [`IdleTracker`] become event-driven batch walks
+    ///   ([`BankPower::cycle_batch`], [`IdleTracker::record_batch`]);
+    /// * per-cycle leakage becomes a table lookup indexed by the live
+    ///   active-bank count (same arithmetic, precomputed).
+    ///
+    /// The two paths are interchangeable: scalar `step` calls may
+    /// precede or follow batches on the same simulator.
+    pub fn step_batch(&mut self, batch: &[Access]) {
+        let geom = *self.config.geometry();
+        let banks = geom.banks();
+        self.lut.clear();
+        self.lut
+            .extend((0..banks).map(|l| self.mapping.map_bank(l, banks)));
+        self.leak_lut.clear();
+        for active in 0..=banks {
+            let drowsy = banks - active;
+            // Exactly charge_leakage's expression, per possible count.
+            self.leak_lut
+                .push(active as f64 * self.leak_active_fj + drowsy as f64 * self.leak_drowsy_fj);
+        }
+        self.phys.clear();
+        self.phys.reserve(batch.len());
+        self.phys_sets.clear();
+        self.phys_sets.reserve(batch.len());
+        for access in batch {
+            let set = geom.set_of(access.addr);
+            let physical = self.lut[geom.bank_of_set(set) as usize];
+            debug_assert!(physical < banks, "mapping out of range");
+            self.phys.push(physical);
+            self.phys_sets
+                .push(geom.set_from_bank_slot(physical, geom.slot_in_bank(set)));
+        }
+        self.idle.record_batch(&self.phys);
+
+        let access_fj = self.access_fj;
+        let access_overhead_fj = self.access_overhead_fj;
+        let wake_fj = self.wake_fj;
+        let leak_overhead_factor = self.leak_overhead_factor;
+        let Self {
+            cache,
+            power,
+            ledger,
+            bank_accesses,
+            hits,
+            misses,
+            writebacks,
+            phys,
+            phys_sets,
+            leak_lut,
+            ..
+        } = self;
+        let phys: &[u32] = phys;
+        let phys_sets: &[u64] = phys_sets;
+        power.cycle_batch(phys, |i, woke, active| {
+            let access = batch[i];
+            let physical_bank = phys[i];
+            let result = cache.access(phys_sets[i], geom.tag_of(access.addr), access.kind);
+            if result.hit {
+                *hits += 1;
+            } else {
+                *misses += 1;
+                ledger.dynamic_fj += access_fj;
+                ledger.overhead_fj += access_overhead_fj;
+                if result.writeback {
+                    *writebacks += 1;
+                    ledger.dynamic_fj += access_fj;
+                    ledger.overhead_fj += access_overhead_fj;
+                }
+            }
+            bank_accesses[physical_bank as usize] += 1;
+            if woke {
+                ledger.wake_fj += wake_fj;
+            }
+            ledger.dynamic_fj += access_fj;
+            ledger.overhead_fj += access_overhead_fj;
+            let leak = leak_lut[active as usize];
+            ledger.leakage_fj += leak;
+            ledger.overhead_fj += leak * leak_overhead_factor;
+        });
     }
 
     /// Advances one cycle with no cache access (a processor stall or
@@ -378,6 +479,56 @@ mod tests {
         assert_eq!(out.cycles, 100_000 + idles, "accesses + idle cycles");
         assert_eq!(out.accesses, 100_000);
         assert!(out.miss_rate() > 0.0);
+    }
+
+    #[test]
+    fn step_batch_is_bitwise_identical_to_step() {
+        // Mixed read/write traffic with conflict misses and dirty
+        // evictions, alternating banks so wakes and drowses both fire.
+        let mut x = 0xfeed_f00d_u64;
+        let accesses: Vec<Access> = (0..60_000)
+            .map(|i: u64| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let addr = (i / 500) % 2 * 4096 + x % (40 * 1024);
+                if x.is_multiple_of(3) {
+                    Access::write(addr)
+                } else {
+                    Access::read(addr)
+                }
+            })
+            .collect();
+        let mut scalar = sim(16, 4);
+        for &a in &accesses {
+            scalar.step(a);
+        }
+        let mut batched = sim(16, 4);
+        // Ragged batch sizes, including size-1 and a scalar interlude,
+        // to prove the paths are interchangeable mid-run.
+        let mut rest = &accesses[..];
+        let sizes = [1usize, 7, 256, 4096, 33];
+        let mut si = 0;
+        while !rest.is_empty() {
+            let n = sizes[si % sizes.len()].min(rest.len());
+            si += 1;
+            if si % 5 == 0 {
+                batched.step(rest[0]);
+                rest = &rest[1..];
+                continue;
+            }
+            batched.step_batch(&rest[..n]);
+            rest = &rest[n..];
+        }
+        let (a, b) = (scalar.finish(), batched.finish());
+        assert_eq!(a, b, "batched outcome must be bitwise identical");
+        assert_eq!(a.energy.dynamic_fj.to_bits(), b.energy.dynamic_fj.to_bits());
+        assert_eq!(a.energy.leakage_fj.to_bits(), b.energy.leakage_fj.to_bits());
+        assert_eq!(
+            a.energy.overhead_fj.to_bits(),
+            b.energy.overhead_fj.to_bits()
+        );
+        assert_eq!(a.energy.wake_fj.to_bits(), b.energy.wake_fj.to_bits());
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! The generator is fully deterministic: the same profile and seed always
 //! produce the same trace.
 //!
+//! Beyond the synthetic suite, the crate is the repo's **workload
+//! ingestion layer**: [`source::TraceSource`] streams accesses in
+//! batches from any producer, and [`formats`] parses real trace files
+//! (Dinero `.din`, Valgrind Lackey, CSV) in constant memory, so the
+//! whole study pipeline runs on external traces too.
+//!
 //! # Quick start
 //!
 //! ```
@@ -35,17 +41,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod formats;
 pub mod profile;
 pub mod region;
 pub mod rng;
 pub mod schedule;
+pub mod source;
 pub mod suite;
 pub mod synthetic;
 
+pub use formats::TraceFormat;
 pub use profile::{TraceGen, WorkloadProfile, WorkloadProfileBuilder};
 pub use region::{AccessPattern, Region};
 pub use rng::SplitMix64;
 pub use schedule::{ScheduleBuilder, Slot, SlotSchedule};
+pub use source::{IterSource, SliceSource, TraceError, TraceSource, BATCH_ACCESSES};
 
 /// Reference configuration the profiles are calibrated against:
 /// 16 kB cache, 16 B lines, M = 4 banks — the paper's Table I setup.

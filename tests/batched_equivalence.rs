@@ -1,0 +1,94 @@
+//! Byte-equality of the batched fast path against the per-access
+//! reference, on every built-in workload — the contract that lets the
+//! study pipeline stream batches without changing a single published
+//! number.
+
+use nbti_cache_repro::arch::arch::{PartitionedCache, UpdateSchedule};
+use nbti_cache_repro::arch::PolicyRegistry;
+use nbti_cache_repro::sim::{CacheGeometry, SimOutcome};
+use nbti_cache_repro::traces::formats::{write_csv, write_din, write_lackey, TraceFormat};
+use nbti_cache_repro::traces::suite;
+
+const CYCLES: usize = 30_000;
+
+fn arch(policy: &str, banks: u32) -> PartitionedCache {
+    let geom = CacheGeometry::direct_mapped(16 * 1024, 16, banks).unwrap();
+    PartitionedCache::new_named(geom, policy, PolicyRegistry::builtin()).unwrap()
+}
+
+fn assert_identical(a: &SimOutcome, b: &SimOutcome, context: &str) {
+    assert_eq!(a, b, "{context}: outcomes diverged");
+    // PartialEq on f64 is what the report serializer sees; make the
+    // bitwise claim explicit for the energy accumulators too.
+    for (x, y) in [
+        (a.energy.dynamic_fj, b.energy.dynamic_fj),
+        (a.energy.leakage_fj, b.energy.leakage_fj),
+        (a.energy.wake_fj, b.energy.wake_fj),
+        (a.energy.overhead_fj, b.energy.overhead_fj),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: energy bits diverged");
+    }
+}
+
+#[test]
+fn batched_equals_per_access_on_every_builtin_workload() {
+    let cache = arch("identity", 4);
+    for profile in suite::mediabench() {
+        let scalar = cache
+            .simulate(profile.trace(1000).take(CYCLES), UpdateSchedule::Never)
+            .unwrap();
+        let batched = cache
+            .simulate_batched(profile.trace(1000).take(CYCLES), UpdateSchedule::Never)
+            .unwrap();
+        assert_identical(&scalar, &batched, profile.name());
+    }
+}
+
+#[test]
+fn batched_equals_per_access_under_updates() {
+    // Mid-trace mapping updates exercise batch clipping at schedule
+    // boundaries (including a period that is not a batch multiple).
+    let profile = suite::by_name("CRC32").unwrap();
+    for (policy, period) in [("probing", 7_000), ("scrambling", 4096), ("gray", 9_999)] {
+        let cache = arch(policy, 4);
+        let schedule = UpdateSchedule::EveryCycles(period);
+        let scalar = cache
+            .simulate(profile.trace(5).take(CYCLES), schedule)
+            .unwrap();
+        let batched = cache
+            .simulate_batched(profile.trace(5).take(CYCLES), schedule)
+            .unwrap();
+        assert_eq!(scalar.updates, (CYCLES as u64) / period);
+        assert_identical(&scalar, &batched, &format!("{policy}/{period}"));
+    }
+}
+
+#[test]
+fn file_backed_sources_match_the_in_memory_stream() {
+    // The same accesses, replayed from each on-disk format through the
+    // streaming reader, must land on the per-access reference exactly.
+    let profile = suite::by_name("dijkstra").unwrap();
+    let accesses: Vec<_> = profile.trace(3).take(20_000).collect();
+    let cache = arch("identity", 4);
+    let reference = cache
+        .simulate(accesses.iter().copied(), UpdateSchedule::Never)
+        .unwrap();
+
+    let dir = std::env::temp_dir().join("nbti-batched-equivalence");
+    std::fs::create_dir_all(&dir).unwrap();
+    for format in TraceFormat::ALL {
+        let mut text = String::new();
+        match format {
+            TraceFormat::Din => write_din(&mut text, &accesses),
+            TraceFormat::Lackey => write_lackey(&mut text, &accesses),
+            TraceFormat::Csv => write_csv(&mut text, &accesses),
+        }
+        let path = dir.join(format!("t.{format}"));
+        std::fs::write(&path, &text).unwrap();
+        let mut source = nbti_cache_repro::traces::formats::open_path(format, &path).unwrap();
+        let from_file = cache
+            .simulate_source(source.as_mut(), None, UpdateSchedule::Never)
+            .unwrap();
+        assert_identical(&reference, &from_file, format.key());
+    }
+}

@@ -1,32 +1,36 @@
 //! Generality check: the paper presents the architecture on a
 //! direct-mapped cache, but nothing in the scheme depends on
 //! direct-mapping — the bank select works on *set* index bits. These
-//! tests run the full pipeline on set-associative geometries.
+//! tests run the full pipeline on set-associative geometries, entirely
+//! through the registry API (no legacy `PolicyKind`).
 
 use nbti_cache_repro::arch::arch::{PartitionedCache, UpdateSchedule};
 use nbti_cache_repro::arch::experiment::ExperimentContext;
-use nbti_cache_repro::arch::policy::PolicyKind;
+use nbti_cache_repro::arch::PolicyRegistry;
 use nbti_cache_repro::sim::CacheGeometry;
 use nbti_cache_repro::traces::suite;
+
+fn arch(geom: CacheGeometry, policy: &str) -> PartitionedCache {
+    PartitionedCache::new_named(geom, policy, PolicyRegistry::builtin()).unwrap()
+}
 
 #[test]
 fn set_associative_pipeline_end_to_end() {
     let ctx = ExperimentContext::new().unwrap();
     let geom = CacheGeometry::new(16 * 1024, 16, 4, 4).unwrap(); // 4-way
     let profile = suite::by_name("ispell").unwrap();
-    let arch = PartitionedCache::new(geom, PolicyKind::Identity).unwrap();
-    let out = arch
-        .simulate(profile.trace(21).take(160_000), UpdateSchedule::Never)
+    let out = arch(geom, "identity")
+        .simulate_batched(profile.trace(21).take(160_000), UpdateSchedule::Never)
         .unwrap();
     out.validate().unwrap();
     let sleep = out.sleep_fraction_all();
     let lt0 = ctx
         .aging
-        .cache_lifetime(&sleep, 0.5, PolicyKind::Identity)
+        .cache_lifetime_named(&sleep, 0.5, "identity", 1)
         .unwrap();
     let lt = ctx
         .aging
-        .cache_lifetime(&sleep, 0.5, PolicyKind::Probing)
+        .cache_lifetime_named(&sleep, 0.5, "probing", 1)
         .unwrap();
     assert!(lt > lt0, "re-indexing must help associative caches too");
     assert!(out.energy_saving() > 0.2);
@@ -38,9 +42,8 @@ fn associativity_reduces_conflict_misses_under_banking() {
     let mut rates = Vec::new();
     for ways in [1u32, 2, 4] {
         let geom = CacheGeometry::new(16 * 1024, 16, ways, 4).unwrap();
-        let arch = PartitionedCache::new(geom, PolicyKind::Identity).unwrap();
-        let out = arch
-            .simulate(profile.trace(8).take(160_000), UpdateSchedule::Never)
+        let out = arch(geom, "identity")
+            .simulate_batched(profile.trace(8).take(160_000), UpdateSchedule::Never)
             .unwrap();
         out.validate().unwrap();
         rates.push(out.miss_rate());
@@ -55,14 +58,17 @@ fn associativity_reduces_conflict_misses_under_banking() {
 fn policies_preserve_associative_miss_rates() {
     let geom = CacheGeometry::new(8 * 1024, 32, 2, 4).unwrap();
     let profile = suite::by_name("mad").unwrap();
+    let registry = PolicyRegistry::builtin();
     let mut misses = Vec::new();
-    for kind in PolicyKind::ALL {
-        let arch = PartitionedCache::new(geom, kind).unwrap();
-        let out = arch
-            .simulate(profile.trace(4).take(100_000), UpdateSchedule::Never)
+    for name in registry.names() {
+        let cache = PartitionedCache::new_named(geom, &name, registry.clone()).unwrap();
+        let out = cache
+            .simulate_batched(profile.trace(4).take(100_000), UpdateSchedule::Never)
             .unwrap();
         misses.push(out.misses);
     }
-    assert_eq!(misses[0], misses[1]);
-    assert_eq!(misses[0], misses[2]);
+    assert!(
+        misses.windows(2).all(|w| w[0] == w[1]),
+        "every fixed bijection must see identical conflicts: {misses:?}"
+    );
 }
