@@ -1,49 +1,21 @@
-//! Ablation: operating temperature.
+//! Ablation: operating temperature — a preset + view over the Study
+//! API's model axis (`--json` for the raw report).
 //!
 //! NBTI is Arrhenius-activated: the calibrated 2.93-year cell lives at
-//! 85 °C; cooler parts age far slower, hotter parts far faster, while the
-//! *relative* benefit of re-indexing is temperature-independent (rates
-//! scale uniformly). This binary quantifies both statements.
+//! 85 °C; cooler parts age far slower, hotter parts far faster, while
+//! the *relative* benefit of re-indexing is temperature-independent
+//! (rates scale uniformly). The grid behind this table is
+//! `aging_cache::presets::ablation_temperature`: the reference model
+//! swept over `StudySpec::temps_c`, driven by a pinned idleness
+//! profile.
 
-use aging_cache::aging::AgingAnalysis;
-use aging_cache::policy::PolicyKind;
-use aging_cache::report::{years, Table};
-use nbti_model::{CellDesign, LifetimeSolver};
+use aging_cache::{presets, views};
+use repro_bench::{model_context, run_preset};
 
 fn main() {
-    let sleep = [0.10, 0.80, 0.60, 0.30];
-    let reference =
-        LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).expect("calibration");
-
-    let mut t = Table::new(
-        "Ablation: operating temperature (calibration fixed at 85 degC)",
-        vec![
-            "temperature".into(),
-            "LT0".into(),
-            "LT (probing)".into(),
-            "reindex gain %".into(),
-        ],
+    run_preset(
+        presets::ablation_temperature(),
+        &model_context(),
+        views::ablation_temperature,
     );
-    for celsius in [45.0, 65.0, 85.0, 105.0, 125.0] {
-        let design = CellDesign::default_45nm()
-            .with_temperature(celsius + 273.15)
-            .expect("valid temperature");
-        // Same calibrated drift model; only the operating point moves.
-        let solver = LifetimeSolver::new(design, reference.rd().clone(), 0.20).expect("solver");
-        let aging = AgingAnalysis::new(solver);
-        let lt0 = aging
-            .cache_lifetime(&sleep, 0.5, PolicyKind::Identity)
-            .expect("lifetime");
-        let lt = aging
-            .cache_lifetime(&sleep, 0.5, PolicyKind::Probing)
-            .expect("lifetime");
-        t.push_row(vec![
-            format!("{celsius:.0} degC"),
-            years(lt0),
-            years(lt),
-            format!("{:+.1}", 100.0 * (lt - lt0) / lt0),
-        ]);
-    }
-    t.push_note("the re-indexing gain is a pure ratio and survives any uniform rate scaling");
-    println!("{t}");
 }

@@ -1,55 +1,21 @@
-//! Ablation: the drowsy-voltage design knob.
+//! Ablation: the drowsy-voltage design knob — a preset + view over the
+//! Study API's model axis (`--json` for the raw report).
 //!
-//! Lowering `Vdd,low` slows NBTI aging during sleep (stronger recovery)
-//! and cuts retention leakage, but it eats into the data-retention-voltage
-//! margin — and that margin shrinks further as the cell ages. This binary
-//! sweeps the drowsy rail and reports the lifetime, the aging
-//! deceleration, and the end-of-life DRV safety margin, bracketing the
-//! paper's 0.75 V choice.
+//! Lowering `Vdd,low` slows NBTI aging during sleep (stronger
+//! recovery) and cuts retention leakage, but it eats into the
+//! data-retention-voltage margin — and that margin shrinks further as
+//! the cell ages. The grid behind this table is
+//! `aging_cache::presets::ablation_vlow`: the `nbti` (lifetime) and
+//! `drv` (retention margin) models swept together over
+//! `StudySpec::vdd_low`, bracketing the paper's 0.75 V choice.
 
-use aging_cache::aging::AgingAnalysis;
-use aging_cache::policy::PolicyKind;
-use aging_cache::report::{years, Table};
-use nbti_model::{CellDesign, DrvAnalysis, LifetimeSolver};
+use aging_cache::{presets, views};
+use repro_bench::{model_context, run_preset};
 
 fn main() {
-    let sleep = [0.05, 0.95, 0.90, 0.40]; // sha-like idleness profile
-
-    let mut t = Table::new(
-        "Ablation: drowsy rail voltage (sha-like idleness, Probing)",
-        vec![
-            "Vdd,low".into(),
-            "aging accel in sleep".into(),
-            "LT (years)".into(),
-            "fresh DRV margin".into(),
-            "aged DRV margin".into(),
-        ],
+    run_preset(
+        presets::ablation_vlow(),
+        &model_context(),
+        views::ablation_vlow,
     );
-    for vlow in [0.55, 0.65, 0.75, 0.85, 0.95] {
-        let design = CellDesign::default_45nm()
-            .with_vdd_low(vlow)
-            .expect("valid drowsy voltage");
-        let solver = LifetimeSolver::calibrated(design.clone(), 2.93).expect("calibration");
-        let accel = solver.rd().voltage_acceleration(vlow);
-        let aging = AgingAnalysis::new(solver);
-        let lt = aging
-            .cache_lifetime(&sleep, 0.5, PolicyKind::Probing)
-            .expect("lifetime");
-        let drv = DrvAnalysis::new(design);
-        let fresh = drv.drowsy_margin(0.0, 0.0).expect("fresh DRV");
-        // End-of-life aging state: near the critical shift.
-        let aged = drv.drowsy_margin(0.08, 0.08).expect("aged DRV");
-        t.push_row(vec![
-            format!("{vlow:.2} V"),
-            format!("{:.2}x", accel),
-            years(lt),
-            format!("{:+.0} mV", 1000.0 * fresh),
-            format!("{:+.0} mV", 1000.0 * aged),
-        ]);
-    }
-    t.push_note(
-        "lower rails slow aging but aging costs ~80 mV of retention margin over life; \
-         the paper's 0.75 V keeps a comfortable aged margin while tripling sleep relief",
-    );
-    println!("{t}");
 }

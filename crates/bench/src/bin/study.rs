@@ -13,12 +13,19 @@
 //! (formats: `csv`, `din`, `lackey`, or `file:` to infer from the
 //! extension; repeat the flag for several traces) — whose format and
 //! content hash are recorded in the report for reproducibility.
-//! Without `--json` a compact summary table is printed.
+//!
+//! The device axis is open too: `--model nbti:temp=105,vlow=0.7`
+//! (repeat the flag for several models — parameterized keys use commas
+//! internally), plus the `--temp`/`--vlow`/`--fail` override axes that
+//! cross every listed model with operating-point sweeps.
+//! `--list-models` shows the registered models and the parameterized
+//! key families. Without `--json` a compact summary table is printed.
 
+use aging_cache::model::ModelRegistry;
 use aging_cache::report::{pct, years, Table};
 use aging_cache::study::StudySpec;
 use aging_cache::{PolicyRegistry, WorkloadRegistry};
-use repro_bench::context;
+use repro_bench::model_context;
 
 fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Vec<T> {
     value
@@ -40,6 +47,7 @@ fn main() {
     // applied once after parsing: `None` = the full default suite.
     let mut workloads: Option<Vec<String>> = None;
     let mut traces: Vec<String> = Vec::new();
+    let mut models: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -59,6 +67,25 @@ fn main() {
                 println!("{name:<12} {}", workload.description());
             }
             println!("{:<12} external trace files also work: csv:/path, din:/path, lackey:/path, file:/path", "…");
+            println!(
+                "{:<12} pinned per-bank idleness profiles: profile:s0,s1,…",
+                "…"
+            );
+            return;
+        }
+        if flag == "--list-models" {
+            for (name, model) in ModelRegistry::global().iter() {
+                println!("{name:<12} {}", model.description());
+                println!("{:<12}   {}", "", model.provenance());
+            }
+            println!(
+                "{:<12} parameterized keys: nbti:temp=<degC>,vlow=<V>,sleep=gated|scaled,fail=<pct>",
+                "…"
+            );
+            println!(
+                "{:<12}                     variation:<sigma-mv>[,cells=<n>,q=<quantile>]  drv:vlow=<V>[,aged=<dVth>]",
+                "…"
+            );
             return;
         }
         let Some(value) = args.get(i + 1) else {
@@ -90,6 +117,23 @@ fn main() {
                 traces.push(value.clone());
                 spec
             }
+            "--profile" => {
+                // Repeatable: a pinned per-bank idleness profile
+                // (comma-separated sleep fractions, no simulation).
+                traces.push(format!("profile:{}", value.trim()));
+                spec
+            }
+            // Deliberately no `--models` alias: commas cannot delimit
+            // models (parameterized keys use them internally), so a
+            // plural form would invite `--models a,b` as one bad key.
+            "--model" => {
+                // Repeatable: each --model names exactly one model.
+                models.push(value.trim().to_string());
+                spec
+            }
+            "--temp" => spec.temps_c(parse_list(value, flag)),
+            "--vlow" => spec.vdd_low(parse_list(value, flag)),
+            "--fail" => spec.failure_pct(parse_list(value, flag)),
             "--trace-cycles" => spec.trace_cycles(parse_list(value, flag)[0]),
             "--seed" => spec.base_seed(parse_list(value, flag)[0]),
             "--threads" => spec.threads(parse_list(value, flag)[0]),
@@ -97,17 +141,19 @@ fn main() {
                 eprintln!("unknown flag {flag}");
                 eprintln!(
                     "flags: --cache-kb --line-bytes --banks --update-days --policies \
-                     --workloads --trace <format:path> --trace-cycles --seed --threads \
-                     --json --list-policies --list-workloads"
+                     --workloads --trace <format:path> --profile <s0,s1,…> \
+                     --model --temp --vlow --fail \
+                     --trace-cycles --seed --threads \
+                     --json --list-policies --list-workloads --list-models"
                 );
                 std::process::exit(2);
             }
         };
         i += 2;
     }
-    // --trace appends to the --workloads selection (or, with
-    // `--workloads all`/no selection, replaces the default suite); each
-    // file's format and content hash lands in the report.
+    // --trace and --profile append to the --workloads selection (or,
+    // with `--workloads all`/no selection, replace the default suite);
+    // each file's format and content hash lands in the report.
     let keys = match (workloads, traces.is_empty()) {
         (Some(mut named), _) => {
             named.extend(traces);
@@ -122,8 +168,11 @@ fn main() {
             std::process::exit(2);
         });
     }
+    if !models.is_empty() {
+        spec = spec.models(models);
+    }
 
-    let report = match spec.run(&context()) {
+    let report = match spec.run(&model_context()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("study failed: {e}");
@@ -134,12 +183,17 @@ fn main() {
         println!("{}", report.to_json());
         return;
     }
+    let metric = |v: Option<f64>| match v {
+        Some(v) => years(v),
+        None => "-".into(),
+    };
     let mut t = Table::new(
         format!("study: {} scenarios", report.records().len()),
         vec![
             "kB".into(),
             "line".into(),
             "M".into(),
+            "model".into(),
             "policy".into(),
             "workload".into(),
             "Esav%".into(),
@@ -153,12 +207,13 @@ fn main() {
             (r.scenario.cache_bytes / 1024).to_string(),
             r.scenario.line_bytes.to_string(),
             r.scenario.banks.to_string(),
+            r.scenario.model.clone(),
             r.scenario.policy.clone(),
             r.scenario.workload.clone(),
             pct(r.esav),
             pct(r.avg_useful_idleness()),
-            years(r.lt0_years),
-            years(r.lt_years),
+            metric(r.metric("lt0_years")),
+            metric(r.metric("lt_years")),
         ]);
     }
     println!("{t}");

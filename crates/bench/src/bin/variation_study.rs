@@ -1,54 +1,22 @@
-//! Extension study: process variation × NBTI aging.
+//! Extension study: process variation × NBTI aging — a preset + view
+//! over the Study API's model axis (`--json` for the raw report).
 //!
-//! Per-cell Vth mismatch pre-shrinks one butterfly lobe, so banks (which
-//! die with their worst cell) live visibly shorter than the nominal-cell
-//! analysis suggests — and re-indexing's *relative* gain survives, because
-//! it scales every bank's stress rate equally. Sweeps the mismatch sigma
-//! and reports bank-lifetime quantiles for an always-on and a re-indexed
-//! drowsy cache.
+//! Per-cell Vth mismatch pre-shrinks one butterfly lobe, so banks
+//! (which die with their worst cell) live visibly shorter than the
+//! nominal-cell analysis suggests — and re-indexing's *relative* gain
+//! survives, because it scales every bank's stress rate equally. The
+//! grid behind this table is
+//! `aging_cache::presets::variation_study`: `variation:<sigma>` models
+//! over the mismatch-sigma range.
 
-use aging_cache::report::{years, Table};
-use nbti_model::{CellDesign, LifetimeSolver, VariationModel};
-use repro_bench::section;
+use aging_cache::{presets, views};
+use repro_bench::{model_context, run_preset, section};
 
 fn main() {
-    let solver = LifetimeSolver::calibrated(CellDesign::default_45nm(), 2.93).expect("calibration");
-    let r_v = solver.rd().voltage_acceleration(solver.design().vdd_low());
-    // A 16 kB / M = 4 bank: 4 kB of data + tags ≈ 37k cells.
-    let cells = 37_000u64;
-
     section("Process variation x NBTI (bank of 37k cells)");
-    let mut t = Table::new(
-        "Bank lifetime quantiles vs Vth mismatch sigma (years)",
-        vec![
-            "sigma".into(),
-            "q10 busy".into(),
-            "q50 busy".into(),
-            "q50 drowsy+reindex".into(),
-            "reindex gain %".into(),
-        ],
+    run_preset(
+        presets::variation_study(),
+        &model_context(),
+        views::variation_study,
     );
-    // Busy bank: rate = 0.5 (always-on balanced). Re-indexed drowsy cache
-    // at the suite-average 42 % sleep: rate = 0.5 * (1 - S(1 - r_v)).
-    let busy_rate = 0.5;
-    let reindexed_rate = 0.5 * (1.0 - 0.42 * (1.0 - r_v));
-    for sigma_mv in [0.0, 15.0, 30.0, 45.0] {
-        let var = VariationModel::new(sigma_mv / 1000.0, cells).expect("model");
-        let table = var.characterize(&solver).expect("characterization");
-        let q10 = var.bank_lifetime_quantile(&table, busy_rate, 0.10);
-        let q50 = var.bank_lifetime_quantile(&table, busy_rate, 0.50);
-        let q50_re = var.bank_lifetime_quantile(&table, reindexed_rate, 0.50);
-        t.push_row(vec![
-            format!("{sigma_mv:.0} mV"),
-            years(q10),
-            years(q50),
-            years(q50_re),
-            format!("{:+.1}", 100.0 * (q50_re - q50) / q50),
-        ]);
-    }
-    t.push_note(
-        "variation shortens absolute lifetimes (worst cell of 37k), but the \
-         re-indexing gain is rate-relative and survives unchanged",
-    );
-    println!("{t}");
 }

@@ -31,6 +31,7 @@
 pub mod harness;
 
 use aging_cache::experiment::{ExperimentConfig, ExperimentContext};
+use aging_cache::model::ModelContext;
 use aging_cache::report::Table;
 use aging_cache::study::{StudyReport, StudySpec};
 use aging_cache::CoreError;
@@ -48,6 +49,12 @@ pub fn context() -> ExperimentContext {
     ExperimentContext::new().expect("NBTI calibration failed")
 }
 
+/// Builds the model-axis run context (models calibrate lazily, once
+/// per distinct key) — the preferred context for new binaries.
+pub fn model_context() -> ModelContext {
+    ModelContext::new()
+}
+
 /// Prints a value with a section rule around it (harness output style).
 pub fn section(title: &str) {
     println!();
@@ -63,10 +70,11 @@ pub fn json_requested() -> bool {
 
 /// Runs a preset spec and prints either the rendered table or, with
 /// `--json` on the command line, the raw report. Exits non-zero on
-/// failure (harness binaries have no recovery path).
-pub fn run_preset(
+/// failure (harness binaries have no recovery path). Accepts a
+/// [`ModelContext`] or the legacy [`ExperimentContext`] shim.
+pub fn run_preset<C: AsRef<ModelContext>>(
     spec: StudySpec,
-    ctx: &ExperimentContext,
+    ctx: &C,
     view: impl FnOnce(&StudyReport) -> Result<Table, CoreError>,
 ) {
     match spec.run(ctx) {

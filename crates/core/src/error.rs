@@ -52,6 +52,25 @@ pub enum CoreError {
         /// The colliding name.
         name: String,
     },
+    /// A model key resolved to nothing in the registry.
+    UnknownModel {
+        /// The unresolved key.
+        name: String,
+        /// Comma-separated list of registered names.
+        known: String,
+    },
+    /// A model name was registered twice.
+    DuplicateModel {
+        /// The colliding name.
+        name: String,
+    },
+    /// A parameterized model key failed to parse.
+    InvalidModelKey {
+        /// The offending key.
+        key: String,
+        /// What went wrong.
+        message: String,
+    },
     /// A trace source failed to open or decode.
     Trace(trace_synth::TraceError),
     /// A study report failed to serialize or deserialize.
@@ -90,11 +109,26 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "unknown workload `{name}` (registered: {known}; file-backed \
-                     workloads use `csv:`, `din:`, `lackey:` or `file:` keys)"
+                     workloads use `csv:`, `din:`, `lackey:` or `file:` keys, \
+                     pinned profiles use `profile:s0,s1,…`)"
                 )
             }
             CoreError::DuplicateWorkload { name } => {
                 write!(f, "workload `{name}` is already registered")
+            }
+            CoreError::UnknownModel { name, known } => {
+                write!(
+                    f,
+                    "unknown model `{name}` (registered: {known}; parameterized \
+                     keys use `nbti:temp=…,vlow=…,sleep=…,fail=…`, \
+                     `variation:<sigma-mv>` or `drv:vlow=…`)"
+                )
+            }
+            CoreError::DuplicateModel { name } => {
+                write!(f, "model `{name}` is already registered")
+            }
+            CoreError::InvalidModelKey { key, message } => {
+                write!(f, "invalid model key `{key}`: {message}")
             }
             CoreError::Trace(e) => write!(f, "trace error: {e}"),
             CoreError::Report { message } => write!(f, "study report error: {message}"),

@@ -11,13 +11,14 @@
 use crate::aging::AgingAnalysis;
 use crate::error::CoreError;
 use crate::lfsr::Lfsr;
+use crate::model::ModelContext;
 use crate::paper;
 use crate::presets;
 use crate::report::Table;
 use crate::study::{ScenarioRecord, StudySpec};
 use crate::views;
 use cache_sim::CacheGeometry;
-use nbti_model::{CellDesign, LifetimeSolver};
+use nbti_model::{calibration, CellDesign, LifetimeSolver};
 use trace_synth::rng::SplitMix64;
 use trace_synth::WorkloadProfile;
 
@@ -112,13 +113,31 @@ impl ExperimentConfig {
     }
 }
 
-/// Heavy shared state: the calibrated SNM/lifetime solver. Build once and
-/// reuse across tables.
+/// **Deprecated shim** over [`ModelContext`]: the historic "calibrated
+/// context" of the pre-model-axis API.
+///
+/// Since the device axis opened, the run context of the Study API is a
+/// [`ModelContext`] — a model registry plus the per-model calibration
+/// cache. This type survives so historic callers (and the `tableN`
+/// entry points below) keep compiling: it carries a `ModelContext` and
+/// passes anywhere one is accepted (`StudySpec::run`,
+/// `ScenarioGrid::run` take `impl AsRef<ModelContext>`). New code
+/// should construct [`ModelContext::new`] directly.
 #[derive(Debug, Clone)]
 pub struct ExperimentContext {
     /// The rotation-aware aging analysis, calibrated to the paper's
-    /// 2.93-year cell.
+    /// 2.93-year cell — the historic public field, still served for
+    /// *direct* physics queries.
+    ///
+    /// Since the model axis opened, studies no longer read this field:
+    /// `StudySpec::run` evaluates through the wrapped [`ModelContext`]
+    /// and each scenario's model key. Mutating `aging` therefore only
+    /// affects callers that query it directly; to change what a study
+    /// computes, put the operating point on the model axis
+    /// (`StudySpec::models`, `nbti:temp=…` keys) or register a custom
+    /// [`AgingModel`](crate::model::AgingModel).
     pub aging: AgingAnalysis,
+    models: ModelContext,
 }
 
 impl ExperimentContext {
@@ -128,11 +147,29 @@ impl ExperimentContext {
     ///
     /// Propagates NBTI-model calibration errors.
     pub fn new() -> Result<Self, CoreError> {
-        let solver =
-            LifetimeSolver::calibrated(CellDesign::default_45nm(), paper::CELL_LIFETIME_YEARS)?;
+        // The process-wide calibration cache holds exactly this solve
+        // (field-for-field identical); only re-solve if the two anchor
+        // constants ever diverge.
+        let solver = if paper::CELL_LIFETIME_YEARS == calibration::REFERENCE_LIFETIME_YEARS {
+            calibration::reference_45nm().clone()
+        } else {
+            LifetimeSolver::calibrated(CellDesign::default_45nm(), paper::CELL_LIFETIME_YEARS)?
+        };
         Ok(Self {
             aging: AgingAnalysis::new(solver),
+            models: ModelContext::new(),
         })
+    }
+
+    /// The model context this shim wraps.
+    pub fn models(&self) -> &ModelContext {
+        &self.models
+    }
+}
+
+impl AsRef<ModelContext> for ExperimentContext {
+    fn as_ref(&self) -> &ModelContext {
+        &self.models
     }
 }
 
@@ -169,8 +206,8 @@ impl From<&ScenarioRecord> for BenchResult {
         Self {
             name: r.scenario.workload.clone(),
             esav: r.esav,
-            lt0_years: r.lt0_years,
-            lt_years: r.lt_years,
+            lt0_years: r.lt0_years(),
+            lt_years: r.lt_years(),
             useful_idleness: r.useful_idleness.clone(),
             sleep_fractions: r.sleep_fractions.clone(),
             miss_rate: r.miss_rate,
@@ -302,7 +339,7 @@ pub fn table4_data(
                 .collect();
             let idle =
                 cell.iter().map(|r| r.avg_useful_idleness()).sum::<f64>() / cell.len() as f64;
-            let lt = mean(cell.iter().map(|r| &r.lt_years));
+            let lt = cell.iter().map(|r| r.lt_years()).sum::<f64>() / cell.len() as f64;
             rows.push((kb, banks, idle, lt));
         }
     }

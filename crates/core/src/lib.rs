@@ -26,6 +26,13 @@
 //!   [`workload::WorkloadRegistry`] resolves suite names and
 //!   file-backed trace keys (`csv:path`, `din:path`, `lackey:path`) to
 //!   streaming access sources with content-hash provenance;
+//! * [`model`] — the open device/aging-model axis: the [`AgingModel`]
+//!   trait maps measured sleep fractions to named metrics, the
+//!   [`model::ModelRegistry`] resolves `nbti-45nm`, parameterized
+//!   `nbti:temp=…,vlow=…,sleep=…,fail=…` keys, `variation:<sigma>`
+//!   process-variation wrappers and the `drv` retention-margin model,
+//!   and the [`model::ModelContext`] memoizes calibration once per
+//!   distinct model;
 //! * [`study`] — the Study API: declarative [`study::StudySpec`] grids
 //!   expanded into [`study::ScenarioGrid`]s, run across threads into
 //!   serializable [`study::StudyReport`]s;
@@ -45,25 +52,27 @@
 //! values, scenarios run in parallel, and the report serializes:
 //!
 //! ```no_run
-//! use aging_cache::experiment::ExperimentContext;
+//! use aging_cache::model::ModelContext;
 //! use aging_cache::study::StudySpec;
 //!
 //! # fn main() -> Result<(), aging_cache::CoreError> {
-//! let ctx = ExperimentContext::new()?; // calibrated 2.93-year cell
+//! let ctx = ModelContext::new(); // models calibrate lazily, once each
 //! let report = StudySpec::new("my sweep")
 //!     .cache_kb([8, 16])
 //!     .banks([2, 4])
 //!     .policies(["probing", "scrambling", "gray"])
 //!     .workload_names(["sha", "CRC32", "dijkstra"])?
+//!     .models(["nbti-45nm", "nbti:temp=105", "variation:30"])
 //!     .run(&ctx)?;
 //! for r in report.records() {
 //!     println!(
-//!         "{:>10} {:>10} {:2} banks: Esav {:5.1}%  LT {:.2}y",
+//!         "{:>10} {:>10} {:>14} {:2} banks: Esav {:5.1}%  LT {:.2}y",
 //!         r.scenario.workload,
 //!         r.scenario.policy,
+//!         r.scenario.model,
 //!         r.scenario.banks,
 //!         100.0 * r.esav,
-//!         r.lt_years
+//!         r.lt_years()
 //!     );
 //! }
 //! std::fs::write("report.json", report.to_json()).expect("write");
@@ -100,6 +109,7 @@ pub mod flip;
 pub mod graceful;
 pub mod json;
 pub mod lfsr;
+pub mod model;
 pub mod onehot;
 pub mod paper;
 pub mod policy;
@@ -116,11 +126,16 @@ pub use arch::PartitionedCache;
 pub use decoder::Decoder;
 pub use error::CoreError;
 pub use lfsr::Lfsr;
+pub use model::{
+    AgingModel, CalibratedModel, Metrics, ModelContext, ModelEval, ModelKey, ModelParams,
+    ModelRegistry,
+};
 pub use onehot::OneHotEncoder;
 pub use policy::{GrayRotation, PolicyKind, Probing, RotateXor, Scrambling};
 pub use registry::{IndexingPolicy, PolicyRegistry};
 pub use selector::{BlockSelector, Rail};
 pub use study::{Scenario, ScenarioGrid, ScenarioRecord, StudyReport, StudySpec};
 pub use workload::{
-    FileWorkload, SyntheticWorkload, Workload, WorkloadRegistry, WorkloadSourceInfo,
+    FileWorkload, ProfileWorkload, SyntheticWorkload, Workload, WorkloadRegistry,
+    WorkloadSourceInfo,
 };

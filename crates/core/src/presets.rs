@@ -88,6 +88,53 @@ pub fn policy_equivalence(cfg: &ExperimentConfig) -> StudySpec {
     base("Probing vs Scrambling", cfg).policies(["probing", "scrambling"])
 }
 
+/// Ablation — operating temperature: the reference model swept over
+/// the Arrhenius range on the
+/// [`StudySpec::temps_c`] axis, driven by the historic pinned
+/// idleness profile (NBTI rates scale uniformly with temperature, so
+/// the re-indexing gain is temperature-invariant).
+pub fn ablation_temperature() -> StudySpec {
+    StudySpec::new("Ablation: operating temperature")
+        .models(["nbti-45nm"])
+        .temps_c([45.0, 65.0, 85.0, 105.0, 125.0])
+        .policies(["probing"])
+        .workload_names(["profile:0.1,0.8,0.6,0.3"])
+        .expect("static profile key")
+        .policy_seed(1)
+}
+
+/// Ablation — the drowsy-voltage design knob: lifetime (`nbti` model)
+/// and fresh/aged retention margins (`drv` model) swept together over
+/// the [`StudySpec::vdd_low`] axis, on the historic sha-like pinned
+/// profile, bracketing the paper's 0.75 V choice.
+pub fn ablation_vlow() -> StudySpec {
+    StudySpec::new("Ablation: drowsy rail voltage")
+        .models(["nbti-45nm", "drv"])
+        .vdd_low([0.55, 0.65, 0.75, 0.85, 0.95])
+        .policies(["probing"])
+        .workload_names(["profile:0.05,0.95,0.9,0.4"])
+        .expect("static profile key")
+        .policy_seed(1)
+}
+
+/// Extension — process variation × NBTI: `variation:<sigma>`
+/// Monte-Carlo/extreme-value models over the mismatch-sigma range, on
+/// a pinned profile whose busiest bank is always-on (the historic
+/// "busy" rate) and whose mean sleep is the suite-average 42 %.
+pub fn variation_study() -> StudySpec {
+    StudySpec::new("Process variation x NBTI")
+        .models([
+            "variation:0",
+            "variation:15",
+            "variation:30",
+            "variation:45",
+        ])
+        .policies(["probing"])
+        .workload_names(["profile:0,0.56,0.56,0.56"])
+        .expect("static profile key")
+        .policy_seed(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +147,27 @@ mod tests {
         assert_eq!(table3(&cfg).expand().unwrap().len(), 2 * 18);
         assert_eq!(table4(&cfg).expand().unwrap().len(), 9 * 18);
         assert_eq!(policy_equivalence(&cfg).expand().unwrap().len(), 2 * 18);
+        assert_eq!(ablation_temperature().expand().unwrap().len(), 5);
+        assert_eq!(ablation_vlow().expand().unwrap().len(), 2 * 5);
+        assert_eq!(variation_study().expand().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn ablation_presets_compose_canonical_model_keys() {
+        let grid = ablation_vlow().expand().unwrap();
+        let models: Vec<&str> = grid.scenarios().iter().map(|s| s.model.as_str()).collect();
+        // The paper's 0.75 V point canonicalizes back to the reference
+        // keys, so those two scenarios share the default calibrations.
+        assert!(models.contains(&"nbti-45nm"));
+        assert!(models.contains(&"drv"));
+        assert!(models.contains(&"nbti:vlow=0.55"));
+        assert!(models.contains(&"drv:vlow=0.95"));
+
+        let temps = ablation_temperature().expand().unwrap();
+        assert!(temps
+            .scenarios()
+            .iter()
+            .all(|s| s.model.starts_with("nbti:temp=")));
     }
 
     #[test]

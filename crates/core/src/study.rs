@@ -19,14 +19,23 @@
 //! over this engine ([`crate::presets`]) plus pure table views
 //! ([`crate::views`]).
 //!
-//! Both evaluation axes are open: policies resolve through the
-//! [`PolicyRegistry`] and workloads through the
-//! [`WorkloadRegistry`], which
-//! accepts suite names (`"sha"`) and file-backed trace keys
-//! (`csv:path`, `din:path`, `lackey:path`) interchangeably. File
-//! workloads stream in constant memory through the batched simulator
-//! fast path, and their provenance (format + content hash) is embedded
-//! in every [`ScenarioRecord`]'s scenario.
+//! All three evaluation axes are open registries:
+//!
+//! * **policies** resolve through the [`PolicyRegistry`];
+//! * **workloads** through the [`WorkloadRegistry`], which accepts
+//!   suite names (`"sha"`), file-backed trace keys (`csv:path`,
+//!   `din:path`, `lackey:path`) and pinned profiles
+//!   (`profile:0.1,0.8,0.6,0.3`) interchangeably — file workloads
+//!   stream in constant memory through the batched simulator fast
+//!   path, with provenance (format + content hash) embedded in every
+//!   [`ScenarioRecord`]'s scenario;
+//! * **device models** through the
+//!   [`ModelRegistry`](crate::model::ModelRegistry): the
+//!   [`StudySpec::models`] axis (plus the [`StudySpec::temps_c`] /
+//!   [`StudySpec::vdd_low`] / [`StudySpec::failure_pct`] override
+//!   axes) sweeps operating points, process variation and retention
+//!   margins, each model calibrated exactly once per grid and emitting
+//!   its own named metrics into the record's [`Metrics`] map.
 //!
 //! # Seed derivation
 //!
@@ -46,11 +55,11 @@
 //! A 2×2×3 grid over sizes, bank counts and policies, run in parallel:
 //!
 //! ```no_run
+//! use aging_cache::model::ModelContext;
 //! use aging_cache::study::StudySpec;
-//! use aging_cache::experiment::ExperimentContext;
 //!
 //! # fn main() -> Result<(), aging_cache::CoreError> {
-//! let ctx = ExperimentContext::new()?;
+//! let ctx = ModelContext::new();
 //! let report = StudySpec::new("size-banks-policy sweep")
 //!     .cache_kb([8, 16])
 //!     .banks([2, 4])
@@ -63,12 +72,32 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Sweeping the device model works the same way — each distinct model
+//! calibrates once, and every record carries the model's named metrics:
+//!
+//! ```no_run
+//! # use aging_cache::model::ModelContext;
+//! # use aging_cache::study::StudySpec;
+//! # fn main() -> Result<(), aging_cache::CoreError> {
+//! # let ctx = ModelContext::new();
+//! let report = StudySpec::new("temperature sweep")
+//!     .models(["nbti-45nm"])
+//!     .temps_c([45.0, 85.0, 125.0])
+//!     .workload_names(["sha"])?
+//!     .trace_cycles(160_000)
+//!     .run(&ctx)?;
+//! for r in report.records() {
+//!     println!("{}: LT {:.2} y", r.scenario.model, r.lt_years());
+//! }
+//! # Ok(())
+//! # }
+//! ```
 
-use crate::aging::AgingAnalysis;
 use crate::arch::{PartitionedCache, UpdateSchedule};
 use crate::error::CoreError;
-use crate::experiment::ExperimentContext;
 use crate::json::Json;
+use crate::model::{self, CalibratedModel, Metrics, ModelContext, ModelEval, ModelParams};
 use crate::registry::{derive_policy_seed, PolicyRegistry};
 use crate::workload::{SyntheticWorkload, Workload, WorkloadRegistry, WorkloadSourceInfo};
 use cache_sim::CacheGeometry;
@@ -90,19 +119,13 @@ struct SimMeasurement {
 /// `(cache_bytes, line_bytes, banks, workload_index, trace_seed,
 /// trace_cycles)` → memoized simulation.
 type SimKey = (u64, u32, u32, usize, u64, u64);
-/// [`SimKey`] plus `update_days.to_bits()` → memoized identity (LT0)
-/// lifetime.
-type Lt0Key = (u64, u32, u32, usize, u64, u64, u64);
 
-/// Per-run memo shared across workers. Both maps are keyed by every
-/// input their value depends on, so a racing double-compute always
-/// stores the same value — first-writer-wins stays deterministic.
-#[derive(Default)]
-struct MemoInner {
-    sims: HashMap<SimKey, Arc<SimMeasurement>>,
-    lt0: HashMap<Lt0Key, f64>,
-}
-type SimMemo = Mutex<MemoInner>;
+/// Per-run simulation memo shared across workers, keyed by every input
+/// a simulation depends on, so a racing double-compute always stores
+/// the same value — first-writer-wins stays deterministic. (Model-side
+/// memoization — the policy-independent LT0 baseline, calibration LUTs
+/// — lives inside the shared [`CalibratedModel`] instances.)
+type SimMemo = Mutex<HashMap<SimKey, Arc<SimMeasurement>>>;
 
 /// Default trace length: the paper pipeline's reference horizon.
 pub const DEFAULT_TRACE_CYCLES: u64 = 320_000;
@@ -126,6 +149,10 @@ pub struct StudySpec {
     update_days: Vec<f64>,
     policies: Vec<String>,
     workloads: Vec<Arc<dyn Workload>>,
+    models: Vec<String>,
+    temps_c: Vec<f64>,
+    vdd_lows: Vec<f64>,
+    failure_pcts: Vec<f64>,
     trace_cycles: u64,
     base_seed: u64,
     policy_seed: Option<u64>,
@@ -147,6 +174,10 @@ impl std::fmt::Debug for StudySpec {
                 "workloads",
                 &self.workloads.iter().map(|w| w.name()).collect::<Vec<_>>(),
             )
+            .field("models", &self.models)
+            .field("temps_c", &self.temps_c)
+            .field("vdd_lows", &self.vdd_lows)
+            .field("failure_pcts", &self.failure_pcts)
             .field("trace_cycles", &self.trace_cycles)
             .field("base_seed", &self.base_seed)
             .finish_non_exhaustive()
@@ -169,6 +200,10 @@ impl StudySpec {
                 .into_iter()
                 .map(|p| Arc::new(SyntheticWorkload::new(p)) as Arc<dyn Workload>)
                 .collect(),
+            models: vec![model::DEFAULT_MODEL.into()],
+            temps_c: Vec::new(),
+            vdd_lows: Vec::new(),
+            failure_pcts: Vec::new(),
             trace_cycles: DEFAULT_TRACE_CYCLES,
             base_seed: DEFAULT_BASE_SEED,
             policy_seed: None,
@@ -271,6 +306,49 @@ impl StudySpec {
         self
     }
 
+    /// Sets the device-model axis by registry key; one or many values.
+    ///
+    /// Keys resolve through the
+    /// [`ModelRegistry`](crate::model::ModelRegistry): built-in names
+    /// (`"nbti-45nm"`, `"drv"`), parameterized family keys
+    /// (`"nbti:temp=105"`, `"variation:30"`) and user-registered names
+    /// all work. Keys canonicalize at expansion, so aliases of the
+    /// same operating point share one calibration.
+    #[must_use]
+    pub fn models<S: Into<String>>(mut self, keys: impl IntoIterator<Item = S>) -> Self {
+        self.models = keys.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the operating-temperature axis (°C); one or many values.
+    ///
+    /// Each value is applied as a `temp=` override to every key on the
+    /// model axis (overrides win over parameters already in a key), so
+    /// `models(["nbti-45nm"]).temps_c([45.0, 125.0])` expands to the
+    /// `nbti:temp=45` and `nbti:temp=125` models.
+    #[must_use]
+    pub fn temps_c(mut self, temps: impl IntoIterator<Item = f64>) -> Self {
+        self.temps_c = temps.into_iter().collect();
+        self
+    }
+
+    /// Sets the drowsy-rail axis (V); one or many values, applied as
+    /// `vlow=` overrides to every key on the model axis.
+    #[must_use]
+    pub fn vdd_low(mut self, volts: impl IntoIterator<Item = f64>) -> Self {
+        self.vdd_lows = volts.into_iter().collect();
+        self
+    }
+
+    /// Sets the failure-criterion axis (percent SNM degradation); one
+    /// or many values, applied as `fail=` overrides to every key on
+    /// the model axis.
+    #[must_use]
+    pub fn failure_pct(mut self, pcts: impl IntoIterator<Item = f64>) -> Self {
+        self.failure_pcts = pcts.into_iter().collect();
+        self
+    }
+
     /// Sets the simulated trace length in cycles.
     #[must_use]
     pub fn trace_cycles(mut self, cycles: u64) -> Self {
@@ -318,17 +396,51 @@ impl StudySpec {
         self.base_seed
     }
 
+    /// Composes the model axis: every model key crossed with the
+    /// temperature / drowsy-rail / failure-criterion override axes,
+    /// canonicalized.
+    fn composed_model_keys(&self) -> Result<Vec<String>, CoreError> {
+        fn axis(values: &[f64]) -> Vec<Option<f64>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().copied().map(Some).collect()
+            }
+        }
+        let mut keys = Vec::new();
+        for key in &self.models {
+            for &temp_c in &axis(&self.temps_c) {
+                for &vdd_low in &axis(&self.vdd_lows) {
+                    for &fail_pct in &axis(&self.failure_pcts) {
+                        keys.push(model::compose(
+                            key,
+                            ModelParams {
+                                temp_c,
+                                vdd_low,
+                                sleep_gated: None,
+                                fail_pct,
+                            },
+                        )?);
+                    }
+                }
+            }
+        }
+        Ok(keys)
+    }
+
     /// Expands the axes into the cartesian scenario grid.
     ///
     /// Expansion order (outermost to innermost): cache size, line size,
-    /// banks, update period, policy, workload. Scenario ids number that
-    /// order, so the innermost workload axis matches the historic
-    /// `seed + i` suite loop.
+    /// banks, device model, update period, policy, workload. Scenario
+    /// ids number that order, so the innermost workload axis matches
+    /// the historic `seed + i` suite loop (and single-model grids keep
+    /// their pre-model-axis ids).
     ///
     /// # Errors
     ///
-    /// Rejects empty axes, unknown policy names and invalid geometries
-    /// up front, so `run` can only fail on model-level errors.
+    /// Rejects empty axes, unknown policy names, malformed model keys,
+    /// invalid geometries and profile/bank-count mismatches up front,
+    /// so `run` can only fail on model-level errors.
     pub fn expand(&self) -> Result<ScenarioGrid, CoreError> {
         for (axis, len) in [
             ("cache_bytes", self.cache_bytes.len()),
@@ -337,6 +449,7 @@ impl StudySpec {
             ("update_days", self.update_days.len()),
             ("policies", self.policies.len()),
             ("workloads", self.workloads.len()),
+            ("models", self.models.len()),
         ] {
             if len == 0 {
                 return Err(CoreError::Report {
@@ -361,32 +474,76 @@ impl StudySpec {
                 });
             }
         }
+        for &t in &self.temps_c {
+            if t <= -273.15 || t.is_nan() {
+                return Err(CoreError::InvalidParameter {
+                    name: "temps_c",
+                    value: t,
+                    expected: "a temperature above absolute zero (°C)",
+                });
+            }
+        }
+        for &v in &self.vdd_lows {
+            if v <= 0.0 || v.is_nan() {
+                return Err(CoreError::InvalidParameter {
+                    name: "vdd_low",
+                    value: v,
+                    expected: "a positive drowsy rail voltage",
+                });
+            }
+        }
+        for &pct in &self.failure_pcts {
+            if pct <= 0.0 || pct >= 100.0 || pct.is_nan() {
+                return Err(CoreError::InvalidParameter {
+                    name: "failure_pct",
+                    value: pct,
+                    expected: "a failure criterion in (0, 100) percent",
+                });
+            }
+        }
+        let model_keys = self.composed_model_keys()?;
         let mut scenarios = Vec::new();
         for &bytes in &self.cache_bytes {
             for &line in &self.line_bytes {
                 for &banks in &self.banks {
                     // Validate the geometry once per (size, line, banks).
                     CacheGeometry::direct_mapped(bytes, line, banks)?;
-                    for &days in &self.update_days {
-                        for policy in &self.policies {
-                            for (wi, w) in self.workloads.iter().enumerate() {
-                                let id = scenarios.len();
-                                scenarios.push(Scenario {
-                                    id,
-                                    cache_bytes: bytes,
-                                    line_bytes: line,
-                                    banks,
-                                    update_days: days,
-                                    policy: policy.clone(),
-                                    workload: w.name().to_string(),
-                                    workload_index: wi,
-                                    workload_source: w.source_info(),
-                                    trace_cycles: self.trace_cycles,
-                                    trace_seed: self.base_seed + wi as u64,
-                                    policy_seed: self.policy_seed.unwrap_or_else(|| {
-                                        derive_policy_seed(self.base_seed, id as u64, policy)
-                                    }),
+                    for w in &self.workloads {
+                        if let Some(profile) = w.pinned_profile() {
+                            if profile.len() != banks as usize {
+                                return Err(CoreError::Report {
+                                    message: format!(
+                                        "workload `{}` pins {} banks but the grid asks for {banks}",
+                                        w.name(),
+                                        profile.len()
+                                    ),
                                 });
+                            }
+                        }
+                    }
+                    for model in &model_keys {
+                        for &days in &self.update_days {
+                            for policy in &self.policies {
+                                for (wi, w) in self.workloads.iter().enumerate() {
+                                    let id = scenarios.len();
+                                    scenarios.push(Scenario {
+                                        id,
+                                        cache_bytes: bytes,
+                                        line_bytes: line,
+                                        banks,
+                                        update_days: days,
+                                        policy: policy.clone(),
+                                        workload: w.name().to_string(),
+                                        workload_index: wi,
+                                        workload_source: w.source_info(),
+                                        model: model.clone(),
+                                        trace_cycles: self.trace_cycles,
+                                        trace_seed: self.base_seed + wi as u64,
+                                        policy_seed: self.policy_seed.unwrap_or_else(|| {
+                                            derive_policy_seed(self.base_seed, id as u64, policy)
+                                        }),
+                                    });
+                                }
                             }
                         }
                     }
@@ -402,12 +559,15 @@ impl StudySpec {
         })
     }
 
-    /// Expands and runs the grid — the one-call path.
+    /// Expands and runs the grid — the one-call path. Accepts a
+    /// [`ModelContext`] or the legacy
+    /// [`ExperimentContext`](crate::experiment::ExperimentContext)
+    /// shim.
     ///
     /// # Errors
     ///
     /// Propagates expansion and execution errors.
-    pub fn run(&self, ctx: &ExperimentContext) -> Result<StudyReport, CoreError> {
+    pub fn run<C: AsRef<ModelContext>>(&self, ctx: &C) -> Result<StudyReport, CoreError> {
         self.expand()?.run(ctx)
     }
 }
@@ -435,6 +595,9 @@ pub struct Scenario {
     /// hash), `None` for synthetic workloads. Serialized into reports
     /// so published results name exactly which trace produced them.
     pub workload_source: Option<WorkloadSourceInfo>,
+    /// Canonical key of the device/aging model
+    /// ([`model::DEFAULT_MODEL`] unless the spec set a model axis).
+    pub model: String,
     /// Simulated trace length in cycles.
     pub trace_cycles: u64,
     /// Derived trace seed (`base_seed + workload_index`).
@@ -460,6 +623,11 @@ impl Scenario {
             ("trace_seed", Json::Str(self.trace_seed.to_string())),
             ("policy_seed", Json::Str(self.policy_seed.to_string())),
         ];
+        // Omitted for the reference model, so reports written before
+        // the model axis opened parse (and emit) unchanged.
+        if self.model != model::DEFAULT_MODEL {
+            pairs.push(("model", Json::Str(self.model.clone())));
+        }
         // Omitted entirely for synthetic workloads, so reports written
         // before the workload axis opened parse (and emit) unchanged.
         if let Some(source) = &self.workload_source {
@@ -496,6 +664,10 @@ impl Scenario {
         };
         Ok(Self {
             workload_source,
+            model: match v.get("model") {
+                Some(m) => m.as_str("model")?.to_string(),
+                None => model::DEFAULT_MODEL.to_string(),
+            },
             id: v.field("id")?.as_num("id")? as usize,
             cache_bytes: v.field("cache_bytes")?.as_num("cache_bytes")? as u64,
             line_bytes: v.field("line_bytes")?.as_num("line_bytes")? as u32,
@@ -552,6 +724,13 @@ impl ScenarioGrid {
 
     /// Runs every scenario and collects the report.
     ///
+    /// The context is anything that dereferences to a
+    /// [`ModelContext`] — a `ModelContext` itself, or the legacy
+    /// [`ExperimentContext`](crate::experiment::ExperimentContext)
+    /// shim. All distinct device models calibrate up front, exactly
+    /// once each (the context memoizes per canonical key), before any
+    /// worker starts.
+    ///
     /// Scenarios execute across worker threads (capped by
     /// [`StudySpec::threads`], defaulting to available parallelism);
     /// records land in scenario-id order, so the report — including its
@@ -559,9 +738,22 @@ impl ScenarioGrid {
     ///
     /// # Errors
     ///
-    /// Returns the first scenario error by grid order, or
-    /// [`CoreError::WorkerPanicked`] if a worker died.
-    pub fn run(&self, ctx: &ExperimentContext) -> Result<StudyReport, CoreError> {
+    /// Returns model resolution/calibration errors, the first scenario
+    /// error by grid order, or [`CoreError::WorkerPanicked`] if a
+    /// worker died.
+    pub fn run<C: AsRef<ModelContext>>(&self, ctx: &C) -> Result<StudyReport, CoreError> {
+        let ctx: &ModelContext = ctx.as_ref();
+        // Calibrate every distinct model once, serially and in grid
+        // order: deterministic first-error, and the workers below only
+        // ever hit the cache.
+        let mut models: HashMap<&str, Arc<dyn CalibratedModel>> = HashMap::new();
+        for scenario in &self.scenarios {
+            if !models.contains_key(scenario.model.as_str()) {
+                models.insert(&scenario.model, ctx.calibrated(&scenario.model)?);
+            }
+        }
+        let models = &models;
+
         let n = self.scenarios.len();
         let hw = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -569,14 +761,14 @@ impl ScenarioGrid {
         let workers = self.threads.unwrap_or(hw).clamp(1, n.max(1));
         let mut slots: Vec<Option<Result<ScenarioRecord, CoreError>>> = Vec::new();
         slots.resize_with(n, || None);
-        // Simulation results are independent of the policy and
+        // Simulation results are independent of the policy, model and
         // update-period axes, so scenarios differing only there share
-        // one trace run (and one LT0 solve) through this memo.
-        let memo: SimMemo = Mutex::new(MemoInner::default());
+        // one trace run through this memo.
+        let memo: SimMemo = Mutex::new(HashMap::new());
 
         if workers <= 1 {
             for (i, scenario) in self.scenarios.iter().enumerate() {
-                slots[i] = Some(self.run_one(scenario, ctx, &memo));
+                slots[i] = Some(self.run_one(scenario, models, &memo));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -592,7 +784,7 @@ impl ScenarioGrid {
                         // WorkerPanicked instead of tearing down the
                         // whole process at scope join.
                         let record = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            self.run_one(&self.scenarios[i], ctx, &memo)
+                            self.run_one(&self.scenarios[i], models, &memo)
                         }))
                         .unwrap_or(Err(CoreError::WorkerPanicked));
                         results.lock().expect("results poisoned")[i] = Some(record);
@@ -618,12 +810,25 @@ impl ScenarioGrid {
     /// Simulates a scenario's trace, or reuses a memoized run: the
     /// simulation executes under the identity mapping with no mid-trace
     /// updates, so its outcome depends only on the geometry, workload
-    /// and trace parameters — not on the policy or update-period axes.
+    /// and trace parameters — not on the policy, model or update-period
+    /// axes. Pinned-profile workloads skip simulation entirely: their
+    /// sleep fractions *are* the measurement, and the trace-derived
+    /// metrics are honestly absent (`NaN` / zero cycles).
     fn simulate(
         &self,
         scenario: &Scenario,
         memo: &SimMemo,
     ) -> Result<Arc<SimMeasurement>, CoreError> {
+        let workload = &self.workloads[scenario.workload_index];
+        if let Some(profile) = workload.pinned_profile() {
+            return Ok(Arc::new(SimMeasurement {
+                cycles: 0,
+                esav: f64::NAN,
+                miss_rate: f64::NAN,
+                useful_idleness: profile.to_vec(),
+                sleep_fractions: profile.to_vec(),
+            }));
+        }
         let key = (
             scenario.cache_bytes,
             scenario.line_bytes,
@@ -632,10 +837,9 @@ impl ScenarioGrid {
             scenario.trace_seed,
             scenario.trace_cycles,
         );
-        if let Some(hit) = memo.lock().expect("memo poisoned").sims.get(&key) {
+        if let Some(hit) = memo.lock().expect("memo poisoned").get(&key) {
             return Ok(Arc::clone(hit));
         }
-        let workload = &self.workloads[scenario.workload_index];
         let geom = CacheGeometry::direct_mapped(
             scenario.cache_bytes,
             scenario.line_bytes,
@@ -671,72 +875,45 @@ impl ScenarioGrid {
         // give identical outputs, so either value is fine to keep.
         memo.lock()
             .expect("memo poisoned")
-            .sims
             .insert(key, Arc::clone(&measured));
         Ok(measured)
     }
 
     /// Executes one scenario: simulate under the identity mapping (the
     /// rotation is applied analytically over the device lifetime), then
-    /// evaluate the identity baseline (`LT0`) and the scenario policy's
-    /// lifetime (`LT`) from the measured sleep fractions.
+    /// hand the measured sleep fractions to the scenario's calibrated
+    /// device model, which maps them to named metrics.
     fn run_one(
         &self,
         scenario: &Scenario,
-        ctx: &ExperimentContext,
+        models: &HashMap<&str, Arc<dyn CalibratedModel>>,
         memo: &SimMemo,
     ) -> Result<ScenarioRecord, CoreError> {
         let measured = self.simulate(scenario, memo)?;
-        let sleep = &measured.sleep_fractions;
-
-        // Reuse ctx.aging only when its *actual* interval already
-        // matches this scenario's axis value (ctx.aging is a public
-        // field and may carry any interval).
-        let matches_ctx = (scenario.update_days - ctx.aging.update_interval_days()).abs() < 1e-12;
-        let aging_storage: Option<AgingAnalysis> = if matches_ctx {
-            None
-        } else {
-            Some(
-                ctx.aging
-                    .clone()
-                    .with_update_interval_days(scenario.update_days),
-            )
-        };
-        let aging = aging_storage.as_ref().unwrap_or(&ctx.aging);
-
-        let p0 = self.workloads[scenario.workload_index].p0();
-        // The LT0 baseline is the literal identity mapping, independent
-        // of whatever the study's registry contains under any name. It
-        // depends only on the shared simulation and the update interval,
-        // so scenarios differing only in policy share one solve.
-        let lt0_key = (
-            scenario.cache_bytes,
-            scenario.line_bytes,
-            scenario.banks,
-            scenario.workload_index,
-            scenario.trace_seed,
-            scenario.trace_cycles,
-            scenario.update_days.to_bits(),
-        );
-        let cached_lt0 = memo
-            .lock()
-            .expect("memo poisoned")
-            .lt0
-            .get(&lt0_key)
-            .copied();
-        let lt0 = match cached_lt0 {
-            Some(v) => v,
-            None => {
-                let mut identity = cache_sim::IdentityMapping;
-                let v = aging.cache_lifetime_with(sleep, p0, &mut identity)?;
-                memo.lock().expect("memo poisoned").lt0.insert(lt0_key, v);
-                v
-            }
-        };
-        let mut mapping =
+        let model = &models[scenario.model.as_str()];
+        let policy_builder = || {
             self.registry
-                .build(&scenario.policy, scenario.banks, scenario.policy_seed)?;
-        let lt = aging.cache_lifetime_with(sleep, p0, mapping.as_mut())?;
+                .build(&scenario.policy, scenario.banks, scenario.policy_seed)
+        };
+        let metrics = model.evaluate(&ModelEval {
+            sleep_fractions: &measured.sleep_fractions,
+            p0: self.workloads[scenario.workload_index].p0(),
+            update_days: scenario.update_days,
+            policy: &policy_builder,
+        })?;
+        // Metrics inline as top-level record fields in JSON, so a
+        // metric shadowing a record field would emit a duplicate key
+        // and vanish on parse — reject it loudly instead.
+        for name in metrics.names() {
+            if ScenarioRecord::RESERVED_FIELDS.contains(&name) {
+                return Err(CoreError::Report {
+                    message: format!(
+                        "model `{}` emits metric `{name}`, which shadows a record field",
+                        scenario.model
+                    ),
+                });
+            }
+        }
 
         Ok(ScenarioRecord {
             scenario: scenario.clone(),
@@ -745,8 +922,7 @@ impl ScenarioGrid {
             miss_rate: measured.miss_rate,
             useful_idleness: measured.useful_idleness.clone(),
             sleep_fractions: measured.sleep_fractions.clone(),
-            lt0_years: lt0,
-            lt_years: lt,
+            metrics,
         })
     }
 }
@@ -758,39 +934,79 @@ pub struct ScenarioRecord {
     pub scenario: Scenario,
     /// Cycles actually simulated. Equals `scenario.trace_cycles` for
     /// synthetic workloads; a file-backed trace shorter than the cap
-    /// ends the run early, and this records the truth.
+    /// ends the run early, and this records the truth (pinned-profile
+    /// workloads simulate nothing and record 0).
     pub sim_cycles: u64,
-    /// Energy saving vs the monolithic always-on cache.
+    /// Energy saving vs the monolithic always-on cache (`NaN` for
+    /// pinned-profile workloads — there is no trace to measure).
     pub esav: f64,
-    /// Cache miss rate on the trace.
+    /// Cache miss rate on the trace (`NaN` for pinned profiles).
     pub miss_rate: f64,
     /// Per-bank useful idleness (Table I's metric).
     pub useful_idleness: Vec<f64>,
     /// Per-bank sleep fractions (what the aging model consumes).
     pub sleep_fractions: Vec<f64>,
-    /// Lifetime under the identity policy (no re-indexing), years.
-    pub lt0_years: f64,
-    /// Lifetime under the scenario's policy, years.
-    pub lt_years: f64,
+    /// The scenario model's named outputs, in the model's emission
+    /// order. The reference model emits `lt0_years` / `lt_years`; see
+    /// [`ScenarioRecord::lt0_years`] / [`ScenarioRecord::lt_years`]
+    /// for the historic accessors.
+    pub metrics: Metrics,
 }
 
 impl ScenarioRecord {
+    /// Record-level JSON field names a model metric may not shadow
+    /// (metrics are inlined as top-level record fields; the grid
+    /// runner rejects models that emit one of these).
+    pub const RESERVED_FIELDS: [&'static str; 6] = [
+        "scenario",
+        "sim_cycles",
+        "esav",
+        "miss_rate",
+        "useful_idleness",
+        "sleep_fractions",
+    ];
+
     /// Average useful idleness over the banks.
     pub fn avg_useful_idleness(&self) -> f64 {
         self.useful_idleness.iter().sum::<f64>() / self.useful_idleness.len() as f64
     }
 
+    /// Looks up a named metric.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name)
+    }
+
+    /// Lifetime under the identity policy (no re-indexing), years —
+    /// the historic accessor for the `lt0_years` metric. `NaN` if the
+    /// scenario's model does not emit it.
+    pub fn lt0_years(&self) -> f64 {
+        self.metrics.get(model::METRIC_LT0).unwrap_or(f64::NAN)
+    }
+
+    /// Lifetime under the scenario's policy, years — the historic
+    /// accessor for the `lt_years` metric. `NaN` if the scenario's
+    /// model does not emit it.
+    pub fn lt_years(&self) -> f64 {
+        self.metrics.get(model::METRIC_LT).unwrap_or(f64::NAN)
+    }
+
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("scenario", self.scenario.to_json()),
             ("sim_cycles", Json::Num(self.sim_cycles as f64)),
             ("esav", Json::Num(self.esav)),
             ("miss_rate", Json::Num(self.miss_rate)),
             ("useful_idleness", Json::nums(&self.useful_idleness)),
             ("sleep_fractions", Json::nums(&self.sleep_fractions)),
-            ("lt0_years", Json::Num(self.lt0_years)),
-            ("lt_years", Json::Num(self.lt_years)),
-        ])
+        ];
+        // Metrics are inlined as top-level fields in emission order:
+        // the reference model's `lt0_years`/`lt_years` land exactly
+        // where the pre-model-axis codec put them, so historic reports
+        // round-trip byte-identically.
+        for (name, value) in self.metrics.iter() {
+            pairs.push((name, Json::Num(value)));
+        }
+        Json::obj(pairs)
     }
 
     fn from_json(v: &Json) -> Result<Self, CoreError> {
@@ -808,6 +1024,21 @@ impl ScenarioRecord {
             Some(n) => n.as_num("sim_cycles")? as u64,
             None => scenario.trace_cycles,
         };
+        // Every unclaimed field is a metric, in document order — which
+        // is exactly how a PR-2-era `lt0_years`/`lt_years` pair parses
+        // into the metrics map.
+        let Json::Obj(pairs) = v else {
+            return Err(CoreError::Report {
+                message: "scenario record is not an object".into(),
+            });
+        };
+        let mut metrics = Metrics::new();
+        for (key, value) in pairs {
+            if Self::RESERVED_FIELDS.contains(&key.as_str()) {
+                continue;
+            }
+            metrics.push(key.as_str(), value.as_num(key)?);
+        }
         Ok(Self {
             scenario,
             sim_cycles,
@@ -815,8 +1046,7 @@ impl ScenarioRecord {
             miss_rate: v.field("miss_rate")?.as_num("miss_rate")?,
             useful_idleness: nums("useful_idleness")?,
             sleep_fractions: nums("sleep_fractions")?,
-            lt0_years: v.field("lt0_years")?.as_num("lt0_years")?,
-            lt_years: v.field("lt_years")?.as_num("lt_years")?,
+            metrics,
         })
     }
 }
@@ -989,7 +1219,7 @@ mod tests {
         let path = dir.join("short.csv");
         std::fs::write(&path, &text).unwrap();
 
-        let ctx = ExperimentContext::new().unwrap();
+        let ctx = ModelContext::new();
         let report = StudySpec::new("short")
             .workload_names([format!("csv:{}", path.display())])
             .unwrap()
@@ -1016,6 +1246,7 @@ mod tests {
             workload: "sha".into(),
             workload_index: 0,
             workload_source: None,
+            model: model::DEFAULT_MODEL.into(),
             trace_cycles: 1000,
             trace_seed: 1000,
             policy_seed: 1,
@@ -1029,13 +1260,114 @@ mod tests {
                 miss_rate: 0.01,
                 useful_idleness: vec![0.1, 0.9, 0.95, 0.05],
                 sleep_fractions: vec![0.08, 0.88, 0.93, 0.04],
-                lt0_years: 2.97,
-                lt_years: 4.31,
+                metrics: Metrics::from_pairs([("lt0_years", 2.97), ("lt_years", 4.31)]),
             }],
         );
         let text = report.to_json();
+        // The reference model and its metric pair emit the historic
+        // field layout: no `model` key, metrics inline.
+        assert!(
+            text.contains("\"lt0_years\":2.97,\"lt_years\":4.31"),
+            "{text}"
+        );
+        assert!(!text.contains("\"model\""), "{text}");
         let back = StudyReport::from_json(&text).unwrap();
         assert_eq!(back, report);
         assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn model_axis_expands_composed_canonical_keys() {
+        let grid = tiny_spec()
+            .models(["nbti-45nm", "variation:30"])
+            .temps_c([85.0, 105.0])
+            .expand()
+            .unwrap();
+        // 2 models × 2 temps × 2 workloads.
+        assert_eq!(grid.len(), 8);
+        let keys: Vec<&str> = grid.scenarios().iter().map(|s| s.model.as_str()).collect();
+        assert_eq!(keys[0], "nbti:temp=85");
+        assert_eq!(keys[2], "nbti:temp=105");
+        assert_eq!(keys[4], "variation:30,temp=85");
+        assert_eq!(keys[6], "variation:30,temp=105");
+    }
+
+    #[test]
+    fn model_overrides_on_custom_names_are_rejected() {
+        // Only built-in family keys accept temp/vlow/fail overrides; a
+        // user-registered name has no parameter grammar to compose.
+        let e = tiny_spec().models(["custom"]).temps_c([85.0]).expand();
+        assert!(matches!(e, Err(CoreError::InvalidModelKey { .. })));
+    }
+
+    #[test]
+    fn bad_model_axis_values_are_rejected() {
+        assert!(matches!(
+            tiny_spec().temps_c([-300.0]).expand(),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            tiny_spec().vdd_low([0.0]).expand(),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            tiny_spec().failure_pct([0.0]).expand(),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            tiny_spec().failure_pct([100.0]).expand(),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn pinned_profile_length_must_match_banks() {
+        let e = StudySpec::new("profile mismatch")
+            .workload_names(["profile:0.5,0.5"])
+            .unwrap()
+            .banks([4])
+            .expand();
+        assert!(matches!(e, Err(CoreError::Report { .. })), "{e:?}");
+    }
+
+    #[test]
+    fn reserved_metric_names_are_rejected() {
+        use crate::model::{CalibratedModel, ModelRegistry};
+        struct Shadow;
+        impl CalibratedModel for Shadow {
+            fn evaluate(&self, _eval: &ModelEval<'_>) -> Result<Metrics, CoreError> {
+                Ok(Metrics::from_pairs([("esav", 1.0)]))
+            }
+        }
+        let mut registry = ModelRegistry::builtin();
+        registry
+            .register_fn("shadow", "shadows esav", "none", || Ok(Arc::new(Shadow)))
+            .unwrap();
+        let e = StudySpec::new("shadow")
+            .models(["shadow"])
+            .workload_names(["profile:0.1,0.8,0.6,0.3"])
+            .unwrap()
+            .run(&ModelContext::with_registry(registry))
+            .unwrap_err();
+        assert!(e.to_string().contains("shadows a record field"), "{e}");
+    }
+
+    #[test]
+    fn pinned_profile_scenarios_skip_simulation() {
+        let ctx = ModelContext::new();
+        let report = StudySpec::new("pinned")
+            .workload_names(["profile:0.1,0.8,0.6,0.3"])
+            .unwrap()
+            .run(&ctx)
+            .unwrap();
+        let r = &report.records()[0];
+        assert_eq!(r.sim_cycles, 0);
+        assert!(r.esav.is_nan() && r.miss_rate.is_nan());
+        assert_eq!(r.sleep_fractions, vec![0.1, 0.8, 0.6, 0.3]);
+        assert!(r.lt_years() > r.lt0_years());
+        // NaN sim metrics survive the JSON round-trip as tagged strings.
+        let back = StudyReport::from_json(&report.to_json()).unwrap();
+        assert!(back.records()[0].esav.is_nan());
+        assert_eq!(back.to_json(), report.to_json());
     }
 }

@@ -27,20 +27,47 @@
 
 use crate::error::CoreError;
 use crate::experiment::{claims_from, BenchResult};
+use crate::model::{ModelKey, METRIC_LT, METRIC_LT0, REFERENCE_TEMP_C, REFERENCE_VLOW};
 use crate::paper;
 use crate::report::{factor, pct, years, Table};
 use crate::study::{ScenarioRecord, StudyReport};
+use nbti_model::RdModel;
 use trace_synth::suite;
-
-fn mean<'a>(values: impl Iterator<Item = &'a f64>) -> f64 {
-    let v: Vec<f64> = values.copied().collect();
-    v.iter().sum::<f64>() / v.len() as f64
-}
 
 fn shape_err<T>(view: &str, detail: String) -> Result<T, CoreError> {
     Err(CoreError::Report {
         message: format!("{view} view: {detail}"),
     })
+}
+
+/// Mean of a metric over a record subset, or a shape error naming the
+/// view and the axis value whose subset came up empty (an empty subset
+/// used to silently render `NaN`).
+fn mean_of(
+    view: &str,
+    what: &str,
+    values: impl IntoIterator<Item = Result<f64, CoreError>>,
+) -> Result<f64, CoreError> {
+    let values = values.into_iter().collect::<Result<Vec<f64>, _>>()?;
+    if values.is_empty() {
+        return shape_err(view, format!("no records for {what}"));
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// A named metric of one record, or a shape error saying which record
+/// lacks it (a model that does not emit the metric).
+fn metric_of(view: &str, r: &ScenarioRecord, name: &str) -> Result<f64, CoreError> {
+    match r.metric(name) {
+        Some(v) => Ok(v),
+        None => shape_err(
+            view,
+            format!(
+                "record for `{}` (model `{}`) lacks metric `{name}`",
+                r.scenario.workload, r.scenario.model
+            ),
+        ),
+    }
 }
 
 /// Distinct values of a scenario key, in order of first appearance.
@@ -139,7 +166,7 @@ pub fn table1(report: &StudyReport) -> Result<Table, CoreError> {
             pct(paper_avg),
         ]);
     }
-    let overall_esav = mean(records.iter().map(|r| &r.esav));
+    let overall_esav = mean_of("table1", "the suite", records.iter().map(|r| Ok(r.esav)))?;
     let avg_idle =
         records.iter().map(|r| r.avg_useful_idleness()).sum::<f64>() / records.len() as f64;
     t.push_note(format!(
@@ -195,17 +222,30 @@ pub fn table2(report: &StudyReport) -> Result<Table, CoreError> {
         for (_, records) in &data {
             let r = records[i];
             row.push(pct(r.esav));
-            row.push(years(r.lt0_years));
-            row.push(years(r.lt_years));
+            row.push(years(metric_of("table2", r, METRIC_LT0)?));
+            row.push(years(metric_of("table2", r, METRIC_LT)?));
         }
         t.push_row(row);
     }
     let mut avg_row = vec!["Average".to_string()];
     let mut paper_row = vec!["(paper avg)".to_string()];
-    for (s, (_, records)) in data.iter().enumerate() {
-        avg_row.push(pct(mean(records.iter().map(|r| &r.esav))));
-        avg_row.push(years(mean(records.iter().map(|r| &r.lt0_years))));
-        avg_row.push(years(mean(records.iter().map(|r| &r.lt_years))));
+    for (s, (kb, records)) in data.iter().enumerate() {
+        let what = format!("{kb} kB");
+        avg_row.push(pct(mean_of(
+            "table2",
+            &what,
+            records.iter().map(|r| Ok(r.esav)),
+        )?));
+        avg_row.push(years(mean_of(
+            "table2",
+            &what,
+            records.iter().map(|r| metric_of("table2", r, METRIC_LT0)),
+        )?));
+        avg_row.push(years(mean_of(
+            "table2",
+            &what,
+            records.iter().map(|r| metric_of("table2", r, METRIC_LT)),
+        )?));
         paper_row.push(pct(paper::TABLE2_AVG.0[s]));
         paper_row.push(years(paper::TABLE2_AVG.1[s]));
         paper_row.push(years(paper::TABLE2_AVG.2[s]));
@@ -256,17 +296,25 @@ pub fn table3(report: &StudyReport) -> Result<Table, CoreError> {
         t.push_row(vec![
             ls16[i].scenario.workload.clone(),
             pct(ls16[i].esav),
-            years(ls16[i].lt_years),
+            years(metric_of("table3", ls16[i], METRIC_LT)?),
             pct(ls32[i].esav),
-            years(ls32[i].lt_years),
+            years(metric_of("table3", ls32[i], METRIC_LT)?),
         ]);
     }
     t.push_row(vec![
         "Average".into(),
-        pct(mean(ls16.iter().map(|r| &r.esav))),
-        years(mean(ls16.iter().map(|r| &r.lt_years))),
-        pct(mean(ls32.iter().map(|r| &r.esav))),
-        years(mean(ls32.iter().map(|r| &r.lt_years))),
+        pct(mean_of("table3", "LS16", ls16.iter().map(|r| Ok(r.esav)))?),
+        years(mean_of(
+            "table3",
+            "LS16",
+            ls16.iter().map(|r| metric_of("table3", r, METRIC_LT)),
+        )?),
+        pct(mean_of("table3", "LS32", ls32.iter().map(|r| Ok(r.esav)))?),
+        years(mean_of(
+            "table3",
+            "LS32",
+            ls32.iter().map(|r| metric_of("table3", r, METRIC_LT)),
+        )?),
     ]);
     t.push_note(format!(
         "paper averages: Esav {} / {} %, LT {} / {} y",
@@ -321,9 +369,20 @@ pub fn table4(report: &StudyReport) -> Result<Table, CoreError> {
                 .iter()
                 .filter(|r| r.scenario.cache_bytes == bytes && r.scenario.banks == banks)
                 .collect();
-            let idle =
-                cell.iter().map(|r| r.avg_useful_idleness()).sum::<f64>() / cell.len() as f64;
-            let lt = mean(cell.iter().map(|r| &r.lt_years));
+            // A sparse grid can leave a (size, banks) cell empty even
+            // when both axes pass the 3×3 check; an empty mean used to
+            // render NaN here.
+            let what = format!("{}kB / M={banks}", bytes / 1024);
+            let idle = mean_of(
+                "table4",
+                &what,
+                cell.iter().map(|r| Ok(r.avg_useful_idleness())),
+            )?;
+            let lt = mean_of(
+                "table4",
+                &what,
+                cell.iter().map(|r| metric_of("table4", r, METRIC_LT)),
+            )?;
             row.push(pct(idle));
             row.push(years(lt));
         }
@@ -352,6 +411,10 @@ pub fn table4(report: &StudyReport) -> Result<Table, CoreError> {
 pub fn table2_dataset(report: &StudyReport) -> Result<Vec<(u64, Vec<BenchResult>)>, CoreError> {
     if report.records().is_empty() {
         return shape_err("table2_dataset", "report is empty".into());
+    }
+    for r in report.records() {
+        metric_of("table2_dataset", r, METRIC_LT0)?;
+        metric_of("table2_dataset", r, METRIC_LT)?;
     }
     Ok(distinct(report, |r| r.scenario.cache_bytes)
         .into_iter()
@@ -452,13 +515,199 @@ pub fn policy_equivalence(report: &StudyReport) -> Result<Table, CoreError> {
         ],
     );
     for (ra, rb) in a.iter().zip(&b) {
+        let lta = metric_of("policy_equivalence", ra, METRIC_LT)?;
+        let ltb = metric_of("policy_equivalence", rb, METRIC_LT)?;
         t.push_row(vec![
             ra.scenario.workload.clone(),
-            years(ra.lt_years),
-            years(rb.lt_years),
-            format!("{:+.2}", 100.0 * (rb.lt_years - ra.lt_years) / ra.lt_years),
+            years(lta),
+            years(ltb),
+            format!("{:+.2}", 100.0 * (ltb - lta) / lta),
         ]);
     }
+    Ok(t)
+}
+
+/// The drowsy rail a record's model operates at (the reference 0.75 V
+/// unless its key overrides `vlow`).
+fn vlow_of(model: &str) -> Result<f64, CoreError> {
+    Ok(ModelKey::parse(model)?
+        .and_then(|k| k.params.vdd_low)
+        .unwrap_or(REFERENCE_VLOW))
+}
+
+/// Ablation view: operating temperature vs LT0/LT, one row per model
+/// on the temperature axis (see
+/// [`presets::ablation_temperature`](crate::presets::ablation_temperature)).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] if the report shape does not match.
+pub fn ablation_temperature(report: &StudyReport) -> Result<Table, CoreError> {
+    let models = distinct(report, |r| r.scenario.model.as_str());
+    if models.is_empty() {
+        return shape_err("ablation_temperature", "report is empty".into());
+    }
+    let mut t = Table::new(
+        "Ablation: operating temperature (calibration fixed at 85 degC)",
+        vec![
+            "temperature".into(),
+            "LT0".into(),
+            "LT (probing)".into(),
+            "reindex gain %".into(),
+        ],
+    );
+    for key in models {
+        let records = group(report, |r| r.scenario.model.as_str(), key);
+        let celsius = ModelKey::parse(key)?
+            .and_then(|k| k.params.temp_c)
+            .unwrap_or(REFERENCE_TEMP_C);
+        let lt0 = mean_of(
+            "ablation_temperature",
+            key,
+            records
+                .iter()
+                .map(|r| metric_of("ablation_temperature", r, METRIC_LT0)),
+        )?;
+        let lt = mean_of(
+            "ablation_temperature",
+            key,
+            records
+                .iter()
+                .map(|r| metric_of("ablation_temperature", r, METRIC_LT)),
+        )?;
+        t.push_row(vec![
+            format!("{celsius:.0} degC"),
+            years(lt0),
+            years(lt),
+            format!("{:+.1}", 100.0 * (lt - lt0) / lt0),
+        ]);
+    }
+    t.push_note("the re-indexing gain is a pure ratio and survives any uniform rate scaling");
+    Ok(t)
+}
+
+/// Ablation view: the drowsy-voltage design knob — aging deceleration
+/// and lifetime (from the `nbti` records) next to the fresh/aged DRV
+/// safety margins (from the `drv` records), one row per rail value
+/// (see [`presets::ablation_vlow`](crate::presets::ablation_vlow)).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] if a rail value lacks either its
+/// lifetime or its retention-margin records.
+pub fn ablation_vlow(report: &StudyReport) -> Result<Table, CoreError> {
+    let mut vlows: Vec<f64> = Vec::new();
+    for r in report.records() {
+        let v = vlow_of(&r.scenario.model)?;
+        if !vlows.contains(&v) {
+            vlows.push(v);
+        }
+    }
+    if vlows.is_empty() {
+        return shape_err("ablation_vlow", "report is empty".into());
+    }
+    vlows.sort_by(f64::total_cmp);
+    // Calibration only re-fits the drift coefficient; the voltage
+    // acceleration exponent and voltage anchors are design constants,
+    // so the published R–D model reproduces the solver's ratio exactly.
+    let rd = RdModel::default_45nm();
+    let mut t = Table::new(
+        "Ablation: drowsy rail voltage (sha-like idleness, Probing)",
+        vec![
+            "Vdd,low".into(),
+            "aging accel in sleep".into(),
+            "LT (years)".into(),
+            "fresh DRV margin".into(),
+            "aged DRV margin".into(),
+        ],
+    );
+    for &vlow in &vlows {
+        let at_rail: Vec<&ScenarioRecord> = report
+            .records()
+            .iter()
+            .filter(|r| vlow_of(&r.scenario.model).is_ok_and(|v| v == vlow))
+            .collect();
+        let pick = |metric: &str| -> Result<f64, CoreError> {
+            mean_of(
+                "ablation_vlow",
+                &format!("vlow={vlow} metric {metric}"),
+                at_rail
+                    .iter()
+                    .filter_map(|r| r.metric(metric))
+                    .map(Ok)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        t.push_row(vec![
+            format!("{vlow:.2} V"),
+            format!("{:.2}x", rd.voltage_acceleration(vlow)),
+            years(pick(METRIC_LT)?),
+            format!("{:+.0} mV", 1000.0 * pick("drv_margin_fresh_v")?),
+            format!("{:+.0} mV", 1000.0 * pick("drv_margin_aged_v")?),
+        ]);
+    }
+    t.push_note(
+        "lower rails slow aging but aging costs ~80 mV of retention margin over life; \
+         the paper's 0.75 V keeps a comfortable aged margin while tripling sleep relief",
+    );
+    Ok(t)
+}
+
+/// Extension view: process variation × NBTI — bank-lifetime quantiles
+/// per mismatch sigma, one row per `variation:<sigma>` model (see
+/// [`presets::variation_study`](crate::presets::variation_study)).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] if a record's model is not a
+/// variation model or lacks the quantile metrics.
+pub fn variation_study(report: &StudyReport) -> Result<Table, CoreError> {
+    let models = distinct(report, |r| r.scenario.model.as_str());
+    if models.is_empty() {
+        return shape_err("variation_study", "report is empty".into());
+    }
+    let mut t = Table::new(
+        "Bank lifetime quantiles vs Vth mismatch sigma (years)",
+        vec![
+            "sigma".into(),
+            "q10 busy".into(),
+            "q50 busy".into(),
+            "q50 drowsy+reindex".into(),
+            "reindex gain %".into(),
+        ],
+    );
+    for key in models {
+        let Some(sigma) = ModelKey::parse(key)?.and_then(|k| k.sigma_mv) else {
+            return shape_err(
+                "variation_study",
+                format!("model `{key}` is not a variation model"),
+            );
+        };
+        let records = group(report, |r| r.scenario.model.as_str(), key);
+        let pick = |metric: &str| -> Result<f64, CoreError> {
+            mean_of(
+                "variation_study",
+                key,
+                records
+                    .iter()
+                    .map(|r| metric_of("variation_study", r, metric)),
+            )
+        };
+        let q10 = pick("lt0_q10_years")?;
+        let q50 = pick(METRIC_LT0)?;
+        let q50_re = pick(METRIC_LT)?;
+        t.push_row(vec![
+            format!("{sigma:.0} mV"),
+            years(q10),
+            years(q50),
+            years(q50_re),
+            format!("{:+.1}", 100.0 * (q50_re - q50) / q50),
+        ]);
+    }
+    t.push_note(
+        "variation shortens absolute lifetimes (worst cell of 37k), but the \
+         re-indexing gain is rate-relative and survives unchanged",
+    );
     Ok(t)
 }
 
@@ -475,6 +724,8 @@ mod tests {
     use super::*;
     use crate::study::Scenario;
 
+    use crate::model::Metrics;
+
     fn record(workload: &str, wi: usize, kb: u64, banks: u32, policy: &str) -> ScenarioRecord {
         ScenarioRecord {
             scenario: Scenario {
@@ -487,6 +738,7 @@ mod tests {
                 workload: workload.into(),
                 workload_index: wi,
                 workload_source: None,
+                model: "nbti-45nm".into(),
                 trace_cycles: 1000,
                 trace_seed: 1000 + wi as u64,
                 policy_seed: 1,
@@ -496,8 +748,7 @@ mod tests {
             miss_rate: 0.05,
             useful_idleness: vec![0.4; banks as usize],
             sleep_fractions: vec![0.35; banks as usize],
-            lt0_years: 3.0,
-            lt_years: 4.2,
+            metrics: Metrics::from_pairs([("lt0_years", 3.0), ("lt_years", 4.2)]),
         }
     }
 
@@ -533,5 +784,129 @@ mod tests {
         assert_eq!(data.len(), 3);
         assert_eq!(data[0].0, 8);
         assert_eq!(data[2].1.len(), 2);
+    }
+
+    #[test]
+    fn missing_metrics_are_a_shape_error_not_nan() {
+        let mut r = record("sha", 0, 16, 4, "probing");
+        r.metrics = Metrics::from_pairs([("drv_margin_fresh_v", 0.2)]);
+        let report = StudyReport::from_records("wrong model", vec![r]);
+        let e = table2_dataset(&report).unwrap_err();
+        let text = e.to_string();
+        assert!(text.contains("lacks metric `lt0_years`"), "{text}");
+        assert!(text.contains("sha"), "{text}");
+    }
+
+    #[test]
+    fn empty_table4_cell_is_a_shape_error_not_nan() {
+        // Sizes {8,16,32} and banks {2,4,8} both appear, but the
+        // (32 kB, M=8) cell is empty: this used to render NaN.
+        let mut records = Vec::new();
+        for (kb, banks) in [
+            (8u64, 2u32),
+            (8, 4),
+            (8, 8),
+            (16, 2),
+            (16, 4),
+            (16, 8),
+            (32, 2),
+            (32, 4),
+        ] {
+            records.push(record("a", 0, kb, banks, "probing"));
+        }
+        let e = table4(&StudyReport::from_records("sparse", records)).unwrap_err();
+        let text = e.to_string();
+        assert!(text.contains("table4"), "{text}");
+        assert!(text.contains("32kB / M=8"), "{text}");
+    }
+
+    fn model_record(model: &str, metrics: Metrics) -> ScenarioRecord {
+        let mut r = record("profile:0.1,0.8,0.6,0.3", 0, 16, 4, "probing");
+        r.scenario.model = model.into();
+        r.metrics = metrics;
+        r
+    }
+
+    #[test]
+    fn ablation_temperature_renders_one_row_per_model() {
+        let report = StudyReport::from_records(
+            "temps",
+            vec![
+                model_record(
+                    "nbti:temp=45",
+                    Metrics::from_pairs([("lt0_years", 20.0), ("lt_years", 30.0)]),
+                ),
+                model_record(
+                    "nbti:temp=125",
+                    Metrics::from_pairs([("lt0_years", 0.5), ("lt_years", 0.75)]),
+                ),
+            ],
+        );
+        let t = ablation_temperature(&report).unwrap();
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[0][0], "45 degC");
+        assert_eq!(t.rows()[1][0], "125 degC");
+        assert_eq!(t.rows()[0][3], "+50.0");
+    }
+
+    #[test]
+    fn ablation_vlow_pairs_lifetime_and_margin_records() {
+        let report = StudyReport::from_records(
+            "vlow",
+            vec![
+                model_record(
+                    "nbti:vlow=0.55",
+                    Metrics::from_pairs([("lt0_years", 3.0), ("lt_years", 6.0)]),
+                ),
+                model_record(
+                    "drv:vlow=0.55",
+                    Metrics::from_pairs([("drv_margin_fresh_v", 0.1), ("drv_margin_aged_v", 0.02)]),
+                ),
+            ],
+        );
+        let t = ablation_vlow(&report).unwrap();
+        assert_eq!(t.rows().len(), 1);
+        assert_eq!(t.rows()[0][0], "0.55 V");
+        assert_eq!(t.rows()[0][3], "+100 mV");
+        assert_eq!(t.rows()[0][4], "+20 mV");
+
+        // A rail with lifetimes but no margins is a shape error.
+        let broken = StudyReport::from_records(
+            "vlow",
+            vec![model_record(
+                "nbti:vlow=0.55",
+                Metrics::from_pairs([("lt0_years", 3.0), ("lt_years", 6.0)]),
+            )],
+        );
+        let e = ablation_vlow(&broken).unwrap_err();
+        assert!(e.to_string().contains("drv_margin_fresh_v"), "{e}");
+    }
+
+    #[test]
+    fn variation_study_requires_variation_models() {
+        let report = StudyReport::from_records(
+            "var",
+            vec![model_record(
+                "variation:30",
+                Metrics::from_pairs([
+                    ("lt0_years", 2.0),
+                    ("lt_years", 3.0),
+                    ("lt0_q10_years", 1.5),
+                ]),
+            )],
+        );
+        let t = variation_study(&report).unwrap();
+        assert_eq!(t.rows().len(), 1);
+        assert_eq!(t.rows()[0][0], "30 mV");
+        assert_eq!(t.rows()[0][4], "+50.0");
+
+        let wrong = StudyReport::from_records(
+            "var",
+            vec![model_record(
+                "nbti-45nm",
+                Metrics::from_pairs([("lt0_years", 2.0), ("lt_years", 3.0)]),
+            )],
+        );
+        assert!(variation_study(&wrong).is_err());
     }
 }

@@ -13,7 +13,10 @@
 //! * **file-backed keys** (`csv:path`, `din:path`, `lackey:path`, or
 //!   `file:path` with the format inferred from the extension) to
 //!   [`FileWorkload`]s that stream the trace file chunk-by-chunk, so
-//!   multi-gigabyte traces run in constant memory.
+//!   multi-gigabyte traces run in constant memory;
+//! * **pinned profiles** (`profile:0.1,0.8,0.6,0.3`) to
+//!   [`ProfileWorkload`]s that skip simulation and feed per-bank sleep
+//!   fractions straight into the device models.
 //!
 //! File workloads carry provenance: the trace format plus a streaming
 //! FNV-1a 64 hash of the file bytes, recorded in every
@@ -99,6 +102,14 @@ pub trait Workload: Send + Sync {
 
     /// File provenance, for file-backed workloads.
     fn source_info(&self) -> Option<WorkloadSourceInfo> {
+        None
+    }
+
+    /// A pinned per-bank sleep/idleness profile that bypasses trace
+    /// simulation entirely — the direct drive into the physics layer
+    /// that the device-model ablation presets use. `None` (the
+    /// default) for real workloads.
+    fn pinned_profile(&self) -> Option<&[f64]> {
         None
     }
 
@@ -219,6 +230,137 @@ impl FileWorkload {
     }
 }
 
+/// A pinned per-bank idleness profile — no trace and no simulation;
+/// the per-bank sleep fractions feed the aging models directly.
+///
+/// This is the `(p0, Psleep)` interface of the paper's characterization
+/// LUT made first-class: the device-model ablations historically drove
+/// the physics with hand-picked profiles, and the `profile:` workload
+/// key lets a [`StudySpec`](crate::study::StudySpec) do the same
+/// through the ordinary grid. Simulation-derived record fields (`esav`,
+/// `miss_rate`) are `NaN` and `sim_cycles` is 0 — there is no trace to
+/// measure them on.
+///
+/// # Examples
+///
+/// ```
+/// use aging_cache::workload::{ProfileWorkload, Workload, WorkloadRegistry};
+///
+/// # fn main() -> Result<(), aging_cache::CoreError> {
+/// let w = WorkloadRegistry::builtin().resolve("profile:0.1,0.8,0.6,0.3")?;
+/// assert_eq!(w.pinned_profile(), Some(&[0.1, 0.8, 0.6, 0.3][..]));
+/// // Or construct directly, with a content skew:
+/// let skewed = ProfileWorkload::new(vec![0.5, 0.5])?.with_p0(0.9)?;
+/// assert_eq!(skewed.p0(), 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileWorkload {
+    name: String,
+    sleep: Vec<f64>,
+    p0: f64,
+}
+
+impl ProfileWorkload {
+    /// Creates a profile over per-bank sleep fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty profile or
+    /// fractions outside `[0, 1]`.
+    pub fn new(sleep: Vec<f64>) -> Result<Self, CoreError> {
+        if sleep.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "sleep",
+                value: 0.0,
+                expected: "at least one bank",
+            });
+        }
+        for &s in &sleep {
+            if !(0.0..=1.0).contains(&s) || !s.is_finite() {
+                return Err(CoreError::InvalidParameter {
+                    name: "sleep",
+                    value: s,
+                    expected: "sleep fractions in [0, 1]",
+                });
+            }
+        }
+        let name = format!(
+            "profile:{}",
+            sleep
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        Ok(Self {
+            name,
+            sleep,
+            p0: 0.5,
+        })
+    }
+
+    /// Parses a `profile:s0,s1,…` spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a malformed spec.
+    pub fn from_spec(spec: &str) -> Result<Self, CoreError> {
+        let rest = spec.strip_prefix("profile:").unwrap_or(spec);
+        let sleep = rest
+            .split(',')
+            .map(|s| s.trim().parse::<f64>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| CoreError::Report {
+                message: format!("malformed profile key `{spec}`: expected `profile:s0,s1,…`"),
+            })?;
+        Self::new(sleep)
+    }
+
+    /// Overrides the stored-'0' probability (default 0.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `p0` is outside
+    /// `[0, 1]`.
+    pub fn with_p0(mut self, p0: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&p0) || !p0.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "p0",
+                value: p0,
+                expected: "p0 in [0, 1]",
+            });
+        }
+        self.p0 = p0;
+        Ok(self)
+    }
+}
+
+impl Workload for ProfileWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn description(&self) -> &str {
+        "pinned per-bank idleness profile (no simulation)"
+    }
+
+    fn p0(&self) -> f64 {
+        self.p0
+    }
+
+    fn pinned_profile(&self) -> Option<&[f64]> {
+        Some(&self.sleep)
+    }
+
+    fn open(&self, _seed: u64) -> Result<Box<dyn TraceSource>, CoreError> {
+        Ok(Box::new(IterSource::new(std::iter::empty::<
+            cache_sim::Access,
+        >())))
+    }
+}
+
 fn hash_file(path: &Path) -> Result<u64, CoreError> {
     let mut file = File::open(path)
         .map_err(|e| trace_synth::TraceError::io(&format!("open {}", path.display()), e))?;
@@ -333,7 +475,8 @@ impl WorkloadRegistry {
     }
 
     /// Resolves a workload key: registered names first, then dynamic
-    /// `format:path` file keys.
+    /// `profile:s0,s1,…` pinned-profile keys and `format:path` file
+    /// keys.
     ///
     /// # Errors
     ///
@@ -343,6 +486,9 @@ impl WorkloadRegistry {
     pub fn resolve(&self, key: &str) -> Result<Arc<dyn Workload>, CoreError> {
         if let Some(w) = self.entries.get(key) {
             return Ok(Arc::clone(w));
+        }
+        if key.starts_with("profile:") {
+            return Ok(Arc::new(ProfileWorkload::from_spec(key)?));
         }
         if formats::parse_spec(key).is_ok() {
             return Ok(Arc::new(FileWorkload::from_spec(key)?));
@@ -459,6 +605,29 @@ mod tests {
             panic!("a missing trace file must not resolve");
         };
         assert!(matches!(e, CoreError::Trace(_)), "{e}");
+    }
+
+    #[test]
+    fn profile_keys_resolve_and_validate() {
+        let w = WorkloadRegistry::builtin()
+            .resolve("profile:0.1, 0.8,0.6,0.3")
+            .unwrap();
+        assert_eq!(w.pinned_profile(), Some(&[0.1, 0.8, 0.6, 0.3][..]));
+        assert_eq!(w.name(), "profile:0.1,0.8,0.6,0.3", "canonical name");
+        assert_eq!(w.p0(), 0.5);
+        // An opened stream is empty — there is nothing to simulate.
+        let mut src = w.open(1).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(src.next_batch(&mut buf, 16).unwrap(), 0);
+
+        assert!(ProfileWorkload::from_spec("profile:").is_err());
+        assert!(ProfileWorkload::from_spec("profile:0.5,nope").is_err());
+        assert!(ProfileWorkload::new(vec![1.5]).is_err());
+        assert!(ProfileWorkload::new(vec![]).is_err());
+        assert!(ProfileWorkload::new(vec![0.5])
+            .unwrap()
+            .with_p0(2.0)
+            .is_err());
     }
 
     #[test]

@@ -125,7 +125,10 @@ fn registry_without_identity_still_runs() {
         .run(ctx())
         .unwrap();
     let r = &report.records()[0];
-    assert!(r.lt_years > r.lt0_years, "probing must beat the baseline");
+    assert!(
+        r.lt_years() > r.lt0_years(),
+        "probing must beat the baseline"
+    );
 }
 
 /// Scenarios differing only in policy share one simulation, so their
@@ -173,5 +176,5 @@ fn custom_policy_runs_in_a_study() {
     assert_eq!(report.records().len(), 2);
     // A static bijection cannot beat rotation, but it must produce a
     // valid positive lifetime.
-    assert!(report.records().iter().all(|r| r.lt_years > 0.0));
+    assert!(report.records().iter().all(|r| r.lt_years() > 0.0));
 }

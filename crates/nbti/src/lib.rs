@@ -20,7 +20,10 @@
 //!   an always-on balanced cell lives **2.93 years**, and
 //! * a [characterization lookup table](lut) over `(p0, sleep fraction)` with
 //!   bilinear interpolation — the artifact the paper's cache simulator
-//!   consumes.
+//!   consumes, and
+//! * a [process-wide calibration cache](calibration) sharing the solved
+//!   reference anchor across derived device models (temperature /
+//!   drowsy-rail / failure-criterion variants).
 //!
 //! # Quick start
 //!
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibration;
 pub mod device;
 pub mod drv;
 pub mod error;

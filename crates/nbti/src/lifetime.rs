@@ -250,9 +250,38 @@ impl LifetimeSolver {
         Ok(solver)
     }
 
+    /// Moves the solver to a different operating point (temperature,
+    /// drowsy rail, transistor sizing) while keeping the calibrated
+    /// drift model — the derivation used by parameterized device
+    /// models: calibration stays anchored at the reference cell, and
+    /// the override changes only where the cell *operates*.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SNM extraction failures for the new design.
+    pub fn at_operating_point(&self, design: CellDesign) -> Result<Self, NbtiError> {
+        Self::new(design, self.rd.clone(), self.fail_fraction)
+    }
+
+    /// Returns a copy with a different SNM-degradation failure
+    /// criterion (the paper uses 20 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NbtiError::InvalidParameter`] if `fail_fraction` is
+    /// not in `(0, 1)`.
+    pub fn with_fail_fraction(&self, fail_fraction: f64) -> Result<Self, NbtiError> {
+        Self::new(self.design.clone(), self.rd.clone(), fail_fraction)
+    }
+
     /// The cell design being analyzed.
     pub fn design(&self) -> &CellDesign {
         &self.design
+    }
+
+    /// The SNM-degradation fraction at which the cell is declared dead.
+    pub fn fail_fraction(&self) -> f64 {
+        self.fail_fraction
     }
 
     /// The calibrated R–D drift model.
@@ -477,6 +506,30 @@ mod tests {
         let cool = LifetimeSolver::new(design_cool, hot.rd().clone(), 0.20).unwrap();
         let p = StressProfile::always_on(0.5);
         assert!(cool.lifetime_years(&p).unwrap() > hot.lifetime_years(&p).unwrap());
+    }
+
+    #[test]
+    fn operating_point_derivation_keeps_the_drift_model() {
+        let s = solver();
+        let cool = s
+            .at_operating_point(CellDesign::default_45nm().with_temperature(318.0).unwrap())
+            .unwrap();
+        assert_eq!(cool.rd(), s.rd(), "calibration must carry over");
+        let p = StressProfile::always_on(0.5);
+        assert!(cool.lifetime_years(&p).unwrap() > s.lifetime_years(&p).unwrap());
+    }
+
+    #[test]
+    fn fail_fraction_derivation_is_monotone_and_validated() {
+        let s = solver();
+        let p = StressProfile::always_on(0.5);
+        let strict = s.with_fail_fraction(0.10).unwrap();
+        let lax = s.with_fail_fraction(0.30).unwrap();
+        assert_eq!(s.fail_fraction(), LifetimeSolver::DEFAULT_FAIL_FRACTION);
+        assert!(strict.lifetime_years(&p).unwrap() < s.lifetime_years(&p).unwrap());
+        assert!(lax.lifetime_years(&p).unwrap() > s.lifetime_years(&p).unwrap());
+        assert!(s.with_fail_fraction(0.0).is_err());
+        assert!(s.with_fail_fraction(1.0).is_err());
     }
 
     #[test]

@@ -108,8 +108,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:>16} : LT {:.2} years (+{:.0} % over no re-indexing)",
             r.scenario.policy,
-            r.lt_years,
-            100.0 * (r.lt_years - r.lt0_years) / r.lt0_years
+            r.lt_years(),
+            100.0 * (r.lt_years() - r.lt0_years()) / r.lt0_years()
         );
     }
     Ok(())

@@ -61,12 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row.push(r.scenario.workload.clone());
             }
             if policy == "identity" {
-                lt0 = r.lt_years;
+                lt0 = r.lt_years();
             }
             if policy == "probing" {
-                probing = r.lt_years;
+                probing = r.lt_years();
             }
-            row.push(years(r.lt_years));
+            row.push(years(r.lt_years()));
         }
         let gain = 100.0 * (probing - lt0) / lt0;
         worst_gain = worst_gain.min(gain);

@@ -55,8 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         table.push_row(vec![
             (r.scenario.cache_bytes / 1024).to_string(),
             pct(r.esav),
-            years(r.lt0_years),
-            years(r.lt_years),
+            years(r.lt0_years()),
+            years(r.lt_years()),
         ]);
     }
     println!("{table}");
