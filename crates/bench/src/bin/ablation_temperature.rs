@@ -10,12 +10,12 @@
 //! profile.
 
 use aging_cache::{presets, views};
-use repro_bench::{model_context, run_preset};
+use repro_bench::{run_preset, session};
 
 fn main() {
     run_preset(
         presets::ablation_temperature(),
-        &model_context(),
+        &session(),
         views::ablation_temperature,
     );
 }

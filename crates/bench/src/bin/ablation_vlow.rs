@@ -10,12 +10,8 @@
 //! `StudySpec::vdd_low`, bracketing the paper's 0.75 V choice.
 
 use aging_cache::{presets, views};
-use repro_bench::{model_context, run_preset};
+use repro_bench::{run_preset, session};
 
 fn main() {
-    run_preset(
-        presets::ablation_vlow(),
-        &model_context(),
-        views::ablation_vlow,
-    );
+    run_preset(presets::ablation_vlow(), &session(), views::ablation_vlow);
 }

@@ -3,12 +3,12 @@
 //! the raw report.
 
 use aging_cache::{presets, views};
-use repro_bench::{context, default_config, run_preset};
+use repro_bench::{default_config, run_preset, session};
 
 fn main() {
     run_preset(
         presets::policy_equivalence(&default_config()),
-        &context(),
+        &session(),
         views::policy_equivalence,
     );
 }

@@ -20,12 +20,56 @@
 //! cross every listed model with operating-point sweeps.
 //! `--list-models` shows the registered models and the parameterized
 //! key families. Without `--json` a compact summary table is printed.
+//!
+//! The execution layer is on the command line too:
+//!
+//! * `--cache-dir <dir>` journals every finished scenario into
+//!   `<dir>/results.jsonl`, keyed by its content-addressed
+//!   fingerprint. A re-run — identical, widened, or interrupted
+//!   halfway — replays journaled points byte-identically and computes
+//!   only what is missing; a fully warm run executes zero simulations.
+//!   Cache counters print on stderr after the run.
+//! * `--resume` asserts the intent: it requires `--cache-dir` and
+//!   fails fast if the journal does not exist yet.
+//! * `--progress` streams per-scenario progress to stderr as workers
+//!   finish (`cached` marks scenarios replayed from the journal).
+//! * `--sequential` forces the single-threaded executor backend
+//!   (`--threads N` caps the threaded one, as before).
 
+use aging_cache::exec::{ExecObserver, ExecOptions, RecordOrigin};
 use aging_cache::model::ModelRegistry;
 use aging_cache::report::{pct, years, Table};
-use aging_cache::study::StudySpec;
+use aging_cache::rescache::{JsonlCache, ResultCache};
+use aging_cache::session::StudySession;
+use aging_cache::study::{ScenarioRecord, StudySpec};
 use aging_cache::{PolicyRegistry, WorkloadRegistry};
-use repro_bench::model_context;
+
+/// `--progress`: per-scenario streaming to stderr.
+struct Progress;
+
+impl ExecObserver for Progress {
+    fn on_start(&self, name: &str, total: usize) {
+        eprintln!("[study] {name}: {total} scenarios");
+    }
+
+    fn on_record(&self, record: &ScenarioRecord, origin: RecordOrigin, done: usize, total: usize) {
+        let s = &record.scenario;
+        eprintln!(
+            "[{done}/{total}] {}kB/{}B/M={} {} {} {}{}",
+            s.cache_bytes / 1024,
+            s.line_bytes,
+            s.banks,
+            s.policy,
+            s.model,
+            s.workload,
+            if origin == RecordOrigin::Cached {
+                " (cached)"
+            } else {
+                ""
+            }
+        );
+    }
+}
 
 fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Vec<T> {
     value
@@ -48,11 +92,30 @@ fn main() {
     let mut workloads: Option<Vec<String>> = None;
     let mut traces: Vec<String> = Vec::new();
     let mut models: Vec<String> = Vec::new();
+    let mut cache_dir: Option<String> = None;
+    let mut resume = false;
+    let mut progress = false;
+    let mut sequential = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         if flag == "--json" {
             json = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--resume" {
+            resume = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--progress" {
+            progress = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--sequential" {
+            sequential = true;
             i += 1;
             continue;
         }
@@ -137,13 +200,18 @@ fn main() {
             "--trace-cycles" => spec.trace_cycles(parse_list(value, flag)[0]),
             "--seed" => spec.base_seed(parse_list(value, flag)[0]),
             "--threads" => spec.threads(parse_list(value, flag)[0]),
+            "--cache-dir" => {
+                cache_dir = Some(value.clone());
+                spec
+            }
             _ => {
                 eprintln!("unknown flag {flag}");
                 eprintln!(
                     "flags: --cache-kb --line-bytes --banks --update-days --policies \
                      --workloads --trace <format:path> --profile <s0,s1,…> \
                      --model --temp --vlow --fail \
-                     --trace-cycles --seed --threads \
+                     --trace-cycles --seed --threads --sequential \
+                     --cache-dir <dir> --resume --progress \
                      --json --list-policies --list-workloads --list-models"
                 );
                 std::process::exit(2);
@@ -172,13 +240,60 @@ fn main() {
         spec = spec.models(models);
     }
 
-    let report = match spec.run(&model_context()) {
+    if resume && cache_dir.is_none() {
+        eprintln!("--resume needs --cache-dir <dir> (there is no journal to resume from)");
+        std::process::exit(2);
+    }
+    let mut session = StudySession::new();
+    if sequential {
+        session = session.exec(ExecOptions::sequential());
+    }
+    if progress {
+        session = session.observer(Progress);
+    }
+    let caching = cache_dir.is_some();
+    if let Some(dir) = cache_dir {
+        if resume
+            && !std::path::Path::new(&dir)
+                .join(JsonlCache::FILE_NAME)
+                .exists()
+        {
+            eprintln!(
+                "--resume: no journal at {dir}/{} — nothing to resume",
+                JsonlCache::FILE_NAME
+            );
+            std::process::exit(2);
+        }
+        let cache = match JsonlCache::in_dir(&dir) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        if resume {
+            eprintln!("[cache] resuming from {} journaled scenarios", cache.len());
+        }
+        session = session.cache(cache);
+    }
+
+    let report = match session.run(&spec) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("study failed: {e}");
             std::process::exit(1);
         }
     };
+    if caching {
+        let stats = session.stats();
+        eprintln!(
+            "[cache] hits: {}, computed: {}, simulations: {}, entries: {}",
+            stats.cache_hits,
+            stats.evaluations,
+            stats.simulations,
+            session.result_cache().map(|c| c.len()).unwrap_or(0)
+        );
+    }
     if json {
         println!("{}", report.to_json());
         return;

@@ -3,12 +3,12 @@
 //! the raw report.
 
 use aging_cache::{presets, views};
-use repro_bench::{context, default_config, run_preset};
+use repro_bench::{default_config, run_preset, session};
 
 fn main() {
     run_preset(
         presets::table1(&default_config()),
-        &context(),
+        &session(),
         views::table1,
     );
 }

@@ -10,13 +10,13 @@
 //! over the mismatch-sigma range.
 
 use aging_cache::{presets, views};
-use repro_bench::{model_context, run_preset, section};
+use repro_bench::{run_preset, section, session};
 
 fn main() {
     section("Process variation x NBTI (bank of 37k cells)");
     run_preset(
         presets::variation_study(),
-        &model_context(),
+        &session(),
         views::variation_study,
     );
 }

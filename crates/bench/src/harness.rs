@@ -6,7 +6,14 @@
 //! groups of closures, warm-up then measurement — and reports mean and
 //! best ns/iteration plus optional element throughput. Benches using it
 //! declare `harness = false` in the manifest and drive it from `main`.
+//!
+//! Besides the human-readable tables, a bench can persist a
+//! machine-readable baseline with [`write_baseline`] (e.g.
+//! `BENCH_study.json` from `benches/study_exec.rs`), so the perf
+//! trajectory of the hot path is tracked in artifacts instead of
+//! scrollback.
 
+use aging_cache::json::Json;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -86,6 +93,22 @@ impl Harness {
             throughput
         );
     }
+}
+
+/// Writes a machine-readable benchmark baseline: one flat JSON object
+/// of named measurements, to `path` (conventionally
+/// `BENCH_<name>.json` in the working directory). Values emit with
+/// shortest-round-trip formatting, so baselines diff cleanly.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be written.
+pub fn write_baseline(path: &str, bench: &str, fields: &[(&str, f64)]) -> std::io::Result<()> {
+    let mut pairs = vec![("bench", Json::Str(bench.to_string()))];
+    pairs.extend(fields.iter().map(|&(k, v)| (k, Json::Num(v))));
+    let mut text = Json::obj(pairs).emit();
+    text.push('\n');
+    std::fs::write(path, text)
 }
 
 /// Formats a positive quantity with 3 significant-ish digits and

@@ -33,6 +33,7 @@ pub mod harness;
 use aging_cache::experiment::{ExperimentConfig, ExperimentContext};
 use aging_cache::model::ModelContext;
 use aging_cache::report::Table;
+use aging_cache::session::StudySession;
 use aging_cache::study::{StudyReport, StudySpec};
 use aging_cache::CoreError;
 
@@ -50,9 +51,17 @@ pub fn context() -> ExperimentContext {
 }
 
 /// Builds the model-axis run context (models calibrate lazily, once
-/// per distinct key) — the preferred context for new binaries.
+/// per distinct key).
 pub fn model_context() -> ModelContext {
     ModelContext::new()
+}
+
+/// Builds a fresh [`StudySession`] — the execution-layer front door
+/// every harness binary runs its presets through. One session per
+/// process: its simulation memo is what lets overlapping presets
+/// (`repro_all`'s Tables I–IV) share trace simulations.
+pub fn session() -> StudySession {
+    StudySession::new()
 }
 
 /// Prints a value with a section rule around it (harness output style).
@@ -68,16 +77,17 @@ pub fn json_requested() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
-/// Runs a preset spec and prints either the rendered table or, with
-/// `--json` on the command line, the raw report. Exits non-zero on
-/// failure (harness binaries have no recovery path). Accepts a
-/// [`ModelContext`] or the legacy [`ExperimentContext`] shim.
-pub fn run_preset<C: AsRef<ModelContext>>(
+/// Runs a preset spec through a [`StudySession`] and prints either the
+/// rendered table or, with `--json` on the command line, the raw
+/// report. Exits non-zero on failure (harness binaries have no
+/// recovery path). Sharing one session across presets shares their
+/// simulation memo (and result cache, if the session carries one).
+pub fn run_preset(
     spec: StudySpec,
-    ctx: &C,
+    session: &StudySession,
     view: impl FnOnce(&StudyReport) -> Result<Table, CoreError>,
 ) {
-    match spec.run(ctx) {
+    match session.run(&spec) {
         Ok(report) => {
             if json_requested() {
                 println!("{}", report.to_json());

@@ -80,6 +80,20 @@ pub enum CoreError {
     },
     /// A worker thread of the parallel grid runner panicked.
     WorkerPanicked,
+    /// A scenario task panicked; the payload is captured so the
+    /// offending grid point and message survive the unwind.
+    ScenarioPanicked {
+        /// Grid id of the scenario whose task panicked.
+        scenario: usize,
+        /// The downcast panic message.
+        message: String,
+    },
+    /// A result-cache operation failed, or a journaled entry was
+    /// corrupted (the message names the entry's fingerprint).
+    Cache {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -133,6 +147,10 @@ impl fmt::Display for CoreError {
             CoreError::Trace(e) => write!(f, "trace error: {e}"),
             CoreError::Report { message } => write!(f, "study report error: {message}"),
             CoreError::WorkerPanicked => write!(f, "a study worker thread panicked"),
+            CoreError::ScenarioPanicked { scenario, message } => {
+                write!(f, "scenario {scenario} panicked: {message}")
+            }
+            CoreError::Cache { message } => write!(f, "result cache error: {message}"),
         }
     }
 }

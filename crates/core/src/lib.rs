@@ -36,6 +36,12 @@
 //! * [`study`] — the Study API: declarative [`study::StudySpec`] grids
 //!   expanded into [`study::ScenarioGrid`]s, run across threads into
 //!   serializable [`study::StudyReport`]s;
+//! * [`exec`] / [`session`] / [`rescache`] — the open execution layer:
+//!   pluggable [`Executor`] backends and streaming [`ExecObserver`]
+//!   progress, driven through the [`session::StudySession`] front door
+//!   that owns a cross-run simulation memo and a content-addressed
+//!   [`rescache::ResultCache`] (in-memory or on-disk JSONL), making
+//!   repeated and interrupted studies incremental and resumable;
 //! * [`presets`] / [`views`] / [`experiment`] / [`report`] — the
 //!   paper's tables as ~10-line presets over the grid runner, rendered
 //!   by pure views with the published values embedded for side-by-side
@@ -103,6 +109,7 @@ pub mod arch;
 pub mod control;
 pub mod decoder;
 pub mod error;
+pub mod exec;
 pub mod experiment;
 pub mod fine_grain;
 pub mod flip;
@@ -116,7 +123,9 @@ pub mod policy;
 pub mod presets;
 pub mod registry;
 pub mod report;
+pub mod rescache;
 pub mod selector;
+pub mod session;
 pub mod study;
 pub mod views;
 pub mod workload;
@@ -125,6 +134,10 @@ pub use aging::AgingAnalysis;
 pub use arch::PartitionedCache;
 pub use decoder::Decoder;
 pub use error::CoreError;
+pub use exec::{
+    ExecBackend, ExecObserver, ExecOptions, Executor, RecordOrigin, SequentialExecutor,
+    ThreadedExecutor,
+};
 pub use lfsr::Lfsr;
 pub use model::{
     AgingModel, CalibratedModel, Metrics, ModelContext, ModelEval, ModelKey, ModelParams,
@@ -133,7 +146,11 @@ pub use model::{
 pub use onehot::OneHotEncoder;
 pub use policy::{GrayRotation, PolicyKind, Probing, RotateXor, Scrambling};
 pub use registry::{IndexingPolicy, PolicyRegistry};
+pub use rescache::{
+    CachedMeasurement, Fingerprint, JsonlCache, MemoryCache, ResultCache, ENGINE_VERSION,
+};
 pub use selector::{BlockSelector, Rail};
+pub use session::{SessionStats, StudySession};
 pub use study::{Scenario, ScenarioGrid, ScenarioRecord, StudyReport, StudySpec};
 pub use workload::{
     FileWorkload, ProfileWorkload, SyntheticWorkload, Workload, WorkloadRegistry,

@@ -1,0 +1,664 @@
+//! The [`StudySession`] front door of the execution layer: one
+//! long-lived object owning the [`ModelContext`], the policy and
+//! workload registries, a session-scoped simulation memo and an
+//! optional [`ResultCache`] — so repeated and overlapping studies are
+//! incremental instead of from-scratch.
+//!
+//! [`ScenarioGrid::run`](crate::study::ScenarioGrid::run) survives as
+//! a thin shim over a transient session (fresh memo, no cache, default
+//! executor), byte-identical to the historic behavior. New code —
+//! and everything that runs more than one grid — should hold a
+//! session:
+//!
+//! * the **simulation memo** outlives each run, so grids that share
+//!   `(geometry, workload, seed, horizon)` points — `repro_all`'s
+//!   Tables I–IV, a preset re-run with one widened axis — simulate
+//!   each distinct trace exactly once per session;
+//! * the **[`ResultCache`]** (in-memory or on-disk JSONL) skips
+//!   simulation *and* model evaluation for any scenario measured
+//!   before, in this process or a previous one: a warm re-run
+//!   executes zero simulations and still emits a byte-identical
+//!   report, and an interrupted sweep resumes from its journal;
+//! * **[`ExecOptions`]** select the executor backend; an
+//!   **[`ExecObserver`]** streams per-record progress;
+//! * [`StudySession::stats`] exposes the counters behind all of the
+//!   above — simulations actually run, memo hits, cache hits/stores,
+//!   model evaluations — so "the cache worked" is an assertable fact,
+//!   not a hope.
+//!
+//! # Examples
+//!
+//! Two overlapping presets sharing one session (the second run's
+//! 16 kB column re-uses every simulation of the first):
+//!
+//! ```no_run
+//! use aging_cache::session::StudySession;
+//!
+//! # fn main() -> Result<(), aging_cache::CoreError> {
+//! let session = StudySession::new();
+//! let narrow = session.spec("narrow").cache_kb([16]).workload_names(["sha"])?;
+//! let wide = session.spec("wide").cache_kb([8, 16]).workload_names(["sha"])?;
+//! session.run(&narrow)?;
+//! session.run(&wide)?;
+//! let stats = session.stats();
+//! assert_eq!(stats.scenarios, 3);
+//! assert_eq!(stats.simulations, 2, "the 16 kB point simulated once");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! A persistent on-disk cache: the second process re-emits the same
+//! report without simulating anything:
+//!
+//! ```no_run
+//! use aging_cache::rescache::JsonlCache;
+//! use aging_cache::session::StudySession;
+//!
+//! # fn main() -> Result<(), aging_cache::CoreError> {
+//! let session = StudySession::new().cache(JsonlCache::in_dir("./study-cache")?);
+//! let spec = session.spec("sweep").cache_kb([8, 16]).workload_names(["sha"])?;
+//! let report = session.run(&spec)?;
+//! // … later, in a fresh process:
+//! let resumed = StudySession::new().cache(JsonlCache::in_dir("./study-cache")?);
+//! let replay = resumed.run(&spec)?;
+//! assert_eq!(resumed.stats().simulations, 0);
+//! assert_eq!(replay.to_json(), report.to_json());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::arch::{PartitionedCache, UpdateSchedule};
+use crate::error::CoreError;
+use crate::exec::{ExecObserver, ExecOptions, RecordOrigin};
+use crate::model::{CalibratedModel, ModelContext, ModelEval};
+use crate::registry::PolicyRegistry;
+use crate::rescache::{workload_identity, CachedMeasurement, Fingerprint, ResultCache};
+use crate::study::{Scenario, ScenarioGrid, ScenarioRecord, StudyReport, StudySpec};
+use crate::workload::{Workload, WorkloadRegistry};
+use cache_sim::CacheGeometry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Measured simulation outputs shared by scenarios that differ only in
+/// policy, model or update period.
+pub(crate) struct SimMeasurement {
+    cycles: u64,
+    esav: f64,
+    miss_rate: f64,
+    useful_idleness: Vec<f64>,
+    sleep_fractions: Vec<f64>,
+}
+
+/// `(cache_bytes, line_bytes, banks, workload identity, trace_seed,
+/// trace_cycles)` → memoized simulation. The workload identity string
+/// (name, or format + content hash for files — see
+/// [`workload_identity`]) replaces the historic per-grid workload
+/// *index*, so the memo is meaningful across grids within a session.
+/// Seed-independent workloads (files, pinned profiles) key seed 0.
+type SimKey = (u64, u32, u32, String, u64, u64);
+
+/// The session-scoped simulation memo. Shared across workers and runs;
+/// a racing double-compute always stores the same value, so
+/// first-writer-wins stays deterministic.
+pub(crate) type SimMemo = Mutex<HashMap<SimKey, Arc<SimMeasurement>>>;
+
+/// Cumulative execution counters, snapshot by [`StudySession::stats`].
+///
+/// For runs that complete without a scenario error,
+/// `scenarios = cache_hits + evaluations`: every record was either
+/// replayed whole or model-evaluated. (A failed scenario counts
+/// toward `scenarios` but nothing else, so errored runs undercount on
+/// the right-hand side.) `simulations` and `sim_memo_hits` need not
+/// sum to anything: pinned-profile scenarios measure without
+/// simulating, and scenarios sharing a trace split between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Scenario records produced (computed or replayed).
+    pub scenarios: usize,
+    /// Trace simulations actually executed.
+    pub simulations: usize,
+    /// Scenarios whose simulation was replayed from the session memo.
+    pub sim_memo_hits: usize,
+    /// Device-model evaluations actually executed.
+    pub evaluations: usize,
+    /// Scenarios replayed whole from the result cache (no simulation,
+    /// no model evaluation).
+    pub cache_hits: usize,
+    /// Measurements newly journaled into the result cache.
+    pub cache_stores: usize,
+}
+
+#[derive(Default)]
+pub(crate) struct Counters {
+    scenarios: AtomicUsize,
+    simulations: AtomicUsize,
+    sim_memo_hits: AtomicUsize,
+    evaluations: AtomicUsize,
+    cache_hits: AtomicUsize,
+    cache_stores: AtomicUsize,
+}
+
+impl Counters {
+    fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            scenarios: self.scenarios.load(Ordering::Relaxed),
+            simulations: self.simulations.load(Ordering::Relaxed),
+            sim_memo_hits: self.sim_memo_hits.load(Ordering::Relaxed),
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_stores: self.cache_stores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The execution environment one grid run borrows: everything the
+/// task workers read, owned either by a [`StudySession`] or by the
+/// transient shim behind
+/// [`ScenarioGrid::run`](crate::study::ScenarioGrid::run).
+struct ExecEnv<'a> {
+    ctx: &'a ModelContext,
+    memo: &'a SimMemo,
+    cache: Option<&'a dyn ResultCache>,
+    exec: ExecOptions,
+    observer: Option<&'a dyn ExecObserver>,
+    counters: &'a Counters,
+}
+
+/// The long-lived front door of the execution layer.
+///
+/// See the [module docs](self) for the full tour. Construction is
+/// free; models calibrate lazily (once per distinct canonical key,
+/// session-wide) and the simulation memo fills as grids run.
+pub struct StudySession {
+    ctx: ModelContext,
+    policies: PolicyRegistry,
+    workloads: WorkloadRegistry,
+    memo: SimMemo,
+    cache: Option<Box<dyn ResultCache>>,
+    exec: ExecOptions,
+    observer: Option<Box<dyn ExecObserver>>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for StudySession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StudySession")
+            .field("exec", &self.exec)
+            .field("cached", &self.cache.as_ref().map(|c| c.len()))
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for StudySession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StudySession {
+    /// A session over the built-in registries and a fresh
+    /// [`ModelContext`], threaded executor, no result cache.
+    pub fn new() -> Self {
+        Self::with_context(ModelContext::new())
+    }
+
+    /// A session over a custom [`ModelContext`] (e.g. one whose
+    /// registry carries user-registered device models).
+    pub fn with_context(ctx: ModelContext) -> Self {
+        Self {
+            ctx,
+            policies: PolicyRegistry::builtin(),
+            workloads: WorkloadRegistry::builtin(),
+            memo: Mutex::new(HashMap::new()),
+            cache: None,
+            exec: ExecOptions::default(),
+            observer: None,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Attaches a result cache (in-memory or on-disk JSONL).
+    #[must_use]
+    pub fn cache(mut self, cache: impl ResultCache + 'static) -> Self {
+        self.cache = Some(Box::new(cache));
+        self
+    }
+
+    /// Selects the executor backend.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Attaches a streaming progress observer.
+    #[must_use]
+    pub fn observer(mut self, observer: impl ExecObserver + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Replaces the session's policy registry (used by
+    /// [`StudySession::spec`]).
+    #[must_use]
+    pub fn policy_registry(mut self, registry: PolicyRegistry) -> Self {
+        self.policies = registry;
+        self
+    }
+
+    /// Replaces the session's workload registry (used by
+    /// [`StudySession::spec`]).
+    #[must_use]
+    pub fn workload_registry(mut self, registry: WorkloadRegistry) -> Self {
+        self.workloads = registry;
+        self
+    }
+
+    /// The model context (registry + calibration memo) this session
+    /// owns.
+    pub fn context(&self) -> &ModelContext {
+        &self.ctx
+    }
+
+    /// The attached result cache, if any.
+    pub fn result_cache(&self) -> Option<&dyn ResultCache> {
+        self.cache.as_deref()
+    }
+
+    /// A new [`StudySpec`] pre-wired with the session's policy and
+    /// workload registries — the spec-building front door.
+    pub fn spec(&self, name: impl Into<String>) -> StudySpec {
+        StudySpec::new(name)
+            .registry(self.policies.clone())
+            .workload_registry(self.workloads.clone())
+    }
+
+    /// Expands and runs a spec through this session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expansion and execution errors.
+    pub fn run(&self, spec: &StudySpec) -> Result<StudyReport, CoreError> {
+        self.run_grid(&spec.expand()?)
+    }
+
+    /// Runs an expanded grid through this session: session memo,
+    /// result cache, configured executor and observer all apply.
+    ///
+    /// # Errors
+    ///
+    /// Returns model resolution/calibration errors, cache backend
+    /// errors, the first scenario error by grid order, or
+    /// [`CoreError::ScenarioPanicked`] if a scenario task panicked.
+    pub fn run_grid(&self, grid: &ScenarioGrid) -> Result<StudyReport, CoreError> {
+        execute(
+            grid,
+            &ExecEnv {
+                ctx: &self.ctx,
+                memo: &self.memo,
+                cache: self.cache.as_deref(),
+                exec: self.exec,
+                observer: self.observer.as_deref(),
+                counters: &self.counters,
+            },
+        )
+    }
+
+    /// A snapshot of the session's cumulative execution counters.
+    pub fn stats(&self) -> SessionStats {
+        self.counters.snapshot()
+    }
+}
+
+/// The transient-session path behind
+/// [`ScenarioGrid::run`](crate::study::ScenarioGrid::run): borrowed
+/// context (so the caller's calibration memo keeps accumulating),
+/// fresh memo, no cache, default executor — the historic semantics,
+/// byte for byte.
+pub(crate) fn run_grid_oneshot(
+    grid: &ScenarioGrid,
+    ctx: &ModelContext,
+) -> Result<StudyReport, CoreError> {
+    execute(
+        grid,
+        &ExecEnv {
+            ctx,
+            memo: &Mutex::new(HashMap::new()),
+            cache: None,
+            exec: ExecOptions::default(),
+            observer: None,
+            counters: &Counters::default(),
+        },
+    )
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn execute(grid: &ScenarioGrid, env: &ExecEnv<'_>) -> Result<StudyReport, CoreError> {
+    // Calibrate every distinct model once, serially and in grid order:
+    // deterministic first-error, and the workers below only ever hit
+    // the context's calibration memo.
+    let mut models: HashMap<&str, Arc<dyn CalibratedModel>> = HashMap::new();
+    for scenario in grid.scenarios() {
+        if !models.contains_key(scenario.model.as_str()) {
+            models.insert(&scenario.model, env.ctx.calibrated(&scenario.model)?);
+        }
+    }
+    let models = &models;
+
+    if let Some(obs) = env.observer {
+        obs.on_start(grid.name(), grid.len());
+    }
+    let n = grid.len();
+    // One slot per scenario, each behind its own lock: workers write
+    // their own slot independently (no shared results mutex), and the
+    // id-indexed layout keeps the report order deterministic.
+    let slots: Vec<Mutex<Option<Result<ScenarioRecord, CoreError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let done = AtomicUsize::new(0);
+    let task = |i: usize| {
+        // Catch panics so one bad scenario surfaces as a first-class
+        // error — with its id and message — instead of tearing down
+        // the whole process at scope join.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_one(grid, &grid.scenarios()[i], models, env)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(CoreError::ScenarioPanicked {
+                scenario: i,
+                message: panic_message(payload),
+            })
+        });
+        if let (Some(obs), Ok((record, origin))) = (env.observer, &outcome) {
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            obs.on_record(record, *origin, finished, n);
+        }
+        *slots[i].lock().expect("slot poisoned") = Some(outcome.map(|(record, _)| record));
+    };
+
+    // The spec-level worker cap overrides the session's (threads(1)
+    // still forces an in-thread sequential loop, as it always did).
+    let mut exec = env.exec;
+    if let Some(threads) = grid.threads_cap() {
+        exec = exec.with_threads(threads);
+    }
+    exec.build().execute(n, &task);
+
+    let mut records = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.into_inner().expect("slot poisoned") {
+            Some(Ok(record)) => records.push(record),
+            Some(Err(e)) => return Err(e),
+            None => return Err(CoreError::WorkerPanicked),
+        }
+    }
+    let report = StudyReport::from_records(grid.name().to_string(), records);
+    if let Some(obs) = env.observer {
+        obs.on_finish(&report, &env.counters.snapshot());
+    }
+    Ok(report)
+}
+
+/// Executes one scenario: replay it whole from the result cache if
+/// possible; otherwise simulate (or re-use the session memo) and hand
+/// the measured sleep fractions to the scenario's calibrated device
+/// model.
+fn run_one(
+    grid: &ScenarioGrid,
+    scenario: &Scenario,
+    models: &HashMap<&str, Arc<dyn CalibratedModel>>,
+    env: &ExecEnv<'_>,
+) -> Result<(ScenarioRecord, RecordOrigin), CoreError> {
+    env.counters.scenarios.fetch_add(1, Ordering::Relaxed);
+    let workload = &grid.workloads()[scenario.workload_index];
+    let fingerprint = env
+        .cache
+        .map(|_| Fingerprint::for_scenario(scenario, workload.as_ref()));
+    if let (Some(cache), Some(fp)) = (env.cache, &fingerprint) {
+        if let Some(hit) = cache.lookup(fp)? {
+            env.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit.into_record(scenario.clone()), RecordOrigin::Cached));
+        }
+    }
+
+    let measured = simulate(scenario, workload.as_ref(), env)?;
+    let model = &models[scenario.model.as_str()];
+    let policy_builder = || {
+        grid.policy_registry()
+            .build(&scenario.policy, scenario.banks, scenario.policy_seed)
+    };
+    let metrics = model.evaluate(&ModelEval {
+        sleep_fractions: &measured.sleep_fractions,
+        p0: workload.p0(),
+        update_days: scenario.update_days,
+        policy: &policy_builder,
+    })?;
+    env.counters.evaluations.fetch_add(1, Ordering::Relaxed);
+    // Metrics inline as top-level record fields in JSON, so a metric
+    // shadowing a record field would emit a duplicate key and vanish
+    // on parse — reject it loudly instead.
+    for name in metrics.names() {
+        if ScenarioRecord::RESERVED_FIELDS.contains(&name) {
+            return Err(CoreError::Report {
+                message: format!(
+                    "model `{}` emits metric `{name}`, which shadows a record field",
+                    scenario.model
+                ),
+            });
+        }
+    }
+
+    let record = ScenarioRecord {
+        scenario: scenario.clone(),
+        sim_cycles: measured.cycles,
+        esav: measured.esav,
+        miss_rate: measured.miss_rate,
+        useful_idleness: measured.useful_idleness.clone(),
+        sleep_fractions: measured.sleep_fractions.clone(),
+        metrics,
+    };
+    if let (Some(cache), Some(fp)) = (env.cache, &fingerprint) {
+        cache.store(fp, &CachedMeasurement::of_record(&record))?;
+        env.counters.cache_stores.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok((record, RecordOrigin::Computed))
+}
+
+/// Simulates a scenario's trace, or reuses a memoized run: the
+/// simulation executes under the identity mapping with no mid-trace
+/// updates, so its outcome depends only on the geometry, workload and
+/// trace parameters — not on the policy, model or update-period axes.
+/// Pinned-profile workloads skip simulation entirely: their sleep
+/// fractions *are* the measurement, and the trace-derived metrics are
+/// honestly absent (`NaN` / zero cycles).
+fn simulate(
+    scenario: &Scenario,
+    workload: &dyn Workload,
+    env: &ExecEnv<'_>,
+) -> Result<Arc<SimMeasurement>, CoreError> {
+    if let Some(profile) = workload.pinned_profile() {
+        return Ok(Arc::new(SimMeasurement {
+            cycles: 0,
+            esav: f64::NAN,
+            miss_rate: f64::NAN,
+            useful_idleness: profile.to_vec(),
+            sleep_fractions: profile.to_vec(),
+        }));
+    }
+    let (identity, seeded) = workload_identity(workload);
+    let key = (
+        scenario.cache_bytes,
+        scenario.line_bytes,
+        scenario.banks,
+        identity,
+        if seeded { scenario.trace_seed } else { 0 },
+        scenario.trace_cycles,
+    );
+    if let Some(hit) = env.memo.lock().expect("memo poisoned").get(&key) {
+        env.counters.sim_memo_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(hit));
+    }
+    let geom =
+        CacheGeometry::direct_mapped(scenario.cache_bytes, scenario.line_bytes, scenario.banks)?;
+    let arch = PartitionedCache::new_named(geom, "identity", PolicyRegistry::global().clone())?;
+    // Stream the workload through the batched fast path: synthetic
+    // generators and multi-GB trace files both run in constant
+    // memory, with bitwise-identical outcomes to the scalar loop.
+    let mut source = workload.open(scenario.trace_seed)?;
+    let out = arch.simulate_source(
+        source.as_mut(),
+        Some(scenario.trace_cycles),
+        UpdateSchedule::Never,
+    )?;
+    if out.accesses == 0 {
+        return Err(CoreError::Report {
+            message: format!(
+                "workload `{}` produced no accesses (empty trace?)",
+                scenario.workload
+            ),
+        });
+    }
+    debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
+    env.counters.simulations.fetch_add(1, Ordering::Relaxed);
+    let measured = Arc::new(SimMeasurement {
+        cycles: out.cycles,
+        esav: out.energy_saving(),
+        miss_rate: out.miss_rate(),
+        useful_idleness: out.useful_idleness_all(),
+        sleep_fractions: out.sleep_fraction_all(),
+    });
+    // A racing worker may have inserted meanwhile; identical inputs
+    // give identical outputs, so either value is fine to keep.
+    env.memo
+        .lock()
+        .expect("memo poisoned")
+        .insert(key, Arc::clone(&measured));
+    Ok(measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Metrics;
+    use crate::rescache::MemoryCache;
+
+    fn tiny_spec(session: &StudySession, name: &str) -> StudySpec {
+        session
+            .spec(name)
+            .workload_names(["sha", "CRC32"])
+            .unwrap()
+            .trace_cycles(40_000)
+    }
+
+    #[test]
+    fn session_memo_shares_simulations_across_runs() {
+        let session = StudySession::new();
+        let spec = tiny_spec(&session, "first").policies(["probing", "gray"]);
+        session.run(&spec).unwrap();
+        let s1 = session.stats();
+        assert_eq!(s1.scenarios, 4);
+        assert_eq!(s1.simulations, 2, "two workloads, one geometry");
+        assert_eq!(s1.sim_memo_hits, 2);
+        // A second, overlapping run simulates nothing new.
+        let again = tiny_spec(&session, "second").policies(["scrambling"]);
+        session.run(&again).unwrap();
+        let s2 = session.stats();
+        assert_eq!(s2.scenarios, 6);
+        assert_eq!(s2.simulations, 2, "the memo outlives the run");
+        assert_eq!(s2.evaluations, 6, "model evals are per-scenario");
+    }
+
+    #[test]
+    fn warm_cache_skips_simulation_and_evaluation() {
+        let session = StudySession::new().cache(MemoryCache::new());
+        let spec = tiny_spec(&session, "cached");
+        let cold = session.run(&spec).unwrap();
+        assert_eq!(session.stats().cache_stores, 2);
+        let warm = session.run(&spec).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.simulations, 2, "no new simulations");
+        assert_eq!(stats.evaluations, 2, "no new model evaluations");
+        assert_eq!(warm.to_json(), cold.to_json(), "byte-identical replay");
+    }
+
+    #[test]
+    fn scenario_panics_carry_id_and_message() {
+        use crate::model::{CalibratedModel, ModelRegistry};
+        struct Bomb;
+        impl CalibratedModel for Bomb {
+            fn evaluate(&self, _eval: &ModelEval<'_>) -> Result<Metrics, CoreError> {
+                panic!("the bomb model always explodes")
+            }
+        }
+        let mut registry = ModelRegistry::builtin();
+        registry
+            .register_fn("bomb", "panics on evaluate", "none", || Ok(Arc::new(Bomb)))
+            .unwrap();
+        let session = StudySession::with_context(ModelContext::with_registry(registry))
+            .exec(ExecOptions::sequential());
+        let spec = tiny_spec(&session, "boom").models(["bomb"]);
+        let e = session.run(&spec).unwrap_err();
+        let CoreError::ScenarioPanicked { scenario, message } = &e else {
+            panic!("expected ScenarioPanicked, got {e:?}");
+        };
+        assert_eq!(*scenario, 0, "first scenario in grid order");
+        assert!(message.contains("explodes"), "{message}");
+        assert!(e.to_string().contains("scenario 0"), "{e}");
+    }
+
+    #[test]
+    fn observer_streams_every_record() {
+        use std::sync::atomic::AtomicUsize;
+        #[derive(Default)]
+        struct Counting {
+            started: AtomicUsize,
+            records: AtomicUsize,
+            cached: AtomicUsize,
+            finished: AtomicUsize,
+        }
+        impl ExecObserver for Arc<Counting> {
+            fn on_start(&self, _name: &str, total: usize) {
+                self.started.fetch_add(total, Ordering::Relaxed);
+            }
+            fn on_record(
+                &self,
+                _record: &ScenarioRecord,
+                origin: RecordOrigin,
+                _done: usize,
+                _total: usize,
+            ) {
+                self.records.fetch_add(1, Ordering::Relaxed);
+                if origin == RecordOrigin::Cached {
+                    self.cached.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            fn on_finish(&self, report: &StudyReport, stats: &SessionStats) {
+                assert_eq!(report.records().len(), 2);
+                assert!(stats.scenarios > 0);
+                self.finished.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let counting = Arc::new(Counting::default());
+        let session = StudySession::new()
+            .cache(MemoryCache::new())
+            .observer(Arc::clone(&counting));
+        let spec = tiny_spec(&session, "observed");
+        session.run(&spec).unwrap();
+        session.run(&spec).unwrap();
+        assert_eq!(counting.started.load(Ordering::Relaxed), 4);
+        assert_eq!(counting.records.load(Ordering::Relaxed), 4);
+        assert_eq!(counting.cached.load(Ordering::Relaxed), 2);
+        assert_eq!(counting.finished.load(Ordering::Relaxed), 2);
+    }
+}

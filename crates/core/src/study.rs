@@ -14,6 +14,12 @@
 //!    threads by default — and returns a [`StudyReport`] of
 //!    [`ScenarioRecord`]s that serializes to JSON
 //!    ([`StudyReport::to_json`]) and back ([`StudyReport::from_json`]).
+//!    Execution itself lives in the open execution layer
+//!    ([`crate::exec`] / [`crate::session`]): `run` is a shim over a
+//!    transient [`StudySession`](crate::session::StudySession), and a
+//!    long-lived session adds a cross-run simulation memo, a
+//!    content-addressed result cache ([`crate::rescache`]), executor
+//!    selection and streaming progress on top of the same grid.
 //!
 //! The historic `table1()..table4()` runners are now ~10-line presets
 //! over this engine ([`crate::presets`]) plus pure table views
@@ -94,38 +100,15 @@
 //! # }
 //! ```
 
-use crate::arch::{PartitionedCache, UpdateSchedule};
 use crate::error::CoreError;
 use crate::json::Json;
-use crate::model::{self, CalibratedModel, Metrics, ModelContext, ModelEval, ModelParams};
+use crate::model::{self, Metrics, ModelContext, ModelParams};
 use crate::registry::{derive_policy_seed, PolicyRegistry};
+use crate::session;
 use crate::workload::{SyntheticWorkload, Workload, WorkloadRegistry, WorkloadSourceInfo};
 use cache_sim::CacheGeometry;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use trace_synth::{suite, WorkloadProfile};
-
-/// Measured simulation outputs shared by scenarios that differ only in
-/// policy or update period.
-struct SimMeasurement {
-    cycles: u64,
-    esav: f64,
-    miss_rate: f64,
-    useful_idleness: Vec<f64>,
-    sleep_fractions: Vec<f64>,
-}
-
-/// `(cache_bytes, line_bytes, banks, workload_index, trace_seed,
-/// trace_cycles)` → memoized simulation.
-type SimKey = (u64, u32, u32, usize, u64, u64);
-
-/// Per-run simulation memo shared across workers, keyed by every input
-/// a simulation depends on, so a racing double-compute always stores
-/// the same value — first-writer-wins stays deterministic. (Model-side
-/// memoization — the policy-independent LT0 baseline, calibration LUTs
-/// — lives inside the shared [`CalibratedModel`] instances.)
-type SimMemo = Mutex<HashMap<SimKey, Arc<SimMeasurement>>>;
 
 /// Default trace length: the paper pipeline's reference horizon.
 pub const DEFAULT_TRACE_CYCLES: u64 = 320_000;
@@ -707,9 +690,30 @@ impl std::fmt::Debug for ScenarioGrid {
 }
 
 impl ScenarioGrid {
+    /// The grid (study) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// The scenarios, in id order.
     pub fn scenarios(&self) -> &[Scenario] {
         &self.scenarios
+    }
+
+    /// The workload objects the scenarios' `workload_index` values
+    /// resolve into.
+    pub(crate) fn workloads(&self) -> &[Arc<dyn Workload>] {
+        &self.workloads
+    }
+
+    /// The policy registry scenarios build their mappings from.
+    pub(crate) fn policy_registry(&self) -> &PolicyRegistry {
+        &self.registry
+    }
+
+    /// The spec-level worker cap, if one was set.
+    pub(crate) fn threads_cap(&self) -> Option<usize> {
+        self.threads
     }
 
     /// Number of grid points.
@@ -722,14 +726,20 @@ impl ScenarioGrid {
         self.scenarios.is_empty()
     }
 
-    /// Runs every scenario and collects the report.
+    /// Runs every scenario and collects the report — the legacy
+    /// one-shot path, now a thin shim over the execution layer: a
+    /// transient session with a fresh simulation memo, no result
+    /// cache, and the default (threaded) executor. Byte-identical to
+    /// the historic behavior; anything that runs more than one grid
+    /// should hold a [`StudySession`](crate::session::StudySession)
+    /// instead.
     ///
     /// The context is anything that dereferences to a
     /// [`ModelContext`] — a `ModelContext` itself, or the legacy
     /// [`ExperimentContext`](crate::experiment::ExperimentContext)
     /// shim. All distinct device models calibrate up front, exactly
-    /// once each (the context memoizes per canonical key), before any
-    /// worker starts.
+    /// once each (the *caller's* context memoizes per canonical key,
+    /// and keeps its memo), before any worker starts.
     ///
     /// Scenarios execute across worker threads (capped by
     /// [`StudySpec::threads`], defaulting to available parallelism);
@@ -739,191 +749,10 @@ impl ScenarioGrid {
     /// # Errors
     ///
     /// Returns model resolution/calibration errors, the first scenario
-    /// error by grid order, or [`CoreError::WorkerPanicked`] if a
-    /// worker died.
+    /// error by grid order, or [`CoreError::ScenarioPanicked`] if a
+    /// scenario task panicked.
     pub fn run<C: AsRef<ModelContext>>(&self, ctx: &C) -> Result<StudyReport, CoreError> {
-        let ctx: &ModelContext = ctx.as_ref();
-        // Calibrate every distinct model once, serially and in grid
-        // order: deterministic first-error, and the workers below only
-        // ever hit the cache.
-        let mut models: HashMap<&str, Arc<dyn CalibratedModel>> = HashMap::new();
-        for scenario in &self.scenarios {
-            if !models.contains_key(scenario.model.as_str()) {
-                models.insert(&scenario.model, ctx.calibrated(&scenario.model)?);
-            }
-        }
-        let models = &models;
-
-        let n = self.scenarios.len();
-        let hw = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let workers = self.threads.unwrap_or(hw).clamp(1, n.max(1));
-        let mut slots: Vec<Option<Result<ScenarioRecord, CoreError>>> = Vec::new();
-        slots.resize_with(n, || None);
-        // Simulation results are independent of the policy, model and
-        // update-period axes, so scenarios differing only there share
-        // one trace run through this memo.
-        let memo: SimMemo = Mutex::new(HashMap::new());
-
-        if workers <= 1 {
-            for (i, scenario) in self.scenarios.iter().enumerate() {
-                slots[i] = Some(self.run_one(scenario, models, &memo));
-            }
-        } else {
-            let next = AtomicUsize::new(0);
-            let results = Mutex::new(&mut slots);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        // Catch panics so one bad scenario surfaces as
-                        // WorkerPanicked instead of tearing down the
-                        // whole process at scope join.
-                        let record = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            self.run_one(&self.scenarios[i], models, &memo)
-                        }))
-                        .unwrap_or(Err(CoreError::WorkerPanicked));
-                        results.lock().expect("results poisoned")[i] = Some(record);
-                    });
-                }
-            });
-        }
-
-        let mut records = Vec::with_capacity(n);
-        for slot in slots {
-            match slot {
-                Some(Ok(record)) => records.push(record),
-                Some(Err(e)) => return Err(e),
-                None => return Err(CoreError::WorkerPanicked),
-            }
-        }
-        Ok(StudyReport {
-            name: self.name.clone(),
-            records,
-        })
-    }
-
-    /// Simulates a scenario's trace, or reuses a memoized run: the
-    /// simulation executes under the identity mapping with no mid-trace
-    /// updates, so its outcome depends only on the geometry, workload
-    /// and trace parameters — not on the policy, model or update-period
-    /// axes. Pinned-profile workloads skip simulation entirely: their
-    /// sleep fractions *are* the measurement, and the trace-derived
-    /// metrics are honestly absent (`NaN` / zero cycles).
-    fn simulate(
-        &self,
-        scenario: &Scenario,
-        memo: &SimMemo,
-    ) -> Result<Arc<SimMeasurement>, CoreError> {
-        let workload = &self.workloads[scenario.workload_index];
-        if let Some(profile) = workload.pinned_profile() {
-            return Ok(Arc::new(SimMeasurement {
-                cycles: 0,
-                esav: f64::NAN,
-                miss_rate: f64::NAN,
-                useful_idleness: profile.to_vec(),
-                sleep_fractions: profile.to_vec(),
-            }));
-        }
-        let key = (
-            scenario.cache_bytes,
-            scenario.line_bytes,
-            scenario.banks,
-            scenario.workload_index,
-            scenario.trace_seed,
-            scenario.trace_cycles,
-        );
-        if let Some(hit) = memo.lock().expect("memo poisoned").get(&key) {
-            return Ok(Arc::clone(hit));
-        }
-        let geom = CacheGeometry::direct_mapped(
-            scenario.cache_bytes,
-            scenario.line_bytes,
-            scenario.banks,
-        )?;
-        let arch = PartitionedCache::new_named(geom, "identity", PolicyRegistry::global().clone())?;
-        // Stream the workload through the batched fast path: synthetic
-        // generators and multi-GB trace files both run in constant
-        // memory, with bitwise-identical outcomes to the scalar loop.
-        let mut source = workload.open(scenario.trace_seed)?;
-        let out = arch.simulate_source(
-            source.as_mut(),
-            Some(scenario.trace_cycles),
-            UpdateSchedule::Never,
-        )?;
-        if out.accesses == 0 {
-            return Err(CoreError::Report {
-                message: format!(
-                    "workload `{}` produced no accesses (empty trace?)",
-                    scenario.workload
-                ),
-            });
-        }
-        debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
-        let measured = Arc::new(SimMeasurement {
-            cycles: out.cycles,
-            esav: out.energy_saving(),
-            miss_rate: out.miss_rate(),
-            useful_idleness: out.useful_idleness_all(),
-            sleep_fractions: out.sleep_fraction_all(),
-        });
-        // A racing worker may have inserted meanwhile; identical inputs
-        // give identical outputs, so either value is fine to keep.
-        memo.lock()
-            .expect("memo poisoned")
-            .insert(key, Arc::clone(&measured));
-        Ok(measured)
-    }
-
-    /// Executes one scenario: simulate under the identity mapping (the
-    /// rotation is applied analytically over the device lifetime), then
-    /// hand the measured sleep fractions to the scenario's calibrated
-    /// device model, which maps them to named metrics.
-    fn run_one(
-        &self,
-        scenario: &Scenario,
-        models: &HashMap<&str, Arc<dyn CalibratedModel>>,
-        memo: &SimMemo,
-    ) -> Result<ScenarioRecord, CoreError> {
-        let measured = self.simulate(scenario, memo)?;
-        let model = &models[scenario.model.as_str()];
-        let policy_builder = || {
-            self.registry
-                .build(&scenario.policy, scenario.banks, scenario.policy_seed)
-        };
-        let metrics = model.evaluate(&ModelEval {
-            sleep_fractions: &measured.sleep_fractions,
-            p0: self.workloads[scenario.workload_index].p0(),
-            update_days: scenario.update_days,
-            policy: &policy_builder,
-        })?;
-        // Metrics inline as top-level record fields in JSON, so a
-        // metric shadowing a record field would emit a duplicate key
-        // and vanish on parse — reject it loudly instead.
-        for name in metrics.names() {
-            if ScenarioRecord::RESERVED_FIELDS.contains(&name) {
-                return Err(CoreError::Report {
-                    message: format!(
-                        "model `{}` emits metric `{name}`, which shadows a record field",
-                        scenario.model
-                    ),
-                });
-            }
-        }
-
-        Ok(ScenarioRecord {
-            scenario: scenario.clone(),
-            sim_cycles: measured.cycles,
-            esav: measured.esav,
-            miss_rate: measured.miss_rate,
-            useful_idleness: measured.useful_idleness.clone(),
-            sleep_fractions: measured.sleep_fractions.clone(),
-            metrics,
-        })
+        session::run_grid_oneshot(self, ctx.as_ref())
     }
 }
 
@@ -1332,7 +1161,7 @@ mod tests {
 
     #[test]
     fn reserved_metric_names_are_rejected() {
-        use crate::model::{CalibratedModel, ModelRegistry};
+        use crate::model::{CalibratedModel, ModelEval, ModelRegistry};
         struct Shadow;
         impl CalibratedModel for Shadow {
             fn evaluate(&self, _eval: &ModelEval<'_>) -> Result<Metrics, CoreError> {

@@ -1,20 +1,26 @@
 //! Runs the paper's evaluation on an *external* trace file instead of
-//! the synthetic suite — the "bring your own workload" path.
+//! the synthetic suite — the "bring your own workload" path — through
+//! the [`StudySession`] front door, with a persistent result cache.
 //!
 //! The example fabricates a CSV trace on disk (in real use this is a
 //! file from your own tooling: a Dinero `.din`, Valgrind Lackey output,
 //! or CSV), then drives the Table II axes — cache size × the Probing
 //! policy — over it by passing a `csv:path` key to the workload axis.
 //! The report embeds the trace's format and content hash, so the JSON
-//! is self-describing: anyone can verify which trace produced it.
+//! is self-describing: anyone can verify which trace produced it. The
+//! same content hash keys the session's result cache, so the second
+//! run below replays the journal byte-identically without simulating
+//! a single access.
 //!
 //! ```sh
 //! cargo run --release --example trace_ingestion
 //! ```
+//!
+//! [`StudySession`]: nbti_cache_repro::arch::session::StudySession
 
-use nbti_cache_repro::arch::experiment::ExperimentContext;
 use nbti_cache_repro::arch::report::{pct, years, Table};
-use nbti_cache_repro::arch::StudySpec;
+use nbti_cache_repro::arch::rescache::JsonlCache;
+use nbti_cache_repro::arch::session::StudySession;
 use nbti_cache_repro::traces::formats::write_csv;
 use nbti_cache_repro::traces::suite;
 
@@ -37,14 +43,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Table II's axes, but with the workload axis pointing at the
     //    file. `csv:`/`din:`/`lackey:` keys resolve like suite names.
+    //    The session journals every finished scenario into an on-disk
+    //    JSONL cache keyed by the trace's *content hash* (not its
+    //    path), the geometry, seeds and model.
+    let cache_dir = dir.join("cache");
+    let _ = std::fs::remove_dir_all(&cache_dir); // fresh demo
     let key = format!("csv:{}", path.display());
-    let ctx = ExperimentContext::new()?;
-    let report = StudySpec::new("Table II on an external trace")
+    let session = StudySession::new().cache(JsonlCache::in_dir(&cache_dir)?);
+    let spec = session
+        .spec("Table II on an external trace")
         .cache_kb([8, 16, 32])
         .policies(["probing"])
         .workload_names([key.as_str()])?
         .trace_cycles(200_000)
-        .run(&ctx)?;
+        .policy_seed(1);
+    let report = session.run(&spec)?;
 
     // 3. Render the table and show the provenance the report carries.
     let mut table = Table::new(
@@ -74,6 +87,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.to_json().contains(&source.hash),
         "hash is in the JSON"
     );
-    println!("the same fields appear in every scenario of the JSON report");
+
+    // 4. Re-run against the warm journal — as a fresh session, like a
+    //    second process resuming an interrupted sweep. Zero
+    //    simulations, byte-identical report.
+    let resumed = StudySession::new().cache(JsonlCache::in_dir(&cache_dir)?);
+    let replay = resumed.run(&spec)?;
+    let stats = resumed.stats();
+    assert_eq!(stats.simulations, 0, "warm journal: nothing to simulate");
+    assert_eq!(replay.to_json(), report.to_json(), "byte-identical replay");
+    println!(
+        "warm re-run: {} scenarios replayed from {}, 0 simulations",
+        stats.cache_hits,
+        cache_dir.join(JsonlCache::FILE_NAME).display()
+    );
     Ok(())
 }
