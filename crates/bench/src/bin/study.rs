@@ -21,6 +21,28 @@
 //! `--list-models` shows the registered models and the parameterized
 //! key families. Without `--json` a compact summary table is printed.
 //!
+//! The analysis layer is on the command line too:
+//!
+//! * `--format text|md|csv|json` renders the output table as aligned
+//!   text (default, the historic stdout), paper-style Markdown, CSV,
+//!   or the canonical report JSON (`--json` is the historic alias);
+//! * `--group-by <axes>` (comma-separated: `policy`, `banks`,
+//!   `cache`, `line`, `update`, `workload`, `model`) aggregates the
+//!   per-scenario rows into one row per group — mean Esav / idleness /
+//!   lifetimes over the group's records;
+//! * `--baseline <policy>` derives the baseline-relative lifetime gain
+//!   by joining every scenario against the one that differs only in
+//!   policy (e.g. `--policies identity,probing --baseline identity`
+//!   reports Probing's lifetime as a multiple of the conventional
+//!   cache's), appended as an `LT x<baseline>` column — geomean within
+//!   each group under `--group-by`;
+//! * `study compare <left> <right>` compares two finished studies cell
+//!   by cell with `--tol <abs>` tolerance and names every diverging
+//!   scenario. Each side is a report JSON file or a `--cache-dir`
+//!   journal (directory or `results.jsonl` path); comparing a report
+//!   against a warm journal replays *nothing* — no simulation, no
+//!   model evaluation. Exits 0 when the sides agree, 1 on divergence.
+//!
 //! The execution layer is on the command line too:
 //!
 //! * `--cache-dir <dir>` journals every finished scenario into
@@ -36,13 +58,15 @@
 //! * `--sequential` forces the single-threaded executor backend
 //!   (`--threads N` caps the threaded one, as before).
 
+use aging_cache::analysis::{Axis, Query, Reduce, ReportDiff};
 use aging_cache::exec::{ExecObserver, ExecOptions, RecordOrigin};
 use aging_cache::model::ModelRegistry;
+use aging_cache::render::{self, Format};
 use aging_cache::report::{pct, years, Table};
 use aging_cache::rescache::{JsonlCache, ResultCache};
 use aging_cache::session::StudySession;
-use aging_cache::study::{ScenarioRecord, StudySpec};
-use aging_cache::{PolicyRegistry, WorkloadRegistry};
+use aging_cache::study::{ScenarioRecord, StudyReport, StudySpec};
+use aging_cache::{CoreError, PolicyRegistry, WorkloadRegistry};
 
 /// `--progress`: per-scenario streaming to stderr.
 struct Progress;
@@ -85,14 +109,20 @@ fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Vec<T> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        compare_main(&args[1..]);
+        return;
+    }
     let mut spec = StudySpec::new("cli study");
-    let mut json = false;
+    let mut format = Format::Text;
     // The workload axis is assembled from --workloads and --trace and
     // applied once after parsing: `None` = the full default suite.
     let mut workloads: Option<Vec<String>> = None;
     let mut traces: Vec<String> = Vec::new();
     let mut models: Vec<String> = Vec::new();
     let mut cache_dir: Option<String> = None;
+    let mut group_by: Vec<Axis> = Vec::new();
+    let mut baseline: Option<String> = None;
     let mut resume = false;
     let mut progress = false;
     let mut sequential = false;
@@ -100,7 +130,7 @@ fn main() {
     while i < args.len() {
         let flag = args[i].as_str();
         if flag == "--json" {
-            json = true;
+            format = Format::Json;
             i += 1;
             continue;
         }
@@ -204,6 +234,29 @@ fn main() {
                 cache_dir = Some(value.clone());
                 spec
             }
+            "--format" => {
+                format = Format::parse(value).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+                spec
+            }
+            "--group-by" => {
+                group_by = value
+                    .split(',')
+                    .map(|axis| {
+                        Axis::parse(axis).unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                spec
+            }
+            "--baseline" => {
+                baseline = Some(value.trim().to_string());
+                spec
+            }
             _ => {
                 eprintln!("unknown flag {flag}");
                 eprintln!(
@@ -212,12 +265,23 @@ fn main() {
                      --model --temp --vlow --fail \
                      --trace-cycles --seed --threads --sequential \
                      --cache-dir <dir> --resume --progress \
-                     --json --list-policies --list-workloads --list-models"
+                     --format <text|md|csv|json> --group-by <axes> --baseline <policy> \
+                     --json --list-policies --list-workloads --list-models \
+                     (or: study compare <left> <right> [--tol <abs>])"
                 );
                 std::process::exit(2);
             }
         };
         i += 2;
+    }
+    if let Some(base) = &baseline {
+        if PolicyRegistry::global().get(base).is_none() {
+            eprintln!(
+                "--baseline: unknown policy `{base}` (known: {})",
+                PolicyRegistry::global().names().join(", ")
+            );
+            std::process::exit(2);
+        }
     }
     // --trace and --profile append to the --workloads selection (or,
     // with `--workloads all`/no selection, replace the default suite);
@@ -294,31 +358,104 @@ fn main() {
             session.result_cache().map(|c| c.len()).unwrap_or(0)
         );
     }
-    if json {
+    if format == Format::Json {
+        // JSON is the canonical full report: group-by and baseline are
+        // re-derivable from it later (`study compare`, `Query`), so
+        // they deliberately do not change the emission.
         println!("{}", report.to_json());
         return;
     }
+    let table = if group_by.is_empty() {
+        per_record_table(&report, baseline.as_deref())
+    } else {
+        grouped_table(&report, &group_by, baseline.as_deref())
+    };
+    match table {
+        Ok(t) => println!("{}", render::table(&t, format)),
+        Err(e) => {
+            eprintln!("rendering failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Per-record baseline gains (`lt_years` vs the baseline policy),
+/// keyed by scenario id; records *at* the baseline have no entry.
+///
+/// Records whose model emits no `lt_years` (e.g. the retention-margin
+/// `drv` model in a mixed-model sweep) are excluded from the join
+/// before it runs — they render `-`, like every other missing metric
+/// in the summary table, instead of aborting the render. Within the
+/// lifetime-bearing subset a missing baseline partner is still a real
+/// error (the grid lacks the comparison the user asked for).
+fn baseline_gains(
+    report: &StudyReport,
+    baseline: &str,
+) -> Result<std::collections::HashMap<usize, f64>, CoreError> {
+    // A sweep with no baseline scenarios at all cannot answer the
+    // comparison the user asked for — that is a misconfiguration to
+    // report, not a column of dashes.
+    if !report
+        .records()
+        .iter()
+        .any(|r| r.scenario.policy == baseline)
+    {
+        return Err(CoreError::Report {
+            message: format!(
+                "--baseline: the sweep contains no `{baseline}` scenarios \
+                 (add it to --policies)"
+            ),
+        });
+    }
+    let with_lt: Vec<_> = report
+        .records()
+        .iter()
+        .filter(|r| r.metric("lt_years").is_some())
+        .cloned()
+        .collect();
+    let has_baseline = with_lt.iter().any(|r| r.scenario.policy == baseline);
+    if with_lt.is_empty() || !has_baseline {
+        return Ok(std::collections::HashMap::new()); // every row renders `-`
+    }
+    let lifetimes = StudyReport::from_records(report.name(), with_lt);
+    Ok(Query::new(&lifetimes)
+        .gain_vs(Axis::Policy, baseline, "lt_years")?
+        .into_iter()
+        .map(|g| (g.record.scenario.id, g.gain))
+        .collect())
+}
+
+/// The historic one-row-per-scenario summary table, with an
+/// `LT x<baseline>` gain column appended when `--baseline` is given.
+fn per_record_table(report: &StudyReport, baseline: Option<&str>) -> Result<Table, CoreError> {
+    let gains = baseline
+        .map(|base| baseline_gains(report, base))
+        .transpose()?;
     let metric = |v: Option<f64>| match v {
         Some(v) => years(v),
         None => "-".into(),
     };
+    let mut headers = vec![
+        "kB".into(),
+        "line".into(),
+        "M".into(),
+        "model".into(),
+        "policy".into(),
+        "workload".into(),
+        "Esav%".into(),
+        "idl%".into(),
+        "LT0".into(),
+        "LT".into(),
+    ];
+    if let Some(base) = baseline {
+        headers.push(format!("LT x{base}"));
+    }
     let mut t = Table::new(
         format!("study: {} scenarios", report.records().len()),
-        vec![
-            "kB".into(),
-            "line".into(),
-            "M".into(),
-            "model".into(),
-            "policy".into(),
-            "workload".into(),
-            "Esav%".into(),
-            "idl%".into(),
-            "LT0".into(),
-            "LT".into(),
-        ],
+        headers,
     );
     for r in report.records() {
-        t.push_row(vec![
+        let mut row = vec![
             (r.scenario.cache_bytes / 1024).to_string(),
             r.scenario.line_bytes.to_string(),
             r.scenario.banks.to_string(),
@@ -329,7 +466,178 @@ fn main() {
             pct(r.avg_useful_idleness()),
             metric(r.metric("lt0_years")),
             metric(r.metric("lt_years")),
-        ]);
+        ];
+        if let Some(gains) = &gains {
+            row.push(match gains.get(&r.scenario.id) {
+                Some(gain) => format!("{gain:.2}x"),
+                None => "-".into(), // the baseline row itself
+            });
+        }
+        t.push_row(row);
     }
-    println!("{t}");
+    Ok(t)
+}
+
+/// The `--group-by` aggregation: one row per group, mean metrics over
+/// the group's records, plus the geomean baseline-relative lifetime
+/// gain when `--baseline` is given.
+fn grouped_table(
+    report: &StudyReport,
+    group_by: &[Axis],
+    baseline: Option<&str>,
+) -> Result<Table, CoreError> {
+    let gains = baseline
+        .map(|base| baseline_gains(report, base))
+        .transpose()?;
+    let query = Query::new(report).group_by(group_by.iter().copied());
+    let mut headers: Vec<String> = group_by.iter().map(|a| a.name().to_string()).collect();
+    headers.extend([
+        "n".into(),
+        "Esav%".into(),
+        "idl%".into(),
+        "LT0".into(),
+        "LT".into(),
+    ]);
+    if let Some(base) = baseline {
+        headers.push(format!("LT x{base}"));
+    }
+    let groups = query.groups();
+    let mut t = Table::new(
+        format!(
+            "study: {} scenarios in {} groups",
+            report.records().len(),
+            groups.len()
+        ),
+        headers,
+    );
+    for group in groups {
+        // Mean over the records that carry the metric, `-` when none
+        // do — the grouped counterpart of the per-record table's `-`
+        // for a missing metric (a mixed-model sweep must render, not
+        // abort).
+        let mean = |metric: &str, fmt: fn(f64) -> String| -> Result<String, CoreError> {
+            let values: Vec<f64> = group
+                .records
+                .iter()
+                .filter_map(|r| aging_cache::analysis::metric_value(r, metric))
+                .collect();
+            if values.is_empty() {
+                return Ok("-".into());
+            }
+            Ok(fmt(Reduce::Mean.apply(&values)?))
+        };
+        let mut row: Vec<String> = group.key.iter().map(ToString::to_string).collect();
+        row.push(group.records.len().to_string());
+        row.push(mean("esav", pct)?);
+        row.push(mean("useful_idleness", pct)?);
+        row.push(mean("lt0_years", years)?);
+        row.push(mean("lt_years", years)?);
+        if let Some(gains) = &gains {
+            let group_gains: Vec<f64> = group
+                .records
+                .iter()
+                .filter_map(|r| gains.get(&r.scenario.id).copied())
+                .collect();
+            row.push(if group_gains.is_empty() {
+                "-".into() // entirely at the baseline, or no lifetimes
+            } else {
+                format!("{:.2}x", Reduce::Geomean.apply(&group_gains)?)
+            });
+        }
+        t.push_row(row);
+    }
+    Ok(t)
+}
+
+/// One side of a `study compare` invocation.
+enum Side {
+    Report(StudyReport),
+    Journal(JsonlCache),
+}
+
+/// Classifies and loads a compare operand: a directory (or a path
+/// ending in `.jsonl`) is a `--cache-dir` journal; anything else is a
+/// report JSON file.
+fn load_side(path: &str) -> Result<Side, CoreError> {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        return Ok(Side::Journal(JsonlCache::in_dir(path)?));
+    }
+    if path.ends_with(".jsonl") {
+        return Ok(Side::Journal(JsonlCache::open(path)?));
+    }
+    let text = std::fs::read_to_string(p).map_err(|e| CoreError::Report {
+        message: format!("read {path}: {e}"),
+    })?;
+    StudyReport::from_json(&text).map(Side::Report)
+}
+
+/// `study compare <left> <right> [--tol <abs>]`: cell-by-cell diff of
+/// two reports, or of a report against a result-cache journal (no
+/// simulation, no model evaluation). Exits 0 when the sides agree,
+/// 1 on divergence, 2 on usage errors.
+fn compare_main(args: &[String]) {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut tol = 0.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tol" {
+            let Some(value) = args.get(i + 1) else {
+                eprintln!("--tol needs a value (absolute tolerance)");
+                std::process::exit(2);
+            };
+            tol = value.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value `{value}` for --tol");
+                std::process::exit(2);
+            });
+            if tol < 0.0 || tol.is_nan() {
+                eprintln!("--tol must be a non-negative absolute tolerance, got {tol}");
+                std::process::exit(2);
+            }
+            i += 2;
+            continue;
+        }
+        paths.push(&args[i]);
+        i += 1;
+    }
+    let [left, right] = paths[..] else {
+        eprintln!("usage: study compare <left> <right> [--tol <abs>]");
+        eprintln!(
+            "  each side: a report JSON file, or a --cache-dir journal (dir or results.jsonl)"
+        );
+        std::process::exit(2);
+    };
+    let fail = |e: CoreError| -> ! {
+        eprintln!("compare failed: {e}");
+        std::process::exit(2);
+    };
+    let diff = match (
+        load_side(left).unwrap_or_else(|e| fail(e)),
+        load_side(right).unwrap_or_else(|e| fail(e)),
+    ) {
+        (Side::Report(a), Side::Report(b)) => ReportDiff::between(&a, &b, tol),
+        (Side::Report(report), Side::Journal(cache)) => {
+            ReportDiff::against_cache(&report, &cache, WorkloadRegistry::global(), tol)
+                .unwrap_or_else(|e| fail(e))
+        }
+        (Side::Journal(cache), Side::Report(report)) => {
+            // The walk is always report-driven, but the printed
+            // left/right sides must match the operand order the user
+            // typed — swap the journal back to the left.
+            ReportDiff::against_cache(&report, &cache, WorkloadRegistry::global(), tol)
+                .unwrap_or_else(|e| fail(e))
+                .swapped()
+        }
+        (Side::Journal(_), Side::Journal(_)) => {
+            eprintln!(
+                "compare: at least one side must be a report JSON file \
+                 (a journal alone has no scenario list to walk)"
+            );
+            std::process::exit(2);
+        }
+    };
+    print!("{diff}");
+    if !diff.is_empty() {
+        std::process::exit(1);
+    }
 }

@@ -32,6 +32,7 @@ pub mod harness;
 
 use aging_cache::experiment::{ExperimentConfig, ExperimentContext};
 use aging_cache::model::ModelContext;
+use aging_cache::render::{self, Format};
 use aging_cache::report::Table;
 use aging_cache::session::StudySession;
 use aging_cache::study::{StudyReport, StudySpec};
@@ -77,30 +78,55 @@ pub fn json_requested() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
-/// Runs a preset spec through a [`StudySession`] and prints either the
-/// rendered table or, with `--json` on the command line, the raw
-/// report. Exits non-zero on failure (harness binaries have no
-/// recovery path). Sharing one session across presets shares their
-/// simulation memo (and result cache, if the session carries one).
+/// The output format the process arguments request: `--format
+/// text|md|csv|json`, with the historic `--json` flag as an alias for
+/// `--format json`. Later flags win (matching the `study` binary's
+/// parser), so `--json --format md` is Markdown. Defaults to
+/// [`Format::Text`] — the historic stdout, byte for byte. Exits with
+/// a usage error on an unknown format name.
+pub fn format_requested() -> Format {
+    let args: Vec<String> = std::env::args().collect();
+    let mut format = Format::Text;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            format = Format::Json;
+        } else if args[i] == "--format" {
+            let Some(value) = args.get(i + 1) else {
+                eprintln!("--format needs a value (text, md, csv, json)");
+                std::process::exit(2);
+            };
+            format = Format::parse(value).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            i += 1;
+        }
+        i += 1;
+    }
+    format
+}
+
+/// Runs a preset spec through a [`StudySession`] and prints it in the
+/// requested [`Format`] (`--format md|csv|json`, default the historic
+/// plain text; `--json` still works). Every table binary is this call:
+/// preset in, query + renderer out. Exits non-zero on failure (harness
+/// binaries have no recovery path). Sharing one session across presets
+/// shares their simulation memo (and result cache, if the session
+/// carries one).
 pub fn run_preset(
     spec: StudySpec,
     session: &StudySession,
     view: impl FnOnce(&StudyReport) -> Result<Table, CoreError>,
 ) {
     match session.run(&spec) {
-        Ok(report) => {
-            if json_requested() {
-                println!("{}", report.to_json());
-            } else {
-                match view(&report) {
-                    Ok(table) => println!("{table}"),
-                    Err(e) => {
-                        eprintln!("rendering failed: {e}");
-                        std::process::exit(1);
-                    }
-                }
+        Ok(report) => match render::report(&report, view, format_requested()) {
+            Ok(rendered) => println!("{rendered}"),
+            Err(e) => {
+                eprintln!("rendering failed: {e}");
+                std::process::exit(1);
             }
-        }
+        },
         Err(e) => {
             eprintln!("study failed: {e}");
             std::process::exit(1);

@@ -42,6 +42,13 @@
 //!   that owns a cross-run simulation memo and a content-addressed
 //!   [`rescache::ResultCache`] (in-memory or on-disk JSONL), making
 //!   repeated and interrupted studies incremental and resumable;
+//! * [`analysis`] / [`render`] — the open analysis layer over the
+//!   output side: typed [`analysis::Query`] filter/group-by/reduce
+//!   over any scenario axis and metric, baseline-relative derived
+//!   metrics via [`analysis::Query::gain_vs`] joins, cell-by-cell
+//!   [`analysis::ReportDiff`] between reports (or a report and a
+//!   result-cache journal), and the [`render::Format`] renderer
+//!   family (text / Markdown / CSV / canonical JSON);
 //! * [`presets`] / [`views`] / [`experiment`] / [`report`] — the
 //!   paper's tables as ~10-line presets over the grid runner, rendered
 //!   by pure views with the published values embedded for side-by-side
@@ -102,9 +109,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aging;
+pub mod analysis;
 pub mod arch;
 pub mod control;
 pub mod decoder;
@@ -122,6 +130,7 @@ pub mod paper;
 pub mod policy;
 pub mod presets;
 pub mod registry;
+pub mod render;
 pub mod report;
 pub mod rescache;
 pub mod selector;
@@ -131,6 +140,7 @@ pub mod views;
 pub mod workload;
 
 pub use aging::AgingAnalysis;
+pub use analysis::{Axis, AxisValue, Query, Reduce, ReportDiff};
 pub use arch::PartitionedCache;
 pub use decoder::Decoder;
 pub use error::CoreError;
@@ -146,6 +156,7 @@ pub use model::{
 pub use onehot::OneHotEncoder;
 pub use policy::{GrayRotation, PolicyKind, Probing, RotateXor, Scrambling};
 pub use registry::{IndexingPolicy, PolicyRegistry};
+pub use render::Format;
 pub use rescache::{
     CachedMeasurement, Fingerprint, JsonlCache, MemoryCache, ResultCache, ENGINE_VERSION,
 };

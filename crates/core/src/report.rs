@@ -39,9 +39,19 @@ impl Table {
         &self.title
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
     /// The data rows added so far.
     pub fn rows(&self) -> &[Vec<String>] {
         &self.rows
+    }
+
+    /// The footnotes added so far.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
     }
 
     /// Appends a data row.
@@ -71,6 +81,36 @@ impl Table {
             }
         }
         w
+    }
+
+    /// Renders as RFC-4180 CSV: the header row then the data rows,
+    /// `\n`-terminated, fields quoted only when they contain a comma,
+    /// quote or newline (quotes doubled). The title and notes are
+    /// presentation, not data, and are deliberately omitted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aging_cache::report::Table;
+    ///
+    /// let mut t = Table::new("Demo", vec!["bench".into(), "Esav".into()]);
+    /// t.push_row(vec!["sha, fast".into(), "44.2".into()]);
+    /// assert_eq!(t.to_csv(), "bench,Esav\n\"sha, fast\",44.2\n");
+    /// ```
+    pub fn to_csv(&self) -> String {
+        fn field(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        for line in std::iter::once(&self.headers).chain(&self.rows) {
+            out.push_str(&line.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
     }
 
     /// Renders as a GitHub-flavoured markdown table.

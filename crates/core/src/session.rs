@@ -310,6 +310,31 @@ impl StudySession {
     pub fn stats(&self) -> SessionStats {
         self.counters.snapshot()
     }
+
+    /// Verifies a report against this session's result cache, cell by
+    /// cell with absolute tolerance `tolerance` — the analysis layer's
+    /// [`ReportDiff::against_cache`](crate::analysis::ReportDiff::against_cache)
+    /// wired to the session's cache and workload registry. No
+    /// simulation and no model evaluation runs: a report replayed from
+    /// a warm journal diffs empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Report`] when the session has no cache
+    /// attached, and propagates workload-resolution and cache backend
+    /// errors.
+    pub fn diff_cached(
+        &self,
+        report: &StudyReport,
+        tolerance: f64,
+    ) -> Result<crate::analysis::ReportDiff, CoreError> {
+        let Some(cache) = self.cache.as_deref() else {
+            return Err(CoreError::Report {
+                message: "diff_cached: this session has no result cache attached".into(),
+            });
+        };
+        crate::analysis::ReportDiff::against_cache(report, cache, &self.workloads, tolerance)
+    }
 }
 
 /// The transient-session path behind

@@ -8,6 +8,13 @@
 //! custom specs, and a report parsed back from JSON renders the same
 //! table a live run would.
 //!
+//! Views sit on the analysis layer: grouping order comes from
+//! [`crate::analysis`], and the [`Table`]s they return render in any
+//! [`crate::render::Format`] (the historic stdout is
+//! [`Format::Text`](crate::render::Format::Text), byte for byte). For
+//! ad-hoc slices that no fixed view covers, query the report directly
+//! with [`crate::analysis::Query`].
+//!
 //! # Examples
 //!
 //! Views compose with serialized reports — render first, persist, and
@@ -70,19 +77,15 @@ fn metric_of(view: &str, r: &ScenarioRecord, name: &str) -> Result<f64, CoreErro
     }
 }
 
-/// Distinct values of a scenario key, in order of first appearance.
+/// Distinct values of a scenario key, in order of first appearance —
+/// the analysis layer's ordering ([`crate::analysis::distinct_by`]),
+/// so views and [`crate::analysis::Query::groups`] always agree on
+/// group order.
 fn distinct<'a, K: PartialEq + Copy>(
     report: &'a StudyReport,
     key: impl Fn(&'a ScenarioRecord) -> K,
 ) -> Vec<K> {
-    let mut out: Vec<K> = Vec::new();
-    for r in report.records() {
-        let k = key(r);
-        if !out.contains(&k) {
-            out.push(k);
-        }
-    }
-    out
+    crate::analysis::distinct_by(report.records(), key)
 }
 
 /// Records for one value of a key, preserving order.

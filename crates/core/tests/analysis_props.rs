@@ -1,0 +1,157 @@
+//! Property tests for the analysis layer: render→parse round-trips,
+//! self-diff emptiness, and group/reduce invariants, over randomized
+//! reports (deterministic via `quickprop`).
+
+use aging_cache::analysis::{Axis, Query, Reduce, ReportDiff};
+use aging_cache::model::Metrics;
+use aging_cache::study::{Scenario, ScenarioRecord, StudyReport};
+use quickprop::Gen;
+
+const POLICIES: [&str; 4] = ["identity", "probing", "scrambling", "gray"];
+const WORKLOADS: [&str; 4] = ["sha", "CRC32", "dijkstra", "fft"];
+const MODELS: [&str; 3] = ["nbti-45nm", "nbti:temp=105", "variation:30"];
+
+/// A random record: every axis drawn from a small pool, full-range
+/// seeds (exercising the u64-as-string JSON path), occasional NaN
+/// simulation metrics (the pinned-profile marker).
+fn random_record(g: &mut Gen, id: usize) -> ScenarioRecord {
+    let banks = *g.pick(&[2u32, 4, 8]);
+    let nan_sim = g.f64_unit() < 0.1;
+    ScenarioRecord {
+        scenario: Scenario {
+            id,
+            cache_bytes: *g.pick(&[8u64, 16, 32]) * 1024,
+            line_bytes: *g.pick(&[16u32, 32]),
+            banks,
+            update_days: *g.pick(&[0.5f64, 1.0, 7.0]),
+            policy: g.pick(&POLICIES).to_string(),
+            workload: g.pick(&WORKLOADS).to_string(),
+            workload_index: g.usize_in(0..4),
+            workload_source: None,
+            model: g.pick(&MODELS).to_string(),
+            trace_cycles: g.u64_in(1..1_000_000),
+            trace_seed: g.next_u64(),
+            policy_seed: g.next_u64(),
+        },
+        sim_cycles: g.u64_in(0..1_000_000),
+        esav: if nan_sim { f64::NAN } else { g.f64_unit() },
+        miss_rate: if nan_sim { f64::NAN } else { g.f64_unit() },
+        useful_idleness: g.vec_f64(0.0..1.0, banks as usize),
+        sleep_fractions: g.vec_f64(0.0..1.0, banks as usize),
+        metrics: Metrics::from_pairs([
+            ("lt0_years", g.f64_in(0.5..10.0)),
+            ("lt_years", g.f64_in(0.5..10.0)),
+        ]),
+    }
+}
+
+fn random_report(g: &mut Gen) -> StudyReport {
+    let n = g.usize_in(1..24);
+    StudyReport::from_records(
+        format!("prop-{}", g.case()),
+        (0..n).map(|id| random_record(g, id)).collect(),
+    )
+}
+
+#[test]
+fn render_parse_roundtrips_json() {
+    quickprop::cases(64, |g| {
+        let report = random_report(g);
+        let text = report.to_json();
+        let back = StudyReport::from_json(&text).expect("emitted JSON must parse");
+        assert_eq!(back.to_json(), text, "re-emission must be byte-identical");
+        assert_eq!(back.name(), report.name());
+        // `assert_eq!(back, report)` would be wrong here: records with
+        // NaN simulation metrics (the pinned-profile marker) are never
+        // `PartialEq` to themselves. ReportDiff treats NaN == NaN, so
+        // it is the correct round-trip oracle.
+        assert!(
+            ReportDiff::between(&report, &back, 0.0).is_empty(),
+            "parse must recover every cell"
+        );
+    });
+}
+
+#[test]
+fn self_diff_is_always_empty() {
+    quickprop::cases(64, |g| {
+        let report = random_report(g);
+        let diff = ReportDiff::between(&report, &report, 0.0);
+        assert!(diff.is_empty(), "self-diff must be empty: {diff}");
+        assert_eq!(diff.matched(), report.records().len());
+        // …and so must the diff against the JSON round-trip.
+        let back = StudyReport::from_json(&report.to_json()).unwrap();
+        assert!(ReportDiff::between(&report, &back, 0.0).is_empty());
+    });
+}
+
+#[test]
+fn a_perturbed_cell_is_always_caught() {
+    quickprop::cases(32, |g| {
+        let report = random_report(g);
+        let victim = g.usize_in(0..report.records().len());
+        let mut records = report.records().to_vec();
+        let old = records[victim].metrics.get("lt_years").unwrap();
+        records[victim].metrics = Metrics::from_pairs([
+            (
+                "lt0_years",
+                records[victim].metrics.get("lt0_years").unwrap(),
+            ),
+            ("lt_years", old + 0.125),
+        ]);
+        let tweaked = StudyReport::from_records(report.name(), records);
+        let diff = ReportDiff::between(&report, &tweaked, 1e-6);
+        // The victim may collide with an identical twin record (same
+        // random axes), in which case key-matching pairs them either
+        // way — but a divergence must never go unreported.
+        assert!(!diff.is_empty(), "a 0.125-year drift must be caught");
+        assert!(
+            diff.divergent().iter().any(|d| d.field == "lt_years"),
+            "the diverging field must be named: {diff}"
+        );
+    });
+}
+
+#[test]
+fn groups_partition_the_selection() {
+    quickprop::cases(64, |g| {
+        let report = random_report(g);
+        let axes = [Axis::Policy, Axis::Workload, Axis::Banks];
+        let k = g.usize_in(1..axes.len() + 1);
+        let query = Query::new(&report).group_by(axes[..k].iter().copied());
+        let groups = query.groups();
+        let total: usize = groups.iter().map(|gr| gr.records.len()).sum();
+        assert_eq!(total, report.records().len(), "groups must partition");
+        for gr in &groups {
+            assert!(!gr.records.is_empty(), "no empty groups");
+            assert_eq!(gr.key.len(), k);
+        }
+        // Count-reduction agrees with the partition sizes.
+        let counts = query.reduce("lt_years", Reduce::Count).unwrap();
+        for (row, gr) in counts.iter().zip(&groups) {
+            assert_eq!(row.value, gr.records.len() as f64);
+            assert_eq!(row.key, gr.key);
+        }
+    });
+}
+
+#[test]
+fn reductions_are_bounded_by_min_and_max() {
+    quickprop::cases(64, |g| {
+        let report = random_report(g);
+        let q = Query::new(&report).group_by([Axis::Policy]);
+        let mins = q.reduce("lt_years", Reduce::Min).unwrap();
+        let means = q.reduce("lt_years", Reduce::Mean).unwrap();
+        let geos = q.reduce("lt_years", Reduce::Geomean).unwrap();
+        let maxs = q.reduce("lt_years", Reduce::Max).unwrap();
+        for i in 0..mins.len() {
+            assert!(mins[i].value <= means[i].value + 1e-12);
+            assert!(means[i].value <= maxs[i].value + 1e-12);
+            assert!(
+                mins[i].value <= geos[i].value + 1e-12 && geos[i].value <= maxs[i].value + 1e-12,
+                "geomean within [min, max]"
+            );
+            assert!(geos[i].value <= means[i].value + 1e-12, "AM-GM");
+        }
+    });
+}

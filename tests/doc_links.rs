@@ -1,0 +1,183 @@
+//! Link check over the documentation front door: every relative path
+//! and internal anchor in README / DESIGN / EXPERIMENTS / ROADMAP must
+//! resolve, so the docs cannot silently rot as files and headings move.
+//!
+//! External (`http(s)://`, `mailto:`) targets are skipped — CI runs
+//! offline. Fenced code blocks are stripped before scanning, so shell
+//! snippets containing `](` cannot produce false positives.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+const DOCS: [&str; 4] = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Drops fenced code blocks (``` … ```), keeping line structure.
+fn strip_fences(text: &str) -> String {
+    let mut out = String::new();
+    let mut fenced = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            fenced = !fenced;
+            out.push('\n');
+            continue;
+        }
+        if !fenced {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// GitHub-style anchor slug of a heading: lowercase, spaces to
+/// hyphens, everything but alphanumerics/hyphens/underscores dropped.
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// The anchor slugs of every `#`-heading in a markdown file.
+fn anchors(text: &str) -> Vec<String> {
+    strip_fences(text)
+        .lines()
+        .filter_map(|line| {
+            let trimmed = line.trim_start();
+            let level = trimmed.chars().take_while(|&c| c == '#').count();
+            (1..=6)
+                .contains(&level)
+                .then(|| slug(trimmed[level..].trim_start()))
+        })
+        .collect()
+}
+
+/// Every `[text](target)` link target in a markdown file (code blocks
+/// stripped), with its line number for error messages.
+fn links(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (lineno, line) in strip_fences(text).lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                if let Some(end) = line[i + 2..].find(')') {
+                    out.push((lineno + 1, line[i + 2..i + 2 + end].to_string()));
+                    i += 2 + end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn every_relative_link_and_anchor_resolves() {
+    let root = repo_root();
+    let sources: HashMap<&str, String> = DOCS
+        .iter()
+        .map(|doc| {
+            (
+                *doc,
+                std::fs::read_to_string(root.join(doc)).unwrap_or_else(|e| {
+                    panic!("{doc} must exist at the repo root: {e}");
+                }),
+            )
+        })
+        .collect();
+    let mut failures = Vec::new();
+    for doc in DOCS {
+        for (lineno, target) in links(&sources[doc]) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a)),
+                None => (target.as_str(), None),
+            };
+            // Resolve the path side (empty = same file).
+            let resolved: PathBuf = if path_part.is_empty() {
+                root.join(doc)
+            } else {
+                root.join(path_part)
+            };
+            if !resolved.exists() {
+                failures.push(format!(
+                    "{doc}:{lineno}: link `{target}` points at a missing path"
+                ));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                let Some(name) = resolved.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                if !Path::new(name)
+                    .extension()
+                    .is_some_and(|e| e.eq_ignore_ascii_case("md"))
+                {
+                    continue; // anchors only checked in markdown targets
+                }
+                // Read the *resolved* target, never a same-named file
+                // elsewhere (a nested README.md must not be checked
+                // against the root one's headings).
+                let text = std::fs::read_to_string(&resolved).expect("readable md");
+                if !anchors(&text).iter().any(|a| a == anchor) {
+                    failures.push(format!(
+                        "{doc}:{lineno}: link `{target}` names an anchor `#{anchor}` \
+                         with no matching heading in {name}"
+                    ));
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn the_docs_actually_contain_links_to_check() {
+    // A silent regression in the link extractor would turn the check
+    // above into a no-op; pin that the front door is cross-linked.
+    let root = repo_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    let found = links(&readme);
+    assert!(
+        found.iter().any(|(_, t)| t.starts_with("DESIGN.md"))
+            && found.iter().any(|(_, t)| t.starts_with("EXPERIMENTS.md")),
+        "README must link DESIGN.md and EXPERIMENTS.md, found: {found:?}"
+    );
+}
+
+#[test]
+fn slugging_matches_github_conventions() {
+    assert_eq!(slug("The analysis layer"), "the-analysis-layer");
+    assert_eq!(
+        slug("Query and compare studies"),
+        "query-and-compare-studies"
+    );
+    assert_eq!(
+        slug("The Study API (`aging_cache`)"),
+        "the-study-api-aging_cache"
+    );
+    assert_eq!(
+        slug("Table IV — idleness / LT vs (size × banks)"),
+        "table-iv--idleness--lt-vs-size--banks"
+    );
+}
