@@ -42,6 +42,14 @@
 //!   journal (directory or `results.jsonl` path); comparing a report
 //!   against a warm journal replays *nothing* — no simulation, no
 //!   model evaluation. Exits 0 when the sides agree, 1 on divergence.
+//! * `study check [spec flags] [--journal <dir|results.jsonl>]`
+//!   statically validates the study before anything runs: every
+//!   model/policy/workload key resolves against its registry,
+//!   geometry and parameter ranges are sane, aliased model spellings
+//!   (`nbti:vlow=0.75` ≡ `nbti-45nm`) are reported, the grid
+//!   cardinality and estimated cold cost print, and a journal's
+//!   content digests re-verify line by line. Zero simulation. Exits 0
+//!   on a clean check, 1 when any error fired.
 //!
 //! The execution layer is on the command line too:
 //!
@@ -107,19 +115,137 @@ fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Vec<T> {
         .collect()
 }
 
+/// The spec-axis flags shared by `study` (run) and `study check`: the
+/// builder plus the deferred workload/model selections that apply
+/// once parsing finishes.
+struct SpecArgs {
+    spec: Option<StudySpec>,
+    // The workload axis is assembled from --workloads and --trace and
+    // applied once after parsing: `None` = the full default suite.
+    workloads: Option<Vec<String>>,
+    traces: Vec<String>,
+    models: Vec<String>,
+}
+
+impl SpecArgs {
+    fn new(name: &str) -> Self {
+        SpecArgs {
+            spec: Some(StudySpec::new(name)),
+            workloads: None,
+            traces: Vec::new(),
+            models: Vec::new(),
+        }
+    }
+
+    /// Applies one `flag value` pair; `false` means the flag is not a
+    /// spec-axis flag and the caller should handle it.
+    fn apply(&mut self, flag: &str, value: &str) -> bool {
+        let Some(spec) = self.spec.take() else {
+            return false;
+        };
+        let applied = match flag {
+            "--cache-kb" => spec.cache_kb(parse_list(value, flag)),
+            "--line-bytes" => spec.line_bytes(parse_list(value, flag)),
+            "--banks" => spec.banks(parse_list(value, flag)),
+            "--update-days" => spec.update_days(parse_list(value, flag)),
+            "--policies" => spec.policies(value.split(',').map(str::trim)),
+            "--workloads" if value == "all" => {
+                // Explicit full suite (in suite order), so a --trace
+                // appends to it instead of replacing it.
+                self.workloads = Some(
+                    trace_synth::suite::mediabench()
+                        .iter()
+                        .map(|p| p.name().to_string())
+                        .collect(),
+                );
+                spec
+            }
+            "--workloads" => {
+                self.workloads = Some(value.split(',').map(|s| s.trim().to_string()).collect());
+                spec
+            }
+            "--trace" => {
+                self.traces.push(value.to_string());
+                spec
+            }
+            "--profile" => {
+                // Repeatable: a pinned per-bank idleness profile
+                // (comma-separated sleep fractions, no simulation).
+                self.traces.push(format!("profile:{}", value.trim()));
+                spec
+            }
+            // Deliberately no `--models` alias: commas cannot delimit
+            // models (parameterized keys use them internally), so a
+            // plural form would invite `--models a,b` as one bad key.
+            "--model" => {
+                // Repeatable: each --model names exactly one model.
+                self.models.push(value.trim().to_string());
+                spec
+            }
+            "--temp" => spec.temps_c(parse_list(value, flag)),
+            "--vlow" => spec.vdd_low(parse_list(value, flag)),
+            "--fail" => spec.failure_pct(parse_list(value, flag)),
+            "--trace-cycles" => spec.trace_cycles(parse_list(value, flag)[0]),
+            "--seed" => spec.base_seed(parse_list(value, flag)[0]),
+            "--threads" => spec.threads(parse_list(value, flag)[0]),
+            _ => {
+                self.spec = Some(spec);
+                return false;
+            }
+        };
+        self.spec = Some(applied);
+        true
+    }
+
+    /// The spec with the model axis applied, plus the merged workload
+    /// key selection (`None` = keep the default suite). `study check`
+    /// resolves the keys itself so each failure becomes a finding.
+    fn into_parts(self) -> (StudySpec, Option<Vec<String>>) {
+        let mut spec = self.spec.unwrap_or_else(|| StudySpec::new("cli study"));
+        if !self.models.is_empty() {
+            spec = spec.models(self.models);
+        }
+        // --trace and --profile append to the --workloads selection
+        // (or, with `--workloads all`/no selection, replace the
+        // default suite); each file's format and content hash lands in
+        // the report.
+        let keys = match (self.workloads, self.traces.is_empty()) {
+            (Some(mut named), _) => {
+                named.extend(self.traces);
+                Some(named)
+            }
+            (None, false) => Some(self.traces),
+            (None, true) => None, // default suite
+        };
+        (spec, keys)
+    }
+
+    /// Run-path finish: resolve the workload keys or exit with a
+    /// usage error.
+    fn finish(self) -> StudySpec {
+        let (mut spec, keys) = self.into_parts();
+        if let Some(keys) = keys {
+            spec = spec.workload_names(&keys).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        }
+        spec
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("compare") {
         compare_main(&args[1..]);
         return;
     }
-    let mut spec = StudySpec::new("cli study");
+    if args.first().map(String::as_str) == Some("check") {
+        check_main(&args[1..]);
+        return;
+    }
+    let mut spec_args = SpecArgs::new("cli study");
     let mut format = Format::Text;
-    // The workload axis is assembled from --workloads and --trace and
-    // applied once after parsing: `None` = the full default suite.
-    let mut workloads: Option<Vec<String>> = None;
-    let mut traces: Vec<String> = Vec::new();
-    let mut models: Vec<String> = Vec::new();
     let mut cache_dir: Option<String> = None;
     let mut group_by: Vec<Axis> = Vec::new();
     let mut baseline: Option<String> = None;
@@ -185,61 +311,17 @@ fn main() {
             eprintln!("flag {flag} needs a value");
             std::process::exit(2);
         };
-        spec = match flag {
-            "--cache-kb" => spec.cache_kb(parse_list(value, flag)),
-            "--line-bytes" => spec.line_bytes(parse_list(value, flag)),
-            "--banks" => spec.banks(parse_list(value, flag)),
-            "--update-days" => spec.update_days(parse_list(value, flag)),
-            "--policies" => spec.policies(value.split(',').map(str::trim)),
-            "--workloads" if value == "all" => {
-                // Explicit full suite (in suite order), so a --trace
-                // appends to it instead of replacing it.
-                workloads = Some(
-                    trace_synth::suite::mediabench()
-                        .iter()
-                        .map(|p| p.name().to_string())
-                        .collect(),
-                );
-                spec
-            }
-            "--workloads" => {
-                workloads = Some(value.split(',').map(|s| s.trim().to_string()).collect());
-                spec
-            }
-            "--trace" => {
-                traces.push(value.clone());
-                spec
-            }
-            "--profile" => {
-                // Repeatable: a pinned per-bank idleness profile
-                // (comma-separated sleep fractions, no simulation).
-                traces.push(format!("profile:{}", value.trim()));
-                spec
-            }
-            // Deliberately no `--models` alias: commas cannot delimit
-            // models (parameterized keys use them internally), so a
-            // plural form would invite `--models a,b` as one bad key.
-            "--model" => {
-                // Repeatable: each --model names exactly one model.
-                models.push(value.trim().to_string());
-                spec
-            }
-            "--temp" => spec.temps_c(parse_list(value, flag)),
-            "--vlow" => spec.vdd_low(parse_list(value, flag)),
-            "--fail" => spec.failure_pct(parse_list(value, flag)),
-            "--trace-cycles" => spec.trace_cycles(parse_list(value, flag)[0]),
-            "--seed" => spec.base_seed(parse_list(value, flag)[0]),
-            "--threads" => spec.threads(parse_list(value, flag)[0]),
-            "--cache-dir" => {
-                cache_dir = Some(value.clone());
-                spec
-            }
+        if spec_args.apply(flag, value) {
+            i += 2;
+            continue;
+        }
+        match flag {
+            "--cache-dir" => cache_dir = Some(value.clone()),
             "--format" => {
                 format = Format::parse(value).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     std::process::exit(2);
                 });
-                spec
             }
             "--group-by" => {
                 group_by = value
@@ -251,12 +333,8 @@ fn main() {
                         })
                     })
                     .collect();
-                spec
             }
-            "--baseline" => {
-                baseline = Some(value.trim().to_string());
-                spec
-            }
+            "--baseline" => baseline = Some(value.trim().to_string()),
             _ => {
                 eprintln!("unknown flag {flag}");
                 eprintln!(
@@ -267,11 +345,12 @@ fn main() {
                      --cache-dir <dir> --resume --progress \
                      --format <text|md|csv|json> --group-by <axes> --baseline <policy> \
                      --json --list-policies --list-workloads --list-models \
-                     (or: study compare <left> <right> [--tol <abs>])"
+                     (or: study compare <left> <right> [--tol <abs>], \
+                     study check [spec flags] [--journal <dir|file>])"
                 );
                 std::process::exit(2);
             }
-        };
+        }
         i += 2;
     }
     if let Some(base) = &baseline {
@@ -283,26 +362,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    // --trace and --profile append to the --workloads selection (or,
-    // with `--workloads all`/no selection, replace the default suite);
-    // each file's format and content hash lands in the report.
-    let keys = match (workloads, traces.is_empty()) {
-        (Some(mut named), _) => {
-            named.extend(traces);
-            Some(named)
-        }
-        (None, false) => Some(traces),
-        (None, true) => None, // default suite
-    };
-    if let Some(keys) = keys {
-        spec = spec.workload_names(&keys).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
-    }
-    if !models.is_empty() {
-        spec = spec.models(models);
-    }
+    let spec = spec_args.finish();
 
     if resume && cache_dir.is_none() {
         eprintln!("--resume needs --cache-dir <dir> (there is no journal to resume from)");
@@ -638,6 +698,75 @@ fn compare_main(args: &[String]) {
     };
     print!("{diff}");
     if !diff.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// `study check [spec flags] [--journal <dir|results.jsonl>]`: static
+/// pre-flight validation of a study and (optionally) a result-cache
+/// journal, with **zero simulation** — no model calibrates, no trace
+/// synthesizes. Every finding prints (unlike `run`, which stops at the
+/// first); the grid cardinality and estimated cold cost print as info
+/// lines. Exits 0 on a clean check, 1 when any error finding fired,
+/// 2 on usage errors.
+fn check_main(args: &[String]) {
+    use aging_cache::check;
+
+    let mut spec_args = SpecArgs::new("cli study");
+    let mut journal: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("flag {flag} needs a value");
+            std::process::exit(2);
+        };
+        if spec_args.apply(flag, value) {
+            i += 2;
+            continue;
+        }
+        match flag {
+            // --cache-dir is accepted as an alias so a `run`
+            // invocation turns into its pre-flight check by swapping
+            // the verb, flags untouched.
+            "--journal" | "--cache-dir" => {
+                let p = std::path::Path::new(value);
+                journal = Some(if p.is_dir() {
+                    p.join(JsonlCache::FILE_NAME)
+                } else {
+                    p.to_path_buf()
+                });
+            }
+            _ => {
+                eprintln!("unknown flag {flag} for `study check`");
+                eprintln!(
+                    "usage: study check [--cache-kb --line-bytes --banks --update-days \
+                     --policies --workloads --trace --profile --model --temp --vlow --fail \
+                     --trace-cycles --seed] [--journal <dir|results.jsonl>]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    let (mut spec, keys) = spec_args.into_parts();
+    let mut report = check::CheckReport::default();
+    if let Some(keys) = keys {
+        // Resolve workload keys finding-by-finding instead of through
+        // the fail-fast builder: a misspelled benchmark name must not
+        // hide the rest of the report.
+        let (resolved, r) = check::check_workload_keys(WorkloadRegistry::global(), &keys);
+        report.merge(r);
+        spec = spec.workload_objects(resolved);
+    }
+    report.merge(check::check_spec(&spec, ModelRegistry::global()));
+    if let Some(path) = &journal {
+        let journal_check = check::check_journal(path);
+        report.merge(journal_check.report);
+        report.merge(check::check_coverage(&spec, &journal_check.keys));
+    }
+    print!("{report}");
+    if !report.is_clean() {
         std::process::exit(1);
     }
 }

@@ -75,6 +75,7 @@ pub fn section(title: &str) {
 
 /// Whether the process arguments request JSON output (`--json`).
 pub fn json_requested() -> bool {
+    // aging-lint: allow(no-env-in-core) CLI flag shim shared by the table bins; bins-only by contract
     std::env::args().any(|a| a == "--json")
 }
 
@@ -85,6 +86,7 @@ pub fn json_requested() -> bool {
 /// [`Format::Text`] — the historic stdout, byte for byte. Exits with
 /// a usage error on an unknown format name.
 pub fn format_requested() -> Format {
+    // aging-lint: allow(no-env-in-core) CLI flag shim shared by the table bins; bins-only by contract
     let args: Vec<String> = std::env::args().collect();
     let mut format = Format::Text;
     let mut i = 0;

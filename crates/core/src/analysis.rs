@@ -558,11 +558,12 @@ impl<'a> Query<'a> {
     ) -> Result<Vec<Gain<'a>>, CoreError> {
         let baseline = baseline.into();
         let records = self.records();
-        // Hash-index the baseline side once: join keys are multi-field
+        // Index the baseline side once: join keys are multi-field
         // strings, and rebuilding or rescanning them per off-baseline
-        // record would make a wide sweep quadratic.
-        let mut base_index: std::collections::HashMap<String, Vec<&ScenarioRecord>> =
-            std::collections::HashMap::new();
+        // record would make a wide sweep quadratic. BTreeMap keeps
+        // every walk over the index deterministic.
+        let mut base_index: std::collections::BTreeMap<String, Vec<&ScenarioRecord>> =
+            std::collections::BTreeMap::new();
         let mut any_baseline = false;
         for r in records.iter().copied() {
             if axis.value_of(&r.scenario) == baseline {
@@ -731,12 +732,13 @@ impl ReportDiff {
     /// position is irrelevant: a widened or reordered study diffs
     /// clean against the original on every scenario they share.
     pub fn between(left: &StudyReport, right: &StudyReport, tolerance: f64) -> ReportDiff {
-        // Hash-index the right side so the match is O(n), not a linear
-        // key-string scan per left record (reports are routinely
-        // thousands of scenarios). Buckets hold duplicates in report
-        // order; matching pops the earliest unmatched twin.
-        let mut right_index: std::collections::HashMap<String, Vec<&ScenarioRecord>> =
-            std::collections::HashMap::new();
+        // Index the right side so the match is O(n log n), not a
+        // linear key-string scan per left record (reports are
+        // routinely thousands of scenarios). Buckets hold duplicates
+        // in report order; matching pops the earliest unmatched twin.
+        // BTreeMap makes the leftover walk below insertion-order-free.
+        let mut right_index: std::collections::BTreeMap<String, Vec<&ScenarioRecord>> =
+            std::collections::BTreeMap::new();
         for r in right.records() {
             right_index
                 .entry(scenario_key(&r.scenario))
@@ -766,6 +768,8 @@ impl ReportDiff {
             .into_iter()
             .flat_map(|(k, bucket)| std::iter::repeat_n(k, bucket.len()))
             .collect();
+        // Already key-ordered by the BTreeMap walk; kept explicit so
+        // the sorted-output contract survives an index change.
         diff.only_right.sort_unstable();
         diff
     }
@@ -817,10 +821,10 @@ impl ReportDiff {
         // file-backed keys (`csv:path`, …) re-read and re-hash the
         // whole trace on every resolve, and a sweep typically crosses
         // one workload with many geometry/policy points.
-        let mut resolved: std::collections::HashMap<
+        let mut resolved: std::collections::BTreeMap<
             String,
             std::sync::Arc<dyn crate::workload::Workload>,
-        > = std::collections::HashMap::new();
+        > = std::collections::BTreeMap::new();
         for l in report.records() {
             let key = scenario_key(&l.scenario);
             let workload = match resolved.get(&l.scenario.workload) {

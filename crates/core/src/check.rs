@@ -1,0 +1,675 @@
+//! Static validation of study specs and result-cache journals — the
+//! domain half of the lint layer (`study check` on the CLI).
+//!
+//! Everything here is **zero-simulation**: a check never calibrates a
+//! model, never synthesizes a trace, never touches a cache bank. A
+//! spec check resolves every key against the registries, validates
+//! geometry and parameter ranges, reports canonical-key collisions
+//! (`nbti:vlow=0.75` and `nbti-45nm` are the *same operating point* —
+//! the grid would run it once per spelling) and prints the grid
+//! cardinality with an estimated cold cost. A journal check re-derives
+//! both content digests of every line, flags duplicates and
+//! stale-engine entries, and reports the grid/journal overlap when a
+//! spec is checked alongside.
+//!
+//! Unlike [`StudySpec::expand`], which fails on the *first* problem so
+//! `run` stays cheap, a check collects **every** finding: its job is a
+//! pre-flight report, not an early exit.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::Arc;
+
+use cache_sim::CacheGeometry;
+
+use crate::error::CoreError;
+use crate::json::Json;
+use crate::model::{self, ModelRegistry};
+use crate::rescache::{digest_hex, CachedMeasurement, Fingerprint, ENGINE_VERSION};
+use crate::study::StudySpec;
+use crate::workload::{Workload, WorkloadRegistry};
+
+/// Severity of a [`CheckFinding`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckLevel {
+    /// Neutral fact about the spec or journal (grid size, coverage).
+    Info,
+    /// Suspicious but runnable (aliased keys, stale entries).
+    Warning,
+    /// The spec cannot expand or the journal entry is corrupt.
+    Error,
+}
+
+/// One finding from a static check.
+#[derive(Debug, Clone)]
+pub struct CheckFinding {
+    /// Severity.
+    pub level: CheckLevel,
+    /// Stable machine-readable code, e.g. `spec-model`,
+    /// `journal-digest`.
+    pub code: &'static str,
+    /// Human explanation, one line.
+    pub message: String,
+}
+
+impl std::fmt::Display for CheckFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.level {
+            CheckLevel::Info => write!(f, "info[{}]: {}", self.code, self.message),
+            CheckLevel::Warning => write!(f, "warning[{}]: {}", self.code, self.message),
+            CheckLevel::Error => write!(f, "error[{}]: {}", self.code, self.message),
+        }
+    }
+}
+
+/// The accumulated findings of one or more checks, in the order they
+/// were discovered (spec findings first, then journal, then
+/// coverage).
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    findings: Vec<CheckFinding>,
+}
+
+impl CheckReport {
+    /// All findings, discovery order.
+    pub fn findings(&self) -> &[CheckFinding] {
+        &self.findings
+    }
+
+    /// Number of error-level findings.
+    pub fn errors(&self) -> usize {
+        self.count(CheckLevel::Error)
+    }
+
+    /// Number of warning-level findings.
+    pub fn warnings(&self) -> usize {
+        self.count(CheckLevel::Warning)
+    }
+
+    fn count(&self, level: CheckLevel) -> usize {
+        self.findings.iter().filter(|f| f.level == level).count()
+    }
+
+    /// `true` when no error-level finding was recorded (warnings and
+    /// infos do not make a check fail).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Appends every finding of `other`, preserving order.
+    pub fn merge(&mut self, other: CheckReport) {
+        self.findings.extend(other.findings);
+    }
+
+    fn push(&mut self, level: CheckLevel, code: &'static str, message: String) {
+        self.findings.push(CheckFinding {
+            level,
+            code,
+            message,
+        });
+    }
+
+    fn error(&mut self, code: &'static str, message: String) {
+        self.push(CheckLevel::Error, code, message);
+    }
+
+    fn warning(&mut self, code: &'static str, message: String) {
+        self.push(CheckLevel::Warning, code, message);
+    }
+
+    fn info(&mut self, code: &'static str, message: String) {
+        self.push(CheckLevel::Info, code, message);
+    }
+}
+
+impl std::fmt::Display for CheckReport {
+    /// One finding per line, then a one-line summary. Byte-stable for
+    /// a given input: findings carry no timestamps, paths are printed
+    /// as given.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        writeln!(
+            f,
+            "check: {} error{}, {} warning{}",
+            self.errors(),
+            if self.errors() == 1 { "" } else { "s" },
+            self.warnings(),
+            if self.warnings() == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// Statically validates a spec against the policy/workload registries
+/// it carries and the given model registry. Collects every problem
+/// `expand` would reject (and several it silently tolerates) without
+/// running anything.
+pub fn check_spec(spec: &StudySpec, models: &ModelRegistry) -> CheckReport {
+    let mut report = CheckReport::default();
+    for (axis, len) in [
+        ("cache_bytes", spec.cache_bytes.len()),
+        ("line_bytes", spec.line_bytes.len()),
+        ("banks", spec.banks.len()),
+        ("update_days", spec.update_days.len()),
+        ("policies", spec.policies.len()),
+        ("workloads", spec.workloads.len()),
+        ("models", spec.models.len()),
+    ] {
+        if len == 0 {
+            report.error("spec-axis", format!("axis `{axis}` is empty"));
+        }
+    }
+
+    for name in &spec.policies {
+        if spec.registry.get(name).is_none() {
+            report.error(
+                "spec-policy",
+                format!(
+                    "unknown policy `{name}` (known: {})",
+                    spec.registry.names().join(", ")
+                ),
+            );
+        }
+    }
+    duplicate_warnings(
+        &mut report,
+        "policy",
+        spec.policies.iter().map(String::as_str),
+    );
+
+    for &days in &spec.update_days {
+        if days <= 0.0 || days.is_nan() {
+            report.error(
+                "spec-param",
+                format!("update_days = {days} (need a positive update period)"),
+            );
+        }
+    }
+    for &t in &spec.temps_c {
+        if t <= -273.15 || t.is_nan() {
+            report.error(
+                "spec-param",
+                format!("temps_c = {t} (need a temperature above absolute zero, °C)"),
+            );
+        }
+    }
+    for &v in &spec.vdd_lows {
+        if v <= 0.0 || v.is_nan() {
+            report.error(
+                "spec-param",
+                format!("vdd_low = {v} (need a positive drowsy rail voltage)"),
+            );
+        }
+    }
+    for &pct in &spec.failure_pcts {
+        if pct <= 0.0 || pct >= 100.0 || pct.is_nan() {
+            report.error(
+                "spec-param",
+                format!("failure_pct = {pct} (need a failure criterion in (0, 100) percent)"),
+            );
+        }
+    }
+    if spec.trace_cycles == 0 {
+        report.warning(
+            "spec-param",
+            "trace_cycles is 0 — every scenario will simulate an empty trace".to_string(),
+        );
+    }
+
+    // Model axis: canonicalize and resolve each raw key individually
+    // so one bad key does not mask the next.
+    for key in &spec.models {
+        match model::canonicalize(key) {
+            Err(e) => report.error("spec-model", format!("model key `{key}`: {e}")),
+            Ok(canonical) => {
+                if let Err(e) = models.resolve(&canonical) {
+                    report.error("spec-model", format!("model key `{key}`: {e}"));
+                }
+            }
+        }
+    }
+    // Alias collisions: distinct spellings landing on one canonical
+    // operating point duplicate grid scenarios (each keeps its own
+    // derived policy seed, so nothing dedupes them downstream).
+    if let Ok(composed) = spec.composed_model_keys() {
+        let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+        for key in &composed {
+            *seen.entry(key.as_str()).or_default() += 1;
+        }
+        for (key, n) in seen {
+            if n > 1 {
+                report.warning(
+                    "spec-alias",
+                    format!(
+                        "model operating point `{key}` appears {n} times after \
+                         canonicalization — aliased spellings duplicate grid scenarios"
+                    ),
+                );
+            }
+        }
+    }
+
+    for &bytes in &spec.cache_bytes {
+        for &line in &spec.line_bytes {
+            for &banks in &spec.banks {
+                if let Err(e) = CacheGeometry::direct_mapped(bytes, line, banks) {
+                    report.error(
+                        "spec-geometry",
+                        format!("cache={bytes}B line={line}B banks={banks}: {e}"),
+                    );
+                }
+            }
+        }
+    }
+    for w in &spec.workloads {
+        if let Some(profile) = w.pinned_profile() {
+            for &banks in &spec.banks {
+                if profile.len() != banks as usize {
+                    report.error(
+                        "spec-workload",
+                        format!(
+                            "workload `{}` pins {} banks but the grid asks for {banks}",
+                            w.name(),
+                            profile.len()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    duplicate_warnings(
+        &mut report,
+        "workload",
+        spec.workloads.iter().map(|w| w.name()),
+    );
+
+    // Grid cardinality and cost estimate — only meaningful when every
+    // axis is present.
+    let models_len = spec
+        .composed_model_keys()
+        .map(|k| k.len())
+        .unwrap_or(spec.models.len());
+    let geometries = spec.cache_bytes.len() * spec.line_bytes.len() * spec.banks.len();
+    let scenarios = geometries
+        * models_len
+        * spec.update_days.len()
+        * spec.policies.len()
+        * spec.workloads.len();
+    if scenarios > 0 {
+        // One trace simulation per (geometry, workload); models,
+        // update periods and policies all reuse it through the
+        // session's simulation memo.
+        let sims = geometries * spec.workloads.len();
+        let accesses = (sims as u128) * (spec.trace_cycles as u128);
+        report.info(
+            "spec-grid",
+            format!(
+                "grid: {scenarios} scenario{} ({sims} distinct trace simulation{}, \
+                 ≈{accesses} simulated accesses cold)",
+                if scenarios == 1 { "" } else { "s" },
+                if sims == 1 { "" } else { "s" },
+            ),
+        );
+    }
+    report
+}
+
+/// Resolves workload keys against a [`WorkloadRegistry`], turning
+/// each failure into a `spec-workload` error finding instead of
+/// stopping at the first bad key (the builder's
+/// [`StudySpec::workload_names`] behaviour). Returns the workloads
+/// that *did* resolve so the caller can still check the rest of the
+/// spec around the holes.
+pub fn check_workload_keys(
+    registry: &WorkloadRegistry,
+    keys: &[String],
+) -> (Vec<Arc<dyn Workload>>, CheckReport) {
+    let mut report = CheckReport::default();
+    let mut resolved: Vec<Arc<dyn Workload>> = Vec::new();
+    for key in keys {
+        match registry.resolve(key) {
+            Ok(w) => resolved.push(w),
+            Err(e) => report.error("spec-workload", format!("workload `{key}`: {e}")),
+        }
+    }
+    // Duplicate keys are left to `check_spec`: they resolve to
+    // same-named workloads, which the axis walk already reports.
+    (resolved, report)
+}
+
+fn duplicate_warnings<'a>(
+    report: &mut CheckReport,
+    what: &str,
+    names: impl Iterator<Item = &'a str>,
+) {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for name in names {
+        *counts.entry(name).or_default() += 1;
+    }
+    for (name, n) in counts {
+        if n > 1 {
+            report.warning(
+                "spec-duplicate",
+                format!("{what} `{name}` appears {n} times on its axis — duplicate grid points"),
+            );
+        }
+    }
+}
+
+/// The result of [`check_journal`]: the findings plus the canonical
+/// key of every line that parsed far enough to expose one (used by
+/// [`check_coverage`]).
+#[derive(Debug, Default)]
+pub struct JournalCheck {
+    /// The findings.
+    pub report: CheckReport,
+    /// Canonical keys in journal order (duplicates included).
+    pub keys: Vec<String>,
+}
+
+/// Statically validates a result-cache journal: every complete line
+/// must parse, both content digests must verify, and duplicate or
+/// stale-engine fingerprints are reported. Unlike
+/// [`JsonlCache::open`](crate::rescache::JsonlCache::open), which
+/// fails fast on the first corrupt entry, this walks the whole file
+/// and reports every problem. Nothing is repaired and nothing is
+/// written.
+pub fn check_journal(path: &Path) -> JournalCheck {
+    let mut out = JournalCheck::default();
+    let report = &mut out.report;
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            report.error(
+                "journal-missing",
+                format!("cannot read journal {}: {e}", path.display()),
+            );
+            return out;
+        }
+    };
+    let mut lineno = 0usize;
+    let mut entries = 0usize;
+    let mut first_line_of: BTreeMap<String, usize> = BTreeMap::new();
+    let mut tail_complete = true;
+    for line in text.split_inclusive('\n') {
+        lineno += 1;
+        let Some(line) = line.strip_suffix('\n') else {
+            // A trailing fragment with no newline is an append cut
+            // short — exactly what `JsonlCache::open` repairs by
+            // truncation. Not an error: no completed entry is lost.
+            tail_complete = false;
+            report.warning(
+                "journal-truncated",
+                format!(
+                    "line {lineno}: trailing {}-byte fragment without a newline \
+                     (interrupted append; reopening the cache repairs it by truncation)",
+                    line.len()
+                ),
+            );
+            break;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                report.error("journal-parse", format!("line {lineno}: {e}"));
+                continue;
+            }
+        };
+        let fields = (|| -> Result<(String, String, String), CoreError> {
+            Ok((
+                v.field("fp")?.as_str("fp")?.to_string(),
+                v.field("check")?.as_str("check")?.to_string(),
+                v.field("key")?.as_str("key")?.to_string(),
+            ))
+        })();
+        let (fp, check, key) = match fields {
+            Ok(f) => f,
+            Err(e) => {
+                report.error("journal-parse", format!("line {lineno}: {e}"));
+                continue;
+            }
+        };
+        entries += 1;
+        if digest_hex(key.as_bytes()) != fp {
+            report.error(
+                "journal-digest",
+                format!(
+                    "line {lineno} (fp {fp}): key digest mismatch — the key or the fp \
+                     field was altered"
+                ),
+            );
+        }
+        match v.field("record") {
+            Err(e) => report.error("journal-parse", format!("line {lineno}: {e}")),
+            Ok(record) => {
+                if digest_hex(record.emit().as_bytes()) != check {
+                    report.error(
+                        "journal-digest",
+                        format!(
+                            "line {lineno} (fp {fp}): measurement digest mismatch — the \
+                             record was altered"
+                        ),
+                    );
+                } else if let Err(e) = CachedMeasurement::from_json(record) {
+                    report.error("journal-record", format!("line {lineno} (fp {fp}): {e}"));
+                }
+            }
+        }
+        if !key.starts_with(&format!("v={ENGINE_VERSION};")) {
+            report.warning(
+                "journal-stale",
+                format!(
+                    "line {lineno} (fp {fp}): entry predates engine version \
+                     `{ENGINE_VERSION}` and will never be looked up"
+                ),
+            );
+        }
+        if let Some(&first) = first_line_of.get(&key) {
+            report.warning(
+                "journal-duplicate",
+                format!("line {lineno} (fp {fp}): duplicates line {first}"),
+            );
+        } else {
+            first_line_of.insert(key.clone(), lineno);
+        }
+        out.keys.push(key);
+    }
+    let distinct = first_line_of.len();
+    report.info(
+        "journal-summary",
+        format!(
+            "journal: {entries} entr{} on {lineno} line{}, {distinct} distinct \
+             fingerprint{}{}",
+            if entries == 1 { "y" } else { "ies" },
+            if lineno == 1 { "" } else { "s" },
+            if distinct == 1 { "" } else { "s" },
+            if tail_complete {
+                ""
+            } else {
+                " (plus a truncated tail)"
+            },
+        ),
+    );
+    out
+}
+
+/// Reports the overlap between a spec's expanded grid and a set of
+/// journal keys: how many grid points are already journaled (warm)
+/// and how many journal entries this grid will never ask about
+/// (orphaned — normal for a journal shared across studies, so an info
+/// rather than a warning). Fingerprints are computed exactly as the
+/// grid runner computes them; nothing is simulated.
+pub fn check_coverage(spec: &StudySpec, journal_keys: &[String]) -> CheckReport {
+    let mut report = CheckReport::default();
+    let grid = match spec.expand() {
+        Ok(grid) => grid,
+        Err(_) => return report, // spec findings already cover this
+    };
+    let mut grid_keys = BTreeSet::new();
+    for scenario in grid.scenarios() {
+        let Some(workload) = grid.workloads().get(scenario.workload_index) else {
+            continue; // expand() always indexes in range
+        };
+        grid_keys.insert(
+            Fingerprint::for_scenario(scenario, workload.as_ref())
+                .canonical()
+                .to_string(),
+        );
+    }
+    let journal: BTreeSet<&str> = journal_keys.iter().map(String::as_str).collect();
+    let warm = grid_keys
+        .iter()
+        .filter(|k| journal.contains(k.as_str()))
+        .count();
+    let orphaned = journal.iter().filter(|k| !grid_keys.contains(**k)).count();
+    report.info(
+        "coverage",
+        format!(
+            "coverage: {warm}/{} grid fingerprint{} already journaled; {orphaned} journal \
+             entr{} outside this grid",
+            grid_keys.len(),
+            if grid_keys.len() == 1 { "" } else { "s" },
+            if orphaned == 1 { "y is" } else { "ies are" },
+        ),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Metrics;
+    use crate::rescache::{JsonlCache, ResultCache};
+    use crate::study::StudySpec;
+
+    fn small_spec() -> StudySpec {
+        StudySpec::new("check-test")
+            .workload_names(["sha"])
+            .unwrap()
+            .policies(["identity", "probing"])
+            .trace_cycles(4_000)
+            .policy_seed(1)
+    }
+
+    #[test]
+    fn clean_spec_reports_grid_only() {
+        let report = check_spec(&small_spec(), &ModelRegistry::builtin());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.warnings(), 0, "{report}");
+        let text = report.to_string();
+        assert!(
+            text.contains("grid: 2 scenarios (1 distinct trace simulation"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn unresolvable_model_key_is_an_error_not_a_panic() {
+        let spec = small_spec().models(["warp-drive", "nbti:temp=oops"]);
+        let report = check_spec(&spec, &ModelRegistry::builtin());
+        assert_eq!(report.errors(), 2, "{report}");
+        let text = report.to_string();
+        assert!(
+            text.contains("error[spec-model]: model key `warp-drive`"),
+            "{text}"
+        );
+        assert!(
+            text.contains("error[spec-model]: model key `nbti:temp=oops`"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn aliased_model_spellings_are_reported_not_deduped() {
+        // `nbti:vlow=0.75` canonicalizes to the default operating
+        // point — the same point as `nbti-45nm` spelled differently.
+        let spec = small_spec().models(["nbti-45nm", "nbti:vlow=0.75"]);
+        let report = check_spec(&spec, &ModelRegistry::builtin());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.warnings(), 1, "{report}");
+        assert!(
+            report.to_string().contains("warning[spec-alias]"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn check_collects_every_finding_where_expand_stops_at_one() {
+        let spec = small_spec()
+            .policies(["identity", "no-such-policy"])
+            .banks([3]) // not a power of two
+            .update_days([-1.0]);
+        let report = check_spec(&spec, &ModelRegistry::builtin());
+        assert!(report.errors() >= 3, "{report}");
+        let text = report.to_string();
+        assert!(text.contains("spec-policy"), "{text}");
+        assert!(text.contains("spec-geometry"), "{text}");
+        assert!(text.contains("spec-param"), "{text}");
+        // expand() reports exactly one of these.
+        assert!(spec.expand().is_err());
+    }
+
+    #[test]
+    fn journal_check_verifies_and_flags_corruption() {
+        let dir = std::env::temp_dir().join(format!("aging-check-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = JsonlCache::in_dir(&dir).unwrap();
+        let grid = small_spec().expand().unwrap();
+        let scenario = &grid.scenarios()[0];
+        let workload = &grid.workloads()[scenario.workload_index];
+        let fp = Fingerprint::for_scenario(scenario, workload.as_ref());
+        let m = CachedMeasurement {
+            sim_cycles: 4_000,
+            esav: 0.4,
+            miss_rate: 0.1,
+            useful_idleness: vec![0.1, 0.2, 0.3, 0.4],
+            sleep_fractions: vec![0.1, 0.2, 0.3, 0.4],
+            metrics: Metrics::from_pairs([("lt_years", 1.5)]),
+        };
+        cache.store(&fp, &m).unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+
+        let clean = check_journal(&path);
+        assert!(clean.report.is_clean(), "{}", clean.report);
+        assert_eq!(clean.keys.len(), 1);
+
+        // Flip one digit of the stored metric: `check` no longer
+        // matches the record, and only that line is named.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replace("\"lt_years\":1.5", "\"lt_years\":2.5");
+        assert_ne!(text, corrupted, "fixture must contain the metric");
+        std::fs::write(&path, corrupted).unwrap();
+        let bad = check_journal(&path);
+        assert_eq!(bad.report.errors(), 1, "{}", bad.report);
+        assert!(
+            bad.report.to_string().contains("journal-digest"),
+            "{}",
+            bad.report
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coverage_counts_warm_and_orphaned() {
+        let spec = small_spec();
+        let grid = spec.expand().unwrap();
+        let scenario = &grid.scenarios()[0];
+        let workload = &grid.workloads()[scenario.workload_index];
+        let warm_key = Fingerprint::for_scenario(scenario, workload.as_ref())
+            .canonical()
+            .to_string();
+        let keys = vec![warm_key, "v=engine-v1;not-in-grid".to_string()];
+        let report = check_coverage(&spec, &keys);
+        let text = report.to_string();
+        assert!(text.contains("coverage: 1/2"), "{text}");
+        assert!(
+            text.contains("1 journal entry is outside this grid"),
+            "{text}"
+        );
+    }
+}

@@ -211,13 +211,13 @@ fn emit_string(s: &str, out: &mut String) {
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
         *pos += 1;
     }
 }
 
 fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
-    if *pos < bytes.len() && bytes[*pos] == b {
+    if bytes.get(*pos) == Some(&b) {
         *pos += 1;
         Ok(())
     } else {
@@ -290,7 +290,10 @@ fn parse_keyword(
     word: &str,
     value: Json,
 ) -> Result<Json, JsonError> {
-    if bytes[*pos..].starts_with(word.as_bytes()) {
+    if bytes
+        .get(*pos..)
+        .is_some_and(|r| r.starts_with(word.as_bytes()))
+    {
         *pos += word.len();
         Ok(value)
     } else {
@@ -343,12 +346,18 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             Some(_) => {
                 // Consume one UTF-8 scalar (input is a &str, so this is
                 // always on a boundary).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| JsonError {
-                    message: "invalid UTF-8".into(),
+                let rest = std::str::from_utf8(bytes.get(*pos..).unwrap_or(&[])).map_err(|_| {
+                    JsonError {
+                        message: "invalid UTF-8".into(),
+                    }
                 })?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+                match rest.chars().next() {
+                    Some(c) => {
+                        out.push(c);
+                        *pos += c.len_utf8();
+                    }
+                    None => return err("unterminated string"),
+                }
             }
         }
     }
@@ -356,12 +365,18 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    ) {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII slice");
+    // The consumed range is all ASCII, so this never fails; an empty
+    // or malformed span falls through to the number-parse error below.
+    let text = bytes
+        .get(start..*pos)
+        .and_then(|s| std::str::from_utf8(s).ok())
+        .unwrap_or("");
     match text.parse::<f64>() {
         Ok(v) => Ok(Json::Num(v)),
         Err(_) => err(format!("invalid number `{text}` at byte {start}")),

@@ -114,6 +114,7 @@
 pub mod aging;
 pub mod analysis;
 pub mod arch;
+pub mod check;
 pub mod control;
 pub mod decoder;
 pub mod error;
@@ -142,6 +143,7 @@ pub mod workload;
 pub use aging::AgingAnalysis;
 pub use analysis::{Axis, AxisValue, Query, Reduce, ReportDiff};
 pub use arch::PartitionedCache;
+pub use check::{CheckFinding, CheckLevel, CheckReport};
 pub use decoder::Decoder;
 pub use error::CoreError;
 pub use exec::{

@@ -621,7 +621,7 @@ impl AgingModel for NbtiModel {
             AgingAnalysis::new(derived_solver(&self.params)?).with_mode(sleep_mode(&self.params));
         Ok(Arc::new(NbtiCalibrated {
             aging,
-            lt0_memo: Mutex::new(HashMap::new()),
+            lt0_memo: Mutex::new(HashMap::new()), // aging-lint: allow(no-unordered-iter) keyed memo
         }))
     }
 }
@@ -635,7 +635,7 @@ struct NbtiCalibrated {
     /// The LT0 baseline is policy-independent, so scenarios differing
     /// only in policy share one solve through this memo (racing
     /// double-computes store identical values).
-    lt0_memo: Mutex<HashMap<Lt0Key, f64>>,
+    lt0_memo: Mutex<HashMap<Lt0Key, f64>>, // aging-lint: allow(no-unordered-iter) keyed memo
 }
 
 impl CalibratedModel for NbtiCalibrated {
@@ -1044,6 +1044,7 @@ impl ModelRegistry {
 /// thin shim over this type.
 pub struct ModelContext {
     registry: ModelRegistry,
+    // aging-lint: allow(no-unordered-iter) calibration memo, only ever probed by key; never iterated
     calibrated: Mutex<HashMap<String, Arc<dyn CalibratedModel>>>,
     calibrations: AtomicUsize,
 }
@@ -1085,7 +1086,7 @@ impl ModelContext {
     pub fn with_registry(registry: ModelRegistry) -> Self {
         Self {
             registry,
-            calibrated: Mutex::new(HashMap::new()),
+            calibrated: Mutex::new(HashMap::new()), // aging-lint: allow(no-unordered-iter) keyed memo
             calibrations: AtomicUsize::new(0),
         }
     }

@@ -76,8 +76,8 @@ impl Table {
     fn widths(&self) -> Vec<usize> {
         let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                w[i] = w[i].max(cell.len());
+            for (w, cell) in w.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
             }
         }
         w
@@ -136,8 +136,8 @@ impl fmt::Display for Table {
         let widths = self.widths();
         writeln!(f, "=== {} ===", self.title)?;
         let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
-            for (i, cell) in cells.iter().enumerate() {
-                write!(f, "{:>width$}  ", cell, width = widths[i])?;
+            for (cell, &width) in cells.iter().zip(&widths) {
+                write!(f, "{cell:>width$}  ")?;
             }
             writeln!(f)
         };

@@ -74,7 +74,7 @@ pub(crate) fn workload_identity(workload: &dyn Workload) -> (String, bool) {
     }
 }
 
-fn digest_hex(bytes: &[u8]) -> String {
+pub(crate) fn digest_hex(bytes: &[u8]) -> String {
     format!("fnv1a64:{:016x}", Fnv64::hash(bytes))
 }
 
@@ -186,7 +186,7 @@ impl CachedMeasurement {
         }
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::obj(vec![
             ("sim_cycles", Json::Num(self.sim_cycles as f64)),
             ("esav", Json::Num(self.esav)),
@@ -205,7 +205,7 @@ impl CachedMeasurement {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<Self, CoreError> {
+    pub(crate) fn from_json(v: &Json) -> Result<Self, CoreError> {
         let nums = |key: &str| -> Result<Vec<f64>, CoreError> {
             v.field(key)?
                 .as_arr(key)?
@@ -280,7 +280,19 @@ pub trait ResultCache: Send + Sync {
 /// without touching disk.
 #[derive(Debug, Default)]
 pub struct MemoryCache {
+    // aging-lint: allow(no-unordered-iter) lookup-only index keyed by canonical string; never iterated
     entries: Mutex<HashMap<String, CachedMeasurement>>,
+}
+
+/// Recovers the guarded state from a poisoned lock: poisoning only
+/// means another thread panicked while holding the lock, and every
+/// step under these locks leaves the map/file pair valid (an
+/// interrupted `store` at worst re-appends an identical line), so
+/// recovering beats cascading the panic into every later caller.
+fn relock<T>(
+    r: std::sync::LockResult<std::sync::MutexGuard<'_, T>>,
+) -> std::sync::MutexGuard<'_, T> {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl MemoryCache {
@@ -292,10 +304,7 @@ impl MemoryCache {
 
 impl ResultCache for MemoryCache {
     fn lookup(&self, fingerprint: &Fingerprint) -> Result<Option<CachedMeasurement>, CoreError> {
-        Ok(self
-            .entries
-            .lock()
-            .expect("cache poisoned")
+        Ok(relock(self.entries.lock())
             .get(fingerprint.canonical())
             .cloned())
     }
@@ -305,16 +314,14 @@ impl ResultCache for MemoryCache {
         fingerprint: &Fingerprint,
         measurement: &CachedMeasurement,
     ) -> Result<(), CoreError> {
-        self.entries
-            .lock()
-            .expect("cache poisoned")
+        relock(self.entries.lock())
             .entry(fingerprint.canonical().to_string())
             .or_insert_with(|| measurement.clone());
         Ok(())
     }
 
     fn len(&self) -> usize {
-        self.entries.lock().expect("cache poisoned").len()
+        relock(self.entries.lock()).len()
     }
 }
 
@@ -325,6 +332,7 @@ fn cache_err(message: impl Into<String>) -> CoreError {
 }
 
 struct JsonlInner {
+    // aging-lint: allow(no-unordered-iter) lookup-only index keyed by canonical string; never iterated
     index: HashMap<String, CachedMeasurement>,
     file: File,
 }
@@ -376,6 +384,7 @@ impl JsonlCache {
     /// fingerprint).
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, CoreError> {
         let path = path.into();
+        // aging-lint: allow(no-unordered-iter) lookup-only index; never iterated
         let mut index = HashMap::new();
         let mut truncate_to: Option<u64> = None;
         match std::fs::read_to_string(&path) {
@@ -383,7 +392,7 @@ impl JsonlCache {
                 let mut consumed = 0usize;
                 let mut lineno = 0usize;
                 while consumed < text.len() {
-                    let rest = &text[consumed..];
+                    let rest = text.get(consumed..).unwrap_or("");
                     let Some(nl) = rest.find('\n') else {
                         // No newline: an append died mid-write. Drop
                         // the fragment; the entry recomputes and
@@ -391,7 +400,7 @@ impl JsonlCache {
                         truncate_to = Some(consumed as u64);
                         break;
                     };
-                    let line = &rest[..nl];
+                    let line = rest.get(..nl).unwrap_or(rest);
                     lineno += 1;
                     consumed += nl + 1;
                     if line.trim().is_empty() {
@@ -485,10 +494,7 @@ impl JsonlCache {
 
 impl ResultCache for JsonlCache {
     fn lookup(&self, fingerprint: &Fingerprint) -> Result<Option<CachedMeasurement>, CoreError> {
-        Ok(self
-            .inner
-            .lock()
-            .expect("cache poisoned")
+        Ok(relock(self.inner.lock())
             .index
             .get(fingerprint.canonical())
             .cloned())
@@ -499,7 +505,7 @@ impl ResultCache for JsonlCache {
         fingerprint: &Fingerprint,
         measurement: &CachedMeasurement,
     ) -> Result<(), CoreError> {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = relock(self.inner.lock());
         if inner.index.contains_key(fingerprint.canonical()) {
             return Ok(());
         }
@@ -516,7 +522,7 @@ impl ResultCache for JsonlCache {
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").index.len()
+        relock(self.inner.lock()).index.len()
     }
 }
 

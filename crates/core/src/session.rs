@@ -101,6 +101,7 @@ type SimKey = (u64, u32, u32, String, u64, u64);
 /// The session-scoped simulation memo. Shared across workers and runs;
 /// a racing double-compute always stores the same value, so
 /// first-writer-wins stays deterministic.
+// aging-lint: allow(no-unordered-iter) keyed memo, only ever probed per scenario; never iterated
 pub(crate) type SimMemo = Mutex<HashMap<SimKey, Arc<SimMeasurement>>>;
 
 /// Cumulative execution counters, snapshot by [`StudySession::stats`].
@@ -211,7 +212,7 @@ impl StudySession {
             ctx,
             policies: PolicyRegistry::builtin(),
             workloads: WorkloadRegistry::builtin(),
-            memo: Mutex::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()), // aging-lint: allow(no-unordered-iter) keyed memo
             cache: None,
             exec: ExecOptions::default(),
             observer: None,
@@ -350,7 +351,7 @@ pub(crate) fn run_grid_oneshot(
         grid,
         &ExecEnv {
             ctx,
-            memo: &Mutex::new(HashMap::new()),
+            memo: &Mutex::new(HashMap::new()), // aging-lint: allow(no-unordered-iter) keyed memo
             cache: None,
             exec: ExecOptions::default(),
             observer: None,
@@ -373,6 +374,7 @@ fn execute(grid: &ScenarioGrid, env: &ExecEnv<'_>) -> Result<StudyReport, CoreEr
     // Calibrate every distinct model once, serially and in grid order:
     // deterministic first-error, and the workers below only ever hit
     // the context's calibration memo.
+    // aging-lint: allow(no-unordered-iter) probed per scenario below; iteration order never observed
     let mut models: HashMap<&str, Arc<dyn CalibratedModel>> = HashMap::new();
     for scenario in grid.scenarios() {
         if !models.contains_key(scenario.model.as_str()) {
@@ -441,7 +443,7 @@ fn execute(grid: &ScenarioGrid, env: &ExecEnv<'_>) -> Result<StudyReport, CoreEr
 fn run_one(
     grid: &ScenarioGrid,
     scenario: &Scenario,
-    models: &HashMap<&str, Arc<dyn CalibratedModel>>,
+    models: &HashMap<&str, Arc<dyn CalibratedModel>>, // aging-lint: allow(no-unordered-iter) keyed memo
     env: &ExecEnv<'_>,
 ) -> Result<(ScenarioRecord, RecordOrigin), CoreError> {
     env.counters.scenarios.fetch_add(1, Ordering::Relaxed);

@@ -125,23 +125,25 @@ pub const DEFAULT_BASE_SEED: u64 = 1000;
 /// `lackey:path` keys via [`StudySpec::workload_names`]) mix freely.
 #[derive(Clone)]
 pub struct StudySpec {
-    name: String,
-    cache_bytes: Vec<u64>,
-    line_bytes: Vec<u32>,
-    banks: Vec<u32>,
-    update_days: Vec<f64>,
-    policies: Vec<String>,
-    workloads: Vec<Arc<dyn Workload>>,
-    models: Vec<String>,
-    temps_c: Vec<f64>,
-    vdd_lows: Vec<f64>,
-    failure_pcts: Vec<f64>,
-    trace_cycles: u64,
-    base_seed: u64,
-    policy_seed: Option<u64>,
-    threads: Option<usize>,
-    registry: PolicyRegistry,
-    workload_registry: WorkloadRegistry,
+    // Fields are crate-visible so `crate::check` can validate a spec
+    // statically without widening the public builder API.
+    pub(crate) name: String,
+    pub(crate) cache_bytes: Vec<u64>,
+    pub(crate) line_bytes: Vec<u32>,
+    pub(crate) banks: Vec<u32>,
+    pub(crate) update_days: Vec<f64>,
+    pub(crate) policies: Vec<String>,
+    pub(crate) workloads: Vec<Arc<dyn Workload>>,
+    pub(crate) models: Vec<String>,
+    pub(crate) temps_c: Vec<f64>,
+    pub(crate) vdd_lows: Vec<f64>,
+    pub(crate) failure_pcts: Vec<f64>,
+    pub(crate) trace_cycles: u64,
+    pub(crate) base_seed: u64,
+    pub(crate) policy_seed: Option<u64>,
+    pub(crate) threads: Option<usize>,
+    pub(crate) registry: PolicyRegistry,
+    pub(crate) workload_registry: WorkloadRegistry,
 }
 
 impl std::fmt::Debug for StudySpec {
@@ -382,7 +384,7 @@ impl StudySpec {
     /// Composes the model axis: every model key crossed with the
     /// temperature / drowsy-rail / failure-criterion override axes,
     /// canonicalized.
-    fn composed_model_keys(&self) -> Result<Vec<String>, CoreError> {
+    pub(crate) fn composed_model_keys(&self) -> Result<Vec<String>, CoreError> {
         fn axis(values: &[f64]) -> Vec<Option<f64>> {
             if values.is_empty() {
                 vec![None]

@@ -1,0 +1,101 @@
+//! Workspace lint driver.
+//!
+//! ```text
+//! lint [--root <dir>] [--format text|json] [file.rs ...]
+//! ```
+//!
+//! With no file arguments, lints every crate's `src/` tree under the
+//! workspace root with each file's zone rules (the self-lint CI
+//! runs). With explicit files, applies **every** rule to each —
+//! the mode used to demonstrate the checked-in bad fixtures fail.
+//! Exits 1 when any error-severity diagnostic fires, 2 on usage or
+//! I/O problems.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use aging_lint::{lint_files, lint_workspace, Severity};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lint [--root <dir>] [--format text|json] [file.rs ...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut format = "text".to_string();
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                _ => return usage(),
+            },
+            "--root" => match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            f if f.starts_with("--") => return usage(),
+            f => files.push(PathBuf::from(f)),
+        }
+    }
+
+    // Fall back to the manifest's parent workspace when invoked via
+    // `cargo run -p aging-lint` from a subdirectory: if `./crates`
+    // does not exist but the compile-time workspace root does, use it.
+    if !root.join("crates").is_dir() && files.is_empty() {
+        let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from);
+        if let Some(ws) = compiled {
+            if ws.join("crates").is_dir() {
+                root = ws;
+            }
+        }
+    }
+
+    let result = if files.is_empty() {
+        lint_workspace(&root)
+    } else {
+        let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+        lint_files(&root, &files, design.as_deref())
+    };
+    let diags = match result {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &diags {
+        if format == "json" {
+            println!("{}", d.to_json());
+        } else {
+            println!("{d}");
+        }
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if format == "text" {
+        eprintln!(
+            "lint: {} diagnostic{} ({errors} error{})",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            if errors == 1 { "" } else { "s" },
+        );
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,130 @@
+//! Diagnostic type shared by every rule, with the two output
+//! encodings the `lint` bin exposes: the human `file:line:col` text
+//! form and a line-per-diagnostic JSON form for tooling.
+
+use std::fmt;
+
+/// How serious a finding is. Errors fail the build; warnings are
+/// informational and never change the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory finding.
+    Warning,
+    /// Build-failing finding.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name as printed in both output formats.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One lint finding, anchored to a source position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Stable rule id, e.g. `no-panic-in-lib`.
+    pub rule: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Human explanation, one line.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}[{}]: {}",
+            self.file,
+            self.line,
+            self.col,
+            self.severity.name(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+impl Diagnostic {
+    /// The diagnostic as one JSON object (a single line, no trailing
+    /// newline), with keys in a fixed order for byte-stable output.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"severity\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(self.severity.name()),
+            json_str(self.rule),
+            json_str(&self.message)
+        )
+    }
+}
+
+/// Minimal JSON string encoder (the lint crate is dependency-free by
+/// design and deliberately does not pull in `aging-cache`'s codec).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            file: "crates/core/src/json.rs".into(),
+            line: 7,
+            col: 13,
+            rule: "no-panic-in-lib",
+            severity: Severity::Error,
+            message: "`.unwrap()` can panic in a request path".into(),
+        }
+    }
+
+    #[test]
+    fn text_form_is_clickable() {
+        assert_eq!(
+            sample().to_string(),
+            "crates/core/src/json.rs:7:13: error[no-panic-in-lib]: \
+             `.unwrap()` can panic in a request path"
+        );
+    }
+
+    #[test]
+    fn json_form_escapes() {
+        let mut d = sample();
+        d.message = "quote \" and \\ back".into();
+        assert_eq!(
+            d.to_json(),
+            "{\"file\":\"crates/core/src/json.rs\",\"line\":7,\"col\":13,\
+             \"severity\":\"error\",\"rule\":\"no-panic-in-lib\",\
+             \"message\":\"quote \\\" and \\\\ back\"}"
+        );
+    }
+}

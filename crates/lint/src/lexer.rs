@@ -1,0 +1,416 @@
+//! A minimal Rust lexer: just enough token structure for line-oriented
+//! source lints, with strings, char literals, lifetimes, raw strings
+//! and (nested) comments handled correctly so rules never fire on
+//! text that only *looks* like code.
+//!
+//! This is deliberately not a parser. Rules match short token
+//! sequences (`. unwrap (`, `HashMap`, `env :: var`), which is robust
+//! against formatting and requires no syntax tree. Comments are kept
+//! as tokens so the engine can read `aging-lint: allow(...)` pragmas;
+//! rule matchers see a comment-free view.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte-character literal: `'a'`, `b'\n'`.
+    Char,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Numeric literal (integer or float, any base).
+    Num,
+    /// A single punctuation byte (`.`, `:`, `[`, `!`, …).
+    Punct,
+    /// Line or block comment, doc comments included; text preserved.
+    Comment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text of the token (truncated to the opener for strings
+    /// is unnecessary — the full text is cheap at workspace scale).
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// How many `b`/`c`/`r`/`#` prefix bytes open a string at `pos`, if
+/// any: returns the byte length of the opener up to and including the
+/// `"` plus the number of `#`s, or `None` if this is not a string.
+fn string_opener(src: &[u8], pos: usize) -> Option<(usize, usize)> {
+    let mut i = pos;
+    if matches!(src.get(i), Some(b'b') | Some(b'c')) {
+        i += 1;
+    }
+    let raw = src.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    if raw {
+        while src.get(i + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        i += hashes;
+    }
+    if src.get(i) == Some(&b'"') {
+        Some((i + 1 - pos, hashes))
+    } else {
+        None
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated constructs run
+/// to end of input, unknown bytes become `Punct` tokens. Positions
+/// are byte-based, 1-indexed, matching compiler convention closely
+/// enough for editor jump-to.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+        let text = |c: &Cursor, s: usize| String::from_utf8_lossy(&c.src[s..c.pos]).into_owned();
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments (line, incl. doc; block, nested).
+        if b == b'/' && cur.peek(1) == Some(b'/') {
+            cur.take_while(|b| b != b'\n');
+            out.push(Token {
+                kind: TokenKind::Comment,
+                text: text(&cur, start),
+                line,
+                col,
+            });
+            continue;
+        }
+        if b == b'/' && cur.peek(1) == Some(b'*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Comment,
+                text: text(&cur, start),
+                line,
+                col,
+            });
+            continue;
+        }
+        // String literals, raw or not, with b/c prefixes.
+        if let Some((opener, hashes)) = string_opener(cur.src, cur.pos) {
+            for _ in 0..opener {
+                cur.bump();
+            }
+            if hashes == 0 && !text(&cur, start).contains('r') {
+                // Cooked string: backslash escapes.
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\\' {
+                        cur.bump();
+                        cur.bump();
+                    } else if c == b'"' {
+                        cur.bump();
+                        break;
+                    } else {
+                        cur.bump();
+                    }
+                }
+            } else {
+                // Raw string: ends at `"` followed by `hashes` #s.
+                'raw: while let Some(c) = cur.bump() {
+                    if c == b'"' {
+                        for k in 0..hashes {
+                            if cur.peek(k) != Some(b'#') {
+                                continue 'raw;
+                            }
+                        }
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Str,
+                text: text(&cur, start),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Raw identifier r#ident (the r#" case was caught above).
+        if b == b'r' && cur.peek(1) == Some(b'#') && cur.peek(2).is_some_and(is_ident_start) {
+            cur.bump();
+            cur.bump();
+            cur.take_while(is_ident_continue);
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: text(&cur, start),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Byte char b'x' — lex the prefix with the literal.
+        if b == b'b' && cur.peek(1) == Some(b'\'') {
+            cur.bump(); // b
+            lex_char_body(&mut cur);
+            out.push(Token {
+                kind: TokenKind::Char,
+                text: text(&cur, start),
+                line,
+                col,
+            });
+            continue;
+        }
+        if is_ident_start(b) {
+            cur.take_while(is_ident_continue);
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: text(&cur, start),
+                line,
+                col,
+            });
+            continue;
+        }
+        if b.is_ascii_digit() {
+            lex_number(&mut cur);
+            out.push(Token {
+                kind: TokenKind::Num,
+                text: text(&cur, start),
+                line,
+                col,
+            });
+            continue;
+        }
+        // `'` opens either a lifetime or a char literal. A lifetime is
+        // `'` + ident NOT followed by a closing `'` (so `'a'` is a
+        // char, `'a` in `<'a>` is a lifetime, `'static` is a
+        // lifetime).
+        if b == b'\'' {
+            let is_lifetime = cur.peek(1).is_some_and(is_ident_start) && {
+                let mut k = 2;
+                while cur.peek(k).is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                cur.peek(k) != Some(b'\'')
+            };
+            if is_lifetime {
+                cur.bump();
+                cur.take_while(is_ident_continue);
+                out.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: text(&cur, start),
+                    line,
+                    col,
+                });
+            } else {
+                lex_char_body(&mut cur);
+                out.push(Token {
+                    kind: TokenKind::Char,
+                    text: text(&cur, start),
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        cur.bump();
+        out.push(Token {
+            kind: TokenKind::Punct,
+            text: text(&cur, start),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes a char literal starting at the opening `'`.
+fn lex_char_body(cur: &mut Cursor) {
+    cur.bump(); // opening '
+    match cur.peek(0) {
+        Some(b'\\') => {
+            cur.bump();
+            cur.bump(); // escape head: n, ', u, x, …
+                        // \u{…} and \x.. tails run until the closing quote below.
+        }
+        Some(_) => {
+            cur.bump();
+        }
+        None => return,
+    }
+    cur.take_while(|b| b != b'\'' && b != b'\n');
+    cur.bump(); // closing '
+}
+
+/// Consumes a numeric literal starting at a digit. Handles `0x1f`,
+/// `40_000`, `1.5e-3`, `1..` (range dots are not consumed) and type
+/// suffixes; exotic forms at worst split into extra tokens, which no
+/// rule matches on.
+fn lex_number(cur: &mut Cursor) {
+    let hex = cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'x') | Some(b'X'));
+    cur.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    if !hex && cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        cur.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    // Exponent sign: `1e-3` leaves the cursor at `-` after the `e`.
+    if !hex
+        && cur.pos > 0
+        && matches!(cur.src.get(cur.pos - 1), Some(b'e') | Some(b'E'))
+        && matches!(cur.peek(0), Some(b'+') | Some(b'-'))
+        && cur.peek(1).is_some_and(|b| b.is_ascii_digit())
+    {
+        cur.bump();
+        cur.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_code_like_text() {
+        let toks = kinds(r#"let s = "HashMap::new() // not a comment";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("HashMap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Comment));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; x"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_and_positions() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks[0].kind, TokenKind::Comment);
+        assert_eq!(toks[1].text, "x");
+        assert_eq!((toks[1].line, toks[1].col), (1, 19));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = kinds("for i in 0..40_000 { let f = 1.5e-3; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Num && t == "40_000"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Num && t == "1.5e-3"));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let toks = kinds(r"let q = '\''; let u = '\u{1F600}'; y");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "y"));
+    }
+}

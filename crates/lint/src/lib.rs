@@ -1,0 +1,34 @@
+//! `aging-lint`: dependency-free source lints for the workspace.
+//!
+//! Every layer of this reproduction stakes its correctness on
+//! byte-determinism — byte-pinned table output, content-addressed
+//! cache fingerprints, emit→parse identity. This crate *statically*
+//! enforces the source-level invariants that determinism and
+//! long-lived execution rest on, with a hand-rolled lexer (no
+//! external deps, like the rest of the workspace) and a small
+//! token-sequence rule engine:
+//!
+//! | rule | guards |
+//! |---|---|
+//! | `no-panic-in-lib` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/indexing in the render/report/json/analysis/rescache request paths |
+//! | `no-wallclock` | no `SystemTime::now`/`Instant::now` outside `crates/bench` |
+//! | `no-unordered-iter` | no `HashMap`/`HashSet` in output/hashing paths without a justification |
+//! | `no-env-in-core` | no `std::env` reads outside bins |
+//! | `registry-doc-coherence` | every registry built-in key appears in DESIGN.md |
+//!
+//! Findings are suppressed inline with
+//! `// aging-lint: allow(<rule>) <one-line justification>` on the
+//! same or preceding line. The `lint` bin runs the workspace sweep;
+//! a tier-1 test keeps the tree self-lint-clean.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use diag::{Diagnostic, Severity};
+pub use rules::{rules_for_path, SourceFile, RULE_IDS};
+pub use workspace::{lint_files, lint_source, lint_workspace};

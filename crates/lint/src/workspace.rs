@@ -1,0 +1,102 @@
+//! Workspace walking: finds every `crates/*/src/**/*.rs` (plus the
+//! root facade `src/`) under a repo root, applies each file's zone
+//! rules, and returns diagnostics in a deterministic order (files
+//! sorted lexicographically, findings in source order).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Diagnostic;
+use crate::rules::{self, SourceFile};
+
+/// Collects `.rs` files under `dir`, recursively, sorted by path.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The source trees a workspace lint covers: every crate's `src/`
+/// plus the root package's `src/` facade. Test targets, fixtures and
+/// examples are out of scope — lints guard *library* code.
+fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates)
+        .map_err(|e| format!("read {}: {e}", crates.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut out)?;
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        rs_files(&root_src, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Lints the whole workspace rooted at `root` with each file's zone
+/// rules. DESIGN.md is read from the root for the coherence rule (a
+/// missing DESIGN.md is itself an error — the doc is load-bearing).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let design = fs::read_to_string(root.join("DESIGN.md"))
+        .map_err(|e| format!("read {}: {e}", root.join("DESIGN.md").display()))?;
+    let mut diags = Vec::new();
+    for path in workspace_sources(root)? {
+        let rel = rel_path(root, &path);
+        let applicable = rules::rules_for_path(&rel);
+        if applicable.is_empty() {
+            continue;
+        }
+        let source =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let file = SourceFile::parse(&rel, &source);
+        diags.extend(rules::run_rules(&file, &applicable, Some(&design)));
+    }
+    Ok(diags)
+}
+
+/// Lints explicit files with **every** rule, zones ignored — the mode
+/// fixtures and ad-hoc checks use. `design_doc` feeds the coherence
+/// rule; `None` disables it.
+pub fn lint_files(
+    root: &Path,
+    paths: &[PathBuf],
+    design_doc: Option<&str>,
+) -> Result<Vec<Diagnostic>, String> {
+    let mut diags = Vec::new();
+    for path in paths {
+        let source =
+            fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = rel_path(root, path);
+        let file = SourceFile::parse(&rel, &source);
+        diags.extend(rules::run_rules(&file, &rules::RULE_IDS, design_doc));
+    }
+    Ok(diags)
+}
+
+/// Lints a single in-memory source with every rule — what the golden
+/// fixture tests drive, bypassing the filesystem.
+pub fn lint_source(path: &str, source: &str, design_doc: Option<&str>) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(path, source);
+    rules::run_rules(&file, &rules::RULE_IDS, design_doc)
+}

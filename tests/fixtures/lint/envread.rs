@@ -1,0 +1,22 @@
+//! Fixture: environment reads (`no-env-in-core`).
+//!
+//! Not compiled — lexed by the golden test. Core results must be a
+//! function of the spec alone; only binaries may read the ambient
+//! environment.
+
+use std::env;
+
+pub fn threads() -> usize {
+    std::env::var("STUDY_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn cache_dir() -> Option<String> {
+    env::var("CACHE_DIR").ok()
+}
+
+pub fn allowed() -> Option<String> {
+    env::var("UPDATE_GOLDENS").ok() // aging-lint: allow(no-env-in-core) fixture: golden regen switch
+}

@@ -1,0 +1,51 @@
+//! Fixture: panic-hygiene violations (`no-panic-in-lib`).
+//!
+//! Not compiled — lexed by the golden test. Every construct the rule
+//! matches appears once, plus one suppressed site and one test module
+//! the rule must skip.
+
+pub fn first(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}
+
+pub fn named(s: &str) -> u32 {
+    s.parse().expect("a number")
+}
+
+pub fn unreachable_branch(flag: bool) -> u32 {
+    if flag {
+        1
+    } else {
+        panic!("flag must be set")
+    }
+}
+
+pub fn not_yet() {
+    todo!()
+}
+
+pub fn later() {
+    unimplemented!()
+}
+
+pub fn suppressed(xs: &[u32]) -> u32 {
+    // aging-lint: allow(no-panic-in-lib) fixture: index provably in bounds
+    xs[0]
+}
+
+// The string below must not fool the lexer: "xs[0].unwrap()" is text.
+pub const DOC: &str = "call xs[0].unwrap() at your peril";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let xs = [1u32];
+        assert_eq!(xs[0], xs[0]);
+        "7".parse::<u32>().unwrap();
+    }
+}

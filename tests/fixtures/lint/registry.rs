@@ -1,0 +1,15 @@
+//! Fixture: registry/doc coherence (`registry-doc-coherence`).
+//!
+//! Not compiled — lexed by the golden test against
+//! `registry.md` standing in for DESIGN.md: every built-in key string
+//! registered here must appear in that document.
+
+pub fn install(reg: &mut Registry) {
+    reg.register_fn("probing", || Probing::new());
+    reg.register_fn("warp-drive", || WarpDrive::new());
+}
+
+pub fn keys() {
+    ModelKey::parse("nbti-45nm");
+    ModelKey::parse("tachyon-7nm");
+}

@@ -1,0 +1,22 @@
+//! Fixture: unordered containers (`no-unordered-iter`).
+//!
+//! Not compiled — lexed by the golden test. `HashMap`/`HashSet`
+//! iteration order is randomized per process; anything feeding output
+//! or fingerprints must use a `BTreeMap`/`BTreeSet` instead. The
+//! `use` line itself is exempt — only mentions in code count.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    by_name: HashMap<String, usize>,
+}
+
+pub fn distinct(keys: &[String]) -> usize {
+    let set: HashSet<&String> = keys.iter().collect();
+    set.len()
+}
+
+// aging-lint: allow(no-unordered-iter) fixture: scratch map, never iterated
+pub fn scratch() -> HashMap<String, usize> {
+    Default::default()
+}

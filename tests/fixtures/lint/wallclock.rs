@@ -1,0 +1,20 @@
+//! Fixture: wall-clock reads (`no-wallclock`).
+//!
+//! Not compiled — lexed by the golden test. Wall-clock time poisons
+//! byte-determinism: two identical runs disagree.
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn mark() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn imported() -> Instant {
+    Instant::now()
+}
+
+pub fn allowed() -> Instant {
+    Instant::now() // aging-lint: allow(no-wallclock) fixture: bench harness timing
+}

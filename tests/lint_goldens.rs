@@ -1,0 +1,121 @@
+//! Byte-pinned golden diagnostics for every lint rule, plus the
+//! workspace self-lint gate.
+//!
+//! Each fixture under `tests/fixtures/lint/` is a deliberately bad
+//! source file (never compiled — only lexed); its `.expected` twin
+//! pins the exact `file:line:col: severity[rule-id]: message` output.
+//! Regenerate after an intentional rule change with:
+//!
+//! ```sh
+//! UPDATE_GOLDENS=1 cargo test --test lint_goldens
+//! ```
+
+use aging_lint::{lint_source, lint_workspace, Severity};
+
+/// (fixture, rule that must fire, design doc for the coherence rule).
+const FIXTURES: &[(&str, &str, Option<&str>)] = &[
+    ("panics.rs", "no-panic-in-lib", None),
+    ("wallclock.rs", "no-wallclock", None),
+    ("unordered.rs", "no-unordered-iter", None),
+    ("envread.rs", "no-env-in-core", None),
+    ("registry.rs", "registry-doc-coherence", Some("registry.md")),
+];
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/lint/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(name: &str) -> String {
+    std::fs::read_to_string(fixture_path(name))
+        .unwrap_or_else(|e| panic!("read fixture {name}: {e}"))
+}
+
+fn rendered_diagnostics(fixture: &str, doc: Option<&str>) -> String {
+    let source = read(fixture);
+    let doc_text = doc.map(read);
+    let mut out = String::new();
+    for diag in lint_source(fixture, &source, doc_text.as_deref()) {
+        out.push_str(&diag.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn fixture_diagnostics_match_goldens() {
+    for (fixture, rule, doc) in FIXTURES {
+        let rendered = rendered_diagnostics(fixture, *doc);
+        let golden = format!("{}.expected", fixture.trim_end_matches(".rs"));
+        if std::env::var_os("UPDATE_GOLDENS").is_some() {
+            std::fs::write(fixture_path(&golden), &rendered)
+                .unwrap_or_else(|e| panic!("write golden {golden}: {e}"));
+            continue;
+        }
+        let expected = read(&golden);
+        assert_eq!(
+            rendered, expected,
+            "lint output for {fixture} diverged from {golden} \
+             (UPDATE_GOLDENS=1 regenerates after an intentional rule change)"
+        );
+        assert!(
+            rendered.contains(&format!("[{rule}]")),
+            "{fixture} must trip its own rule `{rule}`:\n{rendered}"
+        );
+    }
+}
+
+/// Every fixture carries at least one *error* — the lint binary exits
+/// nonzero on each of them (CI runs the binary itself as well).
+#[test]
+fn every_fixture_has_an_error() {
+    for (fixture, _, doc) in FIXTURES {
+        let source = read(fixture);
+        let doc_text = doc.map(read);
+        let diags = lint_source(fixture, &source, doc_text.as_deref());
+        assert!(
+            diags.iter().any(|d| d.severity == Severity::Error),
+            "{fixture} produced no error diagnostics"
+        );
+    }
+}
+
+/// Suppression pragmas in the fixtures actually suppress: no
+/// diagnostic lands on a line the fixture marked as allowed.
+#[test]
+fn fixture_pragmas_suppress() {
+    // panics.rs line 36 (`xs[0]` under a standalone pragma),
+    // wallclock.rs line 19 (trailing pragma) must stay clean.
+    let clean: &[(&str, u32)] = &[
+        ("panics.rs", 36),
+        ("wallclock.rs", 19),
+        ("unordered.rs", 20),
+        ("envread.rs", 21),
+    ];
+    for (fixture, line) in clean {
+        let diags = lint_source(fixture, &read(fixture), None);
+        assert!(
+            diags.iter().all(|d| d.line != *line),
+            "{fixture}:{line} is pragma-suppressed but still fired"
+        );
+    }
+}
+
+/// The self-lint gate: the workspace's own library code is clean under
+/// its zone rules. This is the tier-1 teeth behind the panic-hygiene
+/// and determinism burn-down — a regression anywhere in
+/// `crates/*/src` fails this test with a `file:line:col` pointer.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = lint_workspace(root).expect("workspace lint walk");
+    assert!(
+        diags.is_empty(),
+        "workspace lint found {} diagnostic(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
