@@ -1,0 +1,56 @@
+//! Stand-alone worker-process entry point over the built-in
+//! registries: parses the distribution layer's `--worker` protocol
+//! flags ([`WorkerConfig::parse`]) and runs shards to completion
+//! ([`run_worker`]). The integration tests and the CI smoke spawn this
+//! binary as their worker fleet; the full `study` CLI embeds the same
+//! worker mode behind its own `--worker` flag.
+//!
+//! One extra flag beyond the protocol: `--register-bomb` registers a
+//! device model named `bomb` that calibrates fine and panics on every
+//! evaluation — the fault the crash tests use to prove a worker-side
+//! scenario panic crosses the process boundary as
+//! `CoreError::ScenarioPanicked` with the global scenario id intact.
+//!
+//! [`WorkerConfig::parse`]: aging_cache::distrib::WorkerConfig::parse
+//! [`run_worker`]: aging_cache::distrib::run_worker
+
+use aging_cache::distrib::{run_worker, WorkerConfig};
+use aging_cache::error::CoreError;
+use aging_cache::model::{CalibratedModel, Metrics, ModelContext, ModelEval, ModelRegistry};
+use aging_cache::session::StudySession;
+use std::sync::Arc;
+
+struct Bomb;
+
+impl CalibratedModel for Bomb {
+    fn evaluate(&self, _eval: &ModelEval<'_>) -> Result<Metrics, CoreError> {
+        panic!("the bomb model always explodes")
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CoreError> {
+    let mut args = args.to_vec();
+    let register_bomb = if let Some(i) = args.iter().position(|a| a == "--register-bomb") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let config = WorkerConfig::parse(&args)?;
+    let session = if register_bomb {
+        let mut registry = ModelRegistry::builtin();
+        registry.register_fn("bomb", "panics on evaluate", "none", || Ok(Arc::new(Bomb)))?;
+        StudySession::with_context(ModelContext::with_registry(registry))
+    } else {
+        StudySession::new()
+    };
+    run_worker(&config, session)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("study_worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,1013 @@
+//! The distribution layer: process-sharded grid execution over a
+//! shared [`JsonlCache`] directory, with crash-tolerant shard leases.
+//!
+//! A process-sharded run has two halves. The **coordinator**
+//! ([`distribute`], driven by the session when
+//! [`ExecBackend::Process`](crate::exec::ExecBackend::Process) is
+//! selected) expands nothing and computes nothing: it writes the
+//! expanded grid into a manifest (`coord-<digest>/grid.json` under the
+//! cache directory), spawns `--worker` processes, waits for them, and
+//! then replays the merged journal into the report. The **workers**
+//! ([`run_worker`]) rebuild the grid from the manifest, claim shards
+//! through lease files, and append every measurement to the shared
+//! [`JsonlCache`] journal — which PR 4's content-addressed
+//! [`Fingerprint`]s make conflict-free by construction.
+//!
+//! ## Work partitioning
+//!
+//! Scenarios are assigned to `workers × shards_per_worker` shards by
+//! hashing their fingerprint's canonical key ([`shard_of`]) — grid
+//! *position* plays no part, so the same scenario lands in the same
+//! shard no matter how the study was widened or reordered. Each worker
+//! prefers a contiguous lease range the coordinator hands it
+//! (`--lease a..b`) and scans the rest afterwards ([`scan_order`]), so
+//! disjoint work comes first and stealing is the fallback.
+//!
+//! ## Leases, heartbeats, stealing
+//!
+//! A shard is claimed by atomically creating `shard-<k>.lease`
+//! (`O_CREAT | O_EXCL`); the holder's heartbeat thread rewrites the
+//! file periodically, keeping its mtime fresh. A lease whose mtime is
+//! older than the TTL belongs to a dead (or wedged) worker: any other
+//! worker may *steal* it by atomically renaming its own lease file
+//! over the stale one, and re-run the shard from the start. Completed
+//! shards are marked by `shard-<k>.done` and their leases removed.
+//!
+//! Two workers can end up computing the same shard — the stale-lease
+//! judgement is heuristic, and two stealers can race. That is safe,
+//! not just tolerated: every measurement is journaled through
+//! [`JsonlCache::store`], which absorbs concurrent appends under a
+//! file lock and drops fingerprints already present, so a re-run
+//! *replays* (or at worst recomputes values that are byte-identical by
+//! determinism) and the journal keeps exactly one line per
+//! fingerprint. Idempotent replay is what makes lease stealing a
+//! correctness-free zone; the lease protocol only exists to avoid
+//! *wasting* work.
+//!
+//! ## Crash tolerance
+//!
+//! A worker SIGKILLed mid-sweep leaves at most: a stale lease (stolen
+//! after the TTL), a half-written journal line (dropped by the next
+//! locked append), and missing shards (re-run by whoever steals). If
+//! *every* worker dies, the coordinator's replay pass computes the
+//! leftovers in-process — completion never depends on worker survival.
+//! A worker whose scenario *panics* reports the panic through an error
+//! file, and the coordinator surfaces it as
+//! [`CoreError::ScenarioPanicked`] with the global scenario id intact.
+//!
+//! [`JsonlCache`]: crate::rescache::JsonlCache
+//! [`Fingerprint`]: crate::rescache::Fingerprint
+
+use crate::error::CoreError;
+use crate::exec::{ExecObserver, ProcessOptions, RecordOrigin};
+use crate::json::Json;
+use crate::rescache::{Fingerprint, JsonlCache, ResultCache, ENGINE_VERSION};
+use crate::session::StudySession;
+use crate::study::{Scenario, ScenarioGrid, ScenarioRecord};
+use crate::workload::Workload;
+use std::collections::BTreeSet;
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use trace_synth::source::Fnv64;
+
+fn dist_err(message: impl Into<String>) -> CoreError {
+    CoreError::Report {
+        message: format!("distrib: {}", message.into()),
+    }
+}
+
+/// The shard a scenario belongs to, derived from its fingerprint's
+/// canonical key alone — deterministic, position-independent, and
+/// identical in every process that can see the manifest.
+pub fn shard_of(canonical: &str, shards: usize) -> usize {
+    (Fnv64::hash(canonical.as_bytes()) % shards.max(1) as u64) as usize
+}
+
+/// The order in which a worker scans shards: its preferred lease range
+/// first, then everything else ascending — so workers start on
+/// disjoint work and only compete (steal) once their own share is
+/// done.
+pub fn scan_order(preferred: Range<usize>, shards: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = preferred.clone().filter(|k| *k < shards).collect();
+    order.extend((0..shards).filter(|k| !preferred.contains(k)));
+    order
+}
+
+/// A worker's view of one shard's coordination state, as read from the
+/// lease directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardView {
+    /// `shard-<k>.done` exists: the journal holds every measurement.
+    Done,
+    /// A lease exists and its heartbeat is fresh: leave it alone.
+    Claimed,
+    /// A lease exists but its heartbeat is older than the TTL: the
+    /// holder is presumed dead and the lease may be stolen.
+    Stale,
+    /// No lease, no done marker: claimable.
+    Free,
+}
+
+/// The claim decision a worker makes each scan: the first shard in
+/// `order` that is not finished, not freshly claimed by someone else,
+/// and not already attempted by this worker. Shared by the live
+/// protocol and the `quickprop` model in
+/// `crates/core/tests/distrib_props.rs`, so the property test
+/// exercises the decision logic the workers actually run.
+pub fn next_claim(
+    order: &[usize],
+    attempted: &BTreeSet<usize>,
+    view: impl Fn(usize) -> ShardView,
+) -> Option<usize> {
+    order
+        .iter()
+        .copied()
+        .find(|k| !attempted.contains(k) && matches!(view(*k), ShardView::Free | ShardView::Stale))
+}
+
+/// Contiguous preferred-lease ranges: `shards` split into `workers`
+/// chunks, the first `shards % workers` chunks one longer.
+pub fn partition_ranges(shards: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.max(1);
+    let base = shards / workers;
+    let extra = shards % workers;
+    let mut start = 0;
+    (0..workers)
+        .map(|w| {
+            let len = base + usize::from(w < extra);
+            let range = start..start + len;
+            start += len;
+            range
+        })
+        .collect()
+}
+
+/// The grid manifest a coordinator writes and workers rebuild the
+/// grid from: every scenario, its expected canonical fingerprint, the
+/// workload-axis registry keys, and the shard count.
+struct Manifest {
+    name: String,
+    shards: usize,
+    scenarios: Vec<Scenario>,
+    /// Canonical fingerprint keys, aligned with `scenarios`. Workers
+    /// recompute and verify them, so a workload whose content changed
+    /// between coordinator and worker is caught, not silently
+    /// recomputed under a stale identity.
+    fingerprints: Vec<String>,
+    /// Workload registry keys, aligned with the scenarios'
+    /// `workload_index` values.
+    workload_keys: Vec<String>,
+}
+
+impl Manifest {
+    fn of_grid(grid: &ScenarioGrid, shards: usize) -> Self {
+        let fingerprints = grid
+            .scenarios()
+            .iter()
+            .map(|s| {
+                Fingerprint::for_scenario(s, grid.workloads()[s.workload_index].as_ref())
+                    .canonical()
+                    .to_string()
+            })
+            .collect();
+        Self {
+            name: grid.name().to_string(),
+            shards,
+            scenarios: grid.scenarios().to_vec(),
+            fingerprints,
+            workload_keys: grid
+                .workloads()
+                .iter()
+                .map(|w| w.name().to_string())
+                .collect(),
+        }
+    }
+
+    fn emit(&self) -> String {
+        Json::obj(vec![
+            ("engine", Json::Str(ENGINE_VERSION.to_string())),
+            ("name", Json::Str(self.name.clone())),
+            ("shards", Json::Num(self.shards as f64)),
+            (
+                "workloads",
+                Json::Arr(
+                    self.workload_keys
+                        .iter()
+                        .map(|k| Json::Str(k.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "fingerprints",
+                Json::Arr(
+                    self.fingerprints
+                        .iter()
+                        .map(|f| Json::Str(f.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "scenarios",
+                Json::Arr(self.scenarios.iter().map(Scenario::to_json).collect()),
+            ),
+        ])
+        .emit()
+    }
+
+    fn parse(text: &str) -> Result<Self, CoreError> {
+        let v = Json::parse(text).map_err(|e| dist_err(format!("grid manifest: {e}")))?;
+        let engine = v.field("engine")?.as_str("engine")?;
+        if engine != ENGINE_VERSION {
+            return Err(dist_err(format!(
+                "grid manifest engine `{engine}` does not match this worker's `{ENGINE_VERSION}`"
+            )));
+        }
+        let strings = |key: &str| -> Result<Vec<String>, CoreError> {
+            v.field(key)?
+                .as_arr(key)?
+                .iter()
+                .map(|s| Ok(s.as_str(key)?.to_string()))
+                .collect()
+        };
+        let scenarios: Vec<Scenario> = v
+            .field("scenarios")?
+            .as_arr("scenarios")?
+            .iter()
+            .map(Scenario::from_json)
+            .collect::<Result<_, _>>()?;
+        let out = Self {
+            name: v.field("name")?.as_str("name")?.to_string(),
+            shards: v.field("shards")?.as_num("shards")? as usize,
+            scenarios,
+            fingerprints: strings("fingerprints")?,
+            workload_keys: strings("workloads")?,
+        };
+        if out.fingerprints.len() != out.scenarios.len() {
+            return Err(dist_err(
+                "grid manifest: fingerprint/scenario count mismatch",
+            ));
+        }
+        if let Some(s) = out
+            .scenarios
+            .iter()
+            .find(|s| s.workload_index >= out.workload_keys.len())
+        {
+            return Err(dist_err(format!(
+                "grid manifest: scenario {} points past the workload axis",
+                s.id
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Scenario indices per shard.
+    fn shard_sets(&self) -> Vec<Vec<usize>> {
+        let mut sets = vec![Vec::new(); self.shards.max(1)];
+        for (i, fp) in self.fingerprints.iter().enumerate() {
+            sets[shard_of(fp, self.shards)].push(i);
+        }
+        sets
+    }
+}
+
+/// The coordination directory layout under the shared cache dir:
+/// everything for one grid manifest lives under `coord-<digest>/`, so
+/// different (or widened) grids sharing a cache never collide.
+struct CoordDir {
+    root: PathBuf,
+}
+
+impl CoordDir {
+    fn new(root: PathBuf) -> Self {
+        Self { root }
+    }
+
+    fn for_manifest(cache_dir: &Path, manifest_text: &str) -> Self {
+        let digest = Fnv64::hash(manifest_text.as_bytes());
+        Self::new(cache_dir.join(format!("coord-{digest:016x}")))
+    }
+
+    fn manifest(&self) -> PathBuf {
+        self.root.join("grid.json")
+    }
+
+    fn lease(&self, shard: usize) -> PathBuf {
+        self.root
+            .join("leases")
+            .join(format!("shard-{shard}.lease"))
+    }
+
+    fn done(&self, shard: usize) -> PathBuf {
+        self.root.join("leases").join(format!("shard-{shard}.done"))
+    }
+
+    fn errors_dir(&self) -> PathBuf {
+        self.root.join("errors")
+    }
+
+    fn error_file(&self, worker: &str) -> PathBuf {
+        self.errors_dir().join(format!("{worker}.jsonl"))
+    }
+
+    fn stats_dir(&self) -> PathBuf {
+        self.root.join("stats")
+    }
+
+    fn stats_file(&self, worker: &str) -> PathBuf {
+        self.stats_dir().join(format!("{worker}.json"))
+    }
+
+    fn log_file(&self, worker: &str) -> PathBuf {
+        self.root.join("logs").join(format!("{worker}.log"))
+    }
+
+    fn ensure(&self) -> Result<(), CoreError> {
+        for sub in ["leases", "errors", "stats", "logs"] {
+            fs::create_dir_all(self.root.join(sub))
+                .map_err(|e| dist_err(format!("create {}/{sub}: {e}", self.root.display())))?;
+        }
+        Ok(())
+    }
+}
+
+/// How stale a lease's heartbeat is; `None` when the lease vanished or
+/// its mtime is unreadable (treated as fresh — claiming retries on the
+/// next scan).
+fn lease_age(path: &Path) -> Option<Duration> {
+    let mtime = fs::metadata(path).ok()?.modified().ok()?;
+    // aging-lint: allow(no-wallclock) lease staleness is wall-clock by design: it detects worker death across process (and machine) boundaries, where no logical clock exists
+    std::time::SystemTime::now().duration_since(mtime).ok()
+}
+
+fn fs_view(coord: &CoordDir, shard: usize, ttl: Duration) -> ShardView {
+    if coord.done(shard).exists() {
+        return ShardView::Done;
+    }
+    let lease = coord.lease(shard);
+    if !lease.exists() {
+        return ShardView::Free;
+    }
+    match lease_age(&lease) {
+        Some(age) if age > ttl => ShardView::Stale,
+        // Vanished between the two checks (holder finished or failed):
+        // treat as claimed; the next scan sees the done marker or a
+        // free slot.
+        _ => ShardView::Claimed,
+    }
+}
+
+/// Runs the distribution phase of a process-backend grid run: manifest
+/// out, workers spawned and awaited, worker stats streamed to the
+/// observer, worker-reported panics surfaced. On return the journal
+/// holds every measurement the workers produced; the caller refreshes
+/// its cache handle and replays (computing only what crashed workers
+/// left behind).
+pub(crate) fn distribute(
+    grid: &ScenarioGrid,
+    cache: &dyn ResultCache,
+    observer: Option<&dyn ExecObserver>,
+    opts: &ProcessOptions,
+) -> Result<(), CoreError> {
+    if grid.is_empty() || opts.workers == 0 {
+        return Ok(());
+    }
+    let shards = (opts.workers * opts.shards_per_worker.max(1)).clamp(1, grid.len());
+    let manifest = Manifest::of_grid(grid, shards);
+
+    // Warm pre-check: if the journal already covers the whole grid,
+    // spawning workers would be pure overhead — the replay pass is all
+    // that's needed.
+    cache.refresh()?;
+    let mut all_present = true;
+    let mut present = vec![false; manifest.fingerprints.len()];
+    for (i, canonical) in manifest.fingerprints.iter().enumerate() {
+        present[i] = cache
+            .lookup(&Fingerprint::from_canonical(canonical.clone()))?
+            .is_some();
+        all_present &= present[i];
+    }
+    if all_present {
+        return Ok(());
+    }
+
+    let text = manifest.emit();
+    let coord = CoordDir::for_manifest(&opts.dir, &text);
+    coord.ensure()?;
+    let tmp = coord
+        .root
+        .join(format!("grid.json.tmp-{}", std::process::id()));
+    fs::write(&tmp, &text).map_err(|e| dist_err(format!("write {}: {e}", tmp.display())))?;
+    fs::rename(&tmp, coord.manifest())
+        .map_err(|e| dist_err(format!("publish {}: {e}", coord.manifest().display())))?;
+
+    // Reconcile done markers with the journal: a marker is only valid
+    // while the journal actually covers its shard (someone may have
+    // deleted or moved the journal since a previous run).
+    for (k, idxs) in manifest.shard_sets().iter().enumerate() {
+        let complete = idxs.iter().all(|i| present[*i]);
+        let marker = coord.done(k);
+        if complete {
+            fs::write(&marker, b"")
+                .map_err(|e| dist_err(format!("write {}: {e}", marker.display())))?;
+        } else if marker.exists() {
+            fs::remove_file(&marker)
+                .map_err(|e| dist_err(format!("remove {}: {e}", marker.display())))?;
+        }
+    }
+
+    // Spawn the fleet, each worker's stdout/stderr teed to its log.
+    let ranges = partition_ranges(shards, opts.workers);
+    let empty: Vec<String> = Vec::new();
+    let mut children = Vec::with_capacity(opts.workers);
+    for (w, range) in ranges.iter().enumerate() {
+        let id = format!("w{w}");
+        let log = fs::File::create(coord.log_file(&id))
+            .map_err(|e| dist_err(format!("create worker log: {e}")))?;
+        let log_err = log
+            .try_clone()
+            .map_err(|e| dist_err(format!("clone worker log: {e}")))?;
+        let child = Command::new(&opts.command.program)
+            .args(&opts.command.args)
+            .arg("--worker")
+            .arg(&opts.dir)
+            .arg("--coord")
+            .arg(&coord.root)
+            .args(["--id", &id])
+            .args(["--lease", &format!("{}..{}", range.start, range.end)])
+            .args(["--ttl-ms", &opts.lease_ttl_ms.to_string()])
+            .args(["--poll-ms", &opts.poll_ms.to_string()])
+            .args(opts.worker_extra_args.get(w).unwrap_or(&empty))
+            .stdin(Stdio::null())
+            .stdout(Stdio::from(log))
+            .stderr(Stdio::from(log_err))
+            .spawn()
+            .map_err(|e| {
+                dist_err(format!(
+                    "spawn worker {id} ({}): {e}",
+                    opts.command.program.display()
+                ))
+            })?;
+        children.push((id, child));
+    }
+    for (id, mut child) in children {
+        // A worker that died (nonzero, or killed by a signal) is not
+        // an error here: its lease goes stale, survivors steal it, and
+        // whatever nobody finished the replay pass computes. Only
+        // failing to wait at all is unrecoverable.
+        let _ = child
+            .wait()
+            .map_err(|e| dist_err(format!("wait for worker {id}: {e}")))?;
+    }
+
+    // Stream per-worker counters (crashed workers wrote none).
+    if let Some(obs) = observer {
+        for w in 0..opts.workers {
+            let id = format!("w{w}");
+            if let Ok(text) = fs::read_to_string(coord.stats_file(&id)) {
+                if let Ok(v) = Json::parse(&text) {
+                    let num = |key: &str| v.field(key).and_then(|f| f.as_num(key)).unwrap_or(0.0);
+                    obs.on_worker(&id, num("computed") as usize, num("cached") as usize);
+                }
+            }
+        }
+    }
+
+    // Surface worker-reported scenario panics with the global id
+    // intact. Non-panic scenario errors are deliberately *not* read
+    // back from workers: the replay pass recomputes those scenarios
+    // in-process and surfaces the typed error deterministically.
+    let mut first_panic: Option<(usize, String)> = None;
+    if let Ok(entries) = fs::read_dir(coord.errors_dir()) {
+        let mut files: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        files.sort();
+        for file in files {
+            let text = fs::read_to_string(&file)
+                .map_err(|e| dist_err(format!("read {}: {e}", file.display())))?;
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                let v = Json::parse(line)
+                    .map_err(|e| dist_err(format!("parse {}: {e}", file.display())))?;
+                let scenario = v.field("scenario")?.as_num("scenario")? as usize;
+                let message = v.field("message")?.as_str("message")?.to_string();
+                if first_panic.as_ref().is_none_or(|(s, _)| scenario < *s) {
+                    first_panic = Some((scenario, message));
+                }
+            }
+        }
+    }
+    if let Some((scenario, message)) = first_panic {
+        return Err(CoreError::ScenarioPanicked { scenario, message });
+    }
+    Ok(())
+}
+
+/// A worker process's parsed command line (everything after the
+/// program name): `--worker <cache-dir> --coord <dir> --id <id>
+/// --lease <a>..<b> [--ttl-ms <n>] [--poll-ms <n>]
+/// [--die-after <n>]`.
+///
+/// `--die-after <n>` is the crash-test fault hook: the worker
+/// SIGKILLs itself after journaling `n` records, mid-sweep, leaving a
+/// stale lease behind for the survivors to steal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerConfig {
+    /// The shared cache directory (journal home).
+    pub dir: PathBuf,
+    /// The coordination directory (`coord-<digest>/`).
+    pub coord: PathBuf,
+    /// This worker's id (used for lease/stats/error file names).
+    pub id: String,
+    /// Preferred shard range, scanned before stealing.
+    pub lease: Range<usize>,
+    /// Lease staleness threshold in milliseconds.
+    pub ttl_ms: u64,
+    /// Idle re-scan period in milliseconds.
+    pub poll_ms: u64,
+    /// Fault injection: self-SIGKILL after this many records.
+    pub die_after: Option<usize>,
+}
+
+impl WorkerConfig {
+    /// Parses a worker argv (starting at `--worker`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Report`] naming the offending flag.
+    pub fn parse(args: &[String]) -> Result<Self, CoreError> {
+        let mut dir = None;
+        let mut coord = None;
+        let mut id = None;
+        let mut lease = None;
+        let mut ttl_ms = 10_000u64;
+        let mut poll_ms = 250u64;
+        let mut die_after = None;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |what: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| dist_err(format!("{what} needs a value")))
+            };
+            match flag.as_str() {
+                "--worker" => dir = Some(PathBuf::from(value("--worker")?)),
+                "--coord" => coord = Some(PathBuf::from(value("--coord")?)),
+                "--id" => id = Some(value("--id")?),
+                "--lease" => {
+                    let raw = value("--lease")?;
+                    let (a, b) = raw
+                        .split_once("..")
+                        .ok_or_else(|| dist_err(format!("--lease `{raw}`: expected <a>..<b>")))?;
+                    let parse = |s: &str| {
+                        s.parse::<usize>()
+                            .map_err(|_| dist_err(format!("--lease `{raw}`: bad bound `{s}`")))
+                    };
+                    lease = Some(parse(a)?..parse(b)?);
+                }
+                "--ttl-ms" => {
+                    let raw = value("--ttl-ms")?;
+                    ttl_ms = raw
+                        .parse()
+                        .map_err(|_| dist_err(format!("--ttl-ms `{raw}`: not a number")))?;
+                }
+                "--poll-ms" => {
+                    let raw = value("--poll-ms")?;
+                    poll_ms = raw
+                        .parse()
+                        .map_err(|_| dist_err(format!("--poll-ms `{raw}`: not a number")))?;
+                }
+                "--die-after" => {
+                    let raw = value("--die-after")?;
+                    die_after = Some(
+                        raw.parse()
+                            .map_err(|_| dist_err(format!("--die-after `{raw}`: not a number")))?,
+                    );
+                }
+                other => return Err(dist_err(format!("unknown worker flag `{other}`"))),
+            }
+        }
+        let dir = dir.ok_or_else(|| dist_err("--worker <cache-dir> is required"))?;
+        let coord = coord.ok_or_else(|| dist_err("--coord <dir> is required"))?;
+        Ok(Self {
+            dir,
+            coord,
+            id: id.unwrap_or_else(|| format!("pid{}", std::process::id())),
+            lease: lease.unwrap_or(0..0),
+            ttl_ms,
+            poll_ms,
+            die_after,
+        })
+    }
+}
+
+/// The heartbeat thread: while a lease path is set, rewrites the lease
+/// file every quarter-TTL so its mtime stays fresh. The mutex is held
+/// across each rewrite, so clearing the current lease under the same
+/// mutex guarantees no write lands after the holder releases it.
+struct Heartbeat {
+    current: Arc<Mutex<Option<PathBuf>>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+fn relock<T>(
+    r: std::sync::LockResult<std::sync::MutexGuard<'_, T>>,
+) -> std::sync::MutexGuard<'_, T> {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Heartbeat {
+    fn start(ttl_ms: u64, content: String) -> Self {
+        let current: Arc<Mutex<Option<PathBuf>>> = Arc::new(Mutex::new(None));
+        let stop = Arc::new(AtomicBool::new(false));
+        let interval = Duration::from_millis((ttl_ms / 4).max(25));
+        let handle = {
+            let current = Arc::clone(&current);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    {
+                        let guard = relock(current.lock());
+                        if let Some(path) = guard.as_ref() {
+                            let _ = fs::write(path, &content);
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+        };
+        Self {
+            current,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn set(&self, path: PathBuf) {
+        *relock(self.current.lock()) = Some(path);
+    }
+
+    /// Stops beating on the lease and removes it, atomically with
+    /// respect to the heartbeat thread — no rewrite can resurrect the
+    /// file after this returns.
+    fn clear_and_remove(&self, lease: &Path) {
+        let mut guard = relock(self.current.lock());
+        *guard = None;
+        let _ = fs::remove_file(lease);
+    }
+
+    fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The fault-injection observer behind `--die-after <n>`: SIGKILLs the
+/// worker process after it journals its `n`-th record — an honest
+/// mid-sweep crash, with the lease held and the heartbeat thread dying
+/// too.
+struct DieAfter {
+    after: usize,
+    seen: AtomicUsize,
+}
+
+impl ExecObserver for DieAfter {
+    fn on_record(
+        &self,
+        _record: &ScenarioRecord,
+        _origin: RecordOrigin,
+        _done: usize,
+        _total: usize,
+    ) {
+        if self.seen.fetch_add(1, Ordering::Relaxed) + 1 == self.after {
+            let pid = std::process::id().to_string();
+            let _ = Command::new("kill").args(["-KILL", &pid]).status();
+            // If kill(1) is somehow unavailable, die ungracefully
+            // anyway — the test needs a corpse, not an error path.
+            std::process::abort();
+        }
+    }
+}
+
+/// Runs a worker process to completion: rebuild the grid from the
+/// manifest, verify its fingerprints, then claim/steal shards and
+/// journal measurements until nothing claimable remains.
+///
+/// The caller provides the [`StudySession`] — registries and model
+/// context configured, but *without* a cache or observer attached
+/// (this function wires the shared journal and the fault hook itself).
+/// The default worker binaries pass a plain `StudySession::new()`;
+/// a custom binary that registers extra policies, workloads or models
+/// must do so before calling this, or scenarios naming them fail to
+/// resolve.
+///
+/// Scenario errors do *not* fail the worker: the failing shard's lease
+/// is released (panics are additionally reported to the coordinator
+/// through an error file) and the worker moves on, so one poisoned
+/// scenario cannot wedge the fleet.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] on protocol errors (unreadable
+/// manifest, unresolvable workload keys, fingerprint mismatches) and
+/// [`CoreError::Cache`] on journal failures.
+pub fn run_worker(config: &WorkerConfig, session: StudySession) -> Result<(), CoreError> {
+    let cache = JsonlCache::in_dir(&config.dir)?;
+    let mut session = session.cache(cache);
+    if let Some(after) = config.die_after {
+        session = session.observer(DieAfter {
+            after,
+            seen: AtomicUsize::new(0),
+        });
+    }
+    let coord = CoordDir::new(config.coord.clone());
+    let manifest_text = fs::read_to_string(coord.manifest())
+        .map_err(|e| dist_err(format!("read {}: {e}", coord.manifest().display())))?;
+    let manifest = Manifest::parse(&manifest_text)?;
+
+    // Rebuild the workload axis from registry keys and verify that the
+    // reconstruction matches the coordinator's fingerprints — a trace
+    // file that changed on disk (or a differently-registered custom
+    // workload) must abort the worker, not journal under a stale
+    // identity.
+    let workloads: Vec<Arc<dyn Workload>> = manifest
+        .workload_keys
+        .iter()
+        .map(|key| session.workload_registry_ref().resolve(key))
+        .collect::<Result<_, _>>()?;
+    for (scenario, expected) in manifest.scenarios.iter().zip(&manifest.fingerprints) {
+        let got = Fingerprint::for_scenario(scenario, workloads[scenario.workload_index].as_ref());
+        if got.canonical() != expected {
+            return Err(dist_err(format!(
+                "scenario {}: fingerprint mismatch (workload or engine changed under the sweep)",
+                scenario.id
+            )));
+        }
+    }
+
+    let shard_sets = manifest.shard_sets();
+    let order = scan_order(config.lease.clone(), manifest.shards);
+    let ttl = Duration::from_millis(config.ttl_ms);
+    let lease_content = format!(
+        "{{\"worker\":\"{}\",\"pid\":{}}}\n",
+        config.id,
+        std::process::id()
+    );
+    let heartbeat = Heartbeat::start(config.ttl_ms, lease_content.clone());
+    let mut attempted: BTreeSet<usize> = BTreeSet::new();
+    loop {
+        match next_claim(&order, &attempted, |k| fs_view(&coord, k, ttl)) {
+            Some(k) => {
+                attempted.insert(k);
+                if try_claim(&coord, k, &lease_content, ttl)? {
+                    run_shard(
+                        &session,
+                        &manifest,
+                        &workloads,
+                        &shard_sets[k],
+                        k,
+                        &coord,
+                        config,
+                        &heartbeat,
+                    )?;
+                }
+            }
+            None => {
+                let undone: Vec<usize> = (0..manifest.shards)
+                    .filter(|k| fs_view(&coord, *k, ttl) != ShardView::Done)
+                    .collect();
+                if undone.is_empty() {
+                    break;
+                }
+                if undone.iter().all(|k| attempted.contains(k)) {
+                    // Nothing left this worker is willing to redo —
+                    // other workers (or the coordinator's replay pass)
+                    // own the rest.
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(config.poll_ms.max(1)));
+            }
+        }
+    }
+    heartbeat.stop();
+
+    let stats = session.stats();
+    let stats_json = Json::obj(vec![
+        ("worker", Json::Str(config.id.clone())),
+        ("scenarios", Json::Num(stats.scenarios as f64)),
+        ("computed", Json::Num(stats.evaluations as f64)),
+        ("cached", Json::Num(stats.cache_hits as f64)),
+    ])
+    .emit();
+    fs::write(coord.stats_file(&config.id), stats_json)
+        .map_err(|e| dist_err(format!("write worker stats: {e}")))?;
+    Ok(())
+}
+
+/// Claims shard `k`: atomic `O_CREAT | O_EXCL` create, or an atomic
+/// rename over a lease that is (still) stale. Returns `false` when the
+/// claim was lost to a racing worker. Racing stealers may both
+/// succeed — safe (idempotent replay), just not thrifty.
+fn try_claim(coord: &CoordDir, k: usize, content: &str, ttl: Duration) -> Result<bool, CoreError> {
+    let lease = coord.lease(k);
+    match OpenOptions::new().write(true).create_new(true).open(&lease) {
+        Ok(mut file) => {
+            let _ = file.write_all(content.as_bytes());
+            Ok(true)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+            // Re-judge under the latest view: steal only while the
+            // holder still looks dead.
+            if fs_view(coord, k, ttl) != ShardView::Stale {
+                return Ok(false);
+            }
+            let tmp = coord
+                .root
+                .join("leases")
+                .join(format!("shard-{k}.steal-{}", std::process::id()));
+            fs::write(&tmp, content)
+                .map_err(|e| dist_err(format!("write {}: {e}", tmp.display())))?;
+            fs::rename(&tmp, &lease)
+                .map_err(|e| dist_err(format!("steal {}: {e}", lease.display())))?;
+            Ok(true)
+        }
+        Err(e) => Err(dist_err(format!("claim {}: {e}", lease.display()))),
+    }
+}
+
+/// Runs one claimed shard: absorb the journal (other workers' finished
+/// points replay instead of recomputing), short-circuit if the shard
+/// is already fully journaled, otherwise run the subgrid through the
+/// session. Panics are reported to the coordinator with the *global*
+/// scenario id; other scenario errors are logged and left for the
+/// coordinator's replay pass to reproduce with full type information.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    session: &StudySession,
+    manifest: &Manifest,
+    workloads: &[Arc<dyn Workload>],
+    members: &[usize],
+    k: usize,
+    coord: &CoordDir,
+    config: &WorkerConfig,
+    heartbeat: &Heartbeat,
+) -> Result<(), CoreError> {
+    heartbeat.set(coord.lease(k));
+    let cache = session
+        .result_cache()
+        .ok_or_else(|| dist_err("worker session lost its cache"))?;
+    cache.refresh()?;
+    let mut missing = Vec::new();
+    for &i in members {
+        let fp = Fingerprint::from_canonical(manifest.fingerprints[i].clone());
+        if cache.lookup(&fp)?.is_none() {
+            missing.push(i);
+        }
+    }
+    if missing.is_empty() {
+        finish_shard(coord, k, heartbeat);
+        return Ok(());
+    }
+    let scenarios: Vec<Scenario> = members
+        .iter()
+        .map(|&i| manifest.scenarios[i].clone())
+        .collect();
+    let sub = ScenarioGrid::from_parts(
+        format!("{}:shard-{k}", manifest.name),
+        scenarios,
+        workloads.to_vec(),
+        session.policy_registry_ref().clone(),
+    );
+    match session.run_grid(&sub) {
+        Ok(_) => finish_shard(coord, k, heartbeat),
+        Err(CoreError::ScenarioPanicked { scenario, message }) => {
+            // `scenario` is the slot index within the subgrid; report
+            // the global id across the process boundary.
+            let global = sub.scenarios().get(scenario).map_or(scenario, |s| s.id);
+            let line = Json::obj(vec![
+                ("worker", Json::Str(config.id.clone())),
+                ("shard", Json::Num(k as f64)),
+                ("scenario", Json::Num(global as f64)),
+                ("message", Json::Str(message)),
+            ])
+            .emit();
+            append_line(&coord.error_file(&config.id), &line)?;
+            heartbeat.clear_and_remove(&coord.lease(k));
+        }
+        Err(other) => {
+            eprintln!(
+                "worker {}: shard {k} failed ({other}); releasing its lease",
+                config.id
+            );
+            heartbeat.clear_and_remove(&coord.lease(k));
+        }
+    }
+    Ok(())
+}
+
+fn finish_shard(coord: &CoordDir, k: usize, heartbeat: &Heartbeat) {
+    // Done marker first, then the lease release — there is never a
+    // moment where the shard looks free but unfinished.
+    let _ = fs::write(coord.done(k), b"");
+    heartbeat.clear_and_remove(&coord.lease(k));
+}
+
+fn append_line(path: &Path, line: &str) -> Result<(), CoreError> {
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| dist_err(format!("open {}: {e}", path.display())))?;
+    file.write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| dist_err(format!("append {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_total() {
+        let keys: Vec<String> = (0..100).map(|i| format!("v=x;k={i}")).collect();
+        for k in &keys {
+            assert_eq!(shard_of(k, 7), shard_of(k, 7));
+            assert!(shard_of(k, 7) < 7);
+        }
+        assert_eq!(shard_of("anything", 1), 0);
+        assert_eq!(shard_of("anything", 0), 0, "zero shards clamps to one");
+    }
+
+    #[test]
+    fn scan_order_prefers_the_lease_range() {
+        assert_eq!(scan_order(2..4, 6), vec![2, 3, 0, 1, 4, 5]);
+        assert_eq!(scan_order(0..0, 3), vec![0, 1, 2]);
+        assert_eq!(scan_order(4..9, 5), vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn partition_ranges_cover_every_shard_once() {
+        for (shards, workers) in [(8, 3), (2, 5), (1, 1), (7, 7), (0, 2)] {
+            let ranges = partition_ranges(shards, workers);
+            assert_eq!(ranges.len(), workers);
+            let mut seen = Vec::new();
+            for r in &ranges {
+                seen.extend(r.clone());
+            }
+            assert_eq!(seen, (0..shards).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn next_claim_skips_done_claimed_and_attempted() {
+        let order = [1usize, 0, 2, 3];
+        let views = |k: usize| match k {
+            1 => ShardView::Done,
+            0 => ShardView::Claimed,
+            2 => ShardView::Stale,
+            _ => ShardView::Free,
+        };
+        let none: BTreeSet<usize> = BTreeSet::new();
+        assert_eq!(next_claim(&order, &none, views), Some(2));
+        let tried: BTreeSet<usize> = [2].into();
+        assert_eq!(next_claim(&order, &tried, views), Some(3));
+        let all: BTreeSet<usize> = [2, 3].into();
+        assert_eq!(next_claim(&order, &all, views), None);
+    }
+
+    #[test]
+    fn worker_config_parses_the_protocol_flags() {
+        let args: Vec<String> = [
+            "--worker",
+            "/tmp/c",
+            "--coord",
+            "/tmp/c/coord-1",
+            "--id",
+            "w3",
+            "--lease",
+            "2..5",
+            "--ttl-ms",
+            "800",
+            "--poll-ms",
+            "50",
+            "--die-after",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = WorkerConfig::parse(&args).unwrap();
+        assert_eq!(cfg.id, "w3");
+        assert_eq!(cfg.lease, 2..5);
+        assert_eq!(cfg.ttl_ms, 800);
+        assert_eq!(cfg.poll_ms, 50);
+        assert_eq!(cfg.die_after, Some(2));
+        let e = WorkerConfig::parse(&["--lease".to_string(), "nope".to_string()]).unwrap_err();
+        assert!(e.to_string().contains("--lease"), "{e}");
+    }
+}

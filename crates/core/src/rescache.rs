@@ -44,7 +44,7 @@ use crate::workload::Workload;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
-use std::io::Write as _;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use trace_synth::source::Fnv64;
@@ -120,6 +120,21 @@ impl Fingerprint {
             workload.p0()
         );
         Self { canonical }
+    }
+
+    /// Builds a fingerprint directly from a canonical key string,
+    /// bypassing [`Fingerprint::for_scenario`].
+    ///
+    /// This exists for stress tooling and protocol tests that need
+    /// many distinct, cheap identities (the `cache-hammer` binary);
+    /// study code always goes through `for_scenario`. Keys that should
+    /// survive `study check --journal` must carry the
+    /// `v=`[`ENGINE_VERSION`]`;` prefix.
+    #[doc(hidden)]
+    pub fn from_canonical(canonical: impl Into<String>) -> Self {
+        Self {
+            canonical: canonical.into(),
+        }
     }
 
     /// The canonical key string (every input, spelled out).
@@ -274,6 +289,22 @@ pub trait ResultCache: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Absorbs entries written by *other* handles onto the same
+    /// backing store since this handle last looked, returning how many
+    /// new measurements appeared.
+    ///
+    /// Purely in-memory caches have nothing to absorb; the default is
+    /// a no-op. [`JsonlCache`] re-reads the journal's growth so a
+    /// coordinator can replay measurements that worker processes
+    /// appended concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cache`] on backend failures.
+    fn refresh(&self) -> Result<usize, CoreError> {
+        Ok(0)
+    }
 }
 
 /// A process-lifetime in-memory cache — session-to-session reuse
@@ -335,6 +366,35 @@ struct JsonlInner {
     // aging-lint: allow(no-unordered-iter) lookup-only index keyed by canonical string; never iterated
     index: HashMap<String, CachedMeasurement>,
     file: File,
+    /// How many journal bytes are already reflected in `index`.
+    /// Everything past this offset was appended by another process (or
+    /// is a crashed writer's fragment) and is absorbed on the next
+    /// locked access.
+    absorbed: u64,
+    /// Complete journal lines counted so far — keeps error messages
+    /// pointing at absolute line numbers even when entries are
+    /// absorbed incrementally.
+    lines: usize,
+}
+
+/// Holds the OS-level advisory lock on the journal file; unlocks on
+/// drop so every early return releases it. The lock serializes
+/// append/absorb critical sections *across processes*; the `Mutex`
+/// around [`JsonlInner`] already serializes threads within one.
+struct JournalLock<'a>(&'a File);
+
+impl<'a> JournalLock<'a> {
+    fn acquire(file: &'a File, path: &Path) -> Result<Self, CoreError> {
+        file.lock()
+            .map_err(|e| cache_err(format!("lock {}: {e}", path.display())))?;
+        Ok(Self(file))
+    }
+}
+
+impl Drop for JournalLock<'_> {
+    fn drop(&mut self) {
+        let _ = self.0.unlock();
+    }
 }
 
 /// An on-disk JSONL result cache: one self-checking JSON line per
@@ -345,9 +405,17 @@ struct JsonlInner {
 /// over the emitted measurement JSON — so truncation or bit-rot is
 /// detected at open time and rejected loudly with the entry's
 /// fingerprint. Appends are a single `write` to a file opened in
-/// append mode, so concurrent writers from one process never
-/// interleave and an interrupted run leaves a valid journal of every
-/// completed line.
+/// append mode, so concurrent writers never interleave and an
+/// interrupted run leaves a valid journal of every completed line.
+///
+/// The journal is safe to share between *processes*: every append
+/// takes an OS-level advisory lock on the file, absorbs lines other
+/// writers appended since this handle last looked (deduplicating by
+/// fingerprint, so each measurement is journaled exactly once), and
+/// only then writes its own line. [`JsonlCache::refresh`]
+/// (via [`ResultCache::refresh`]) runs the same absorb step without
+/// writing — the multi-process coordinator calls it to replay worker
+/// results with zero recomputation.
 pub struct JsonlCache {
     path: PathBuf,
     inner: Mutex<JsonlInner>,
@@ -384,57 +452,102 @@ impl JsonlCache {
     /// fingerprint).
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, CoreError> {
         let path = path.into();
-        // aging-lint: allow(no-unordered-iter) lookup-only index; never iterated
-        let mut index = HashMap::new();
-        let mut truncate_to: Option<u64> = None;
-        match std::fs::read_to_string(&path) {
-            Ok(text) => {
-                let mut consumed = 0usize;
-                let mut lineno = 0usize;
-                while consumed < text.len() {
-                    let rest = text.get(consumed..).unwrap_or("");
-                    let Some(nl) = rest.find('\n') else {
-                        // No newline: an append died mid-write. Drop
-                        // the fragment; the entry recomputes and
-                        // re-journals cleanly.
-                        truncate_to = Some(consumed as u64);
-                        break;
-                    };
-                    let line = rest.get(..nl).unwrap_or(rest);
-                    lineno += 1;
-                    consumed += nl + 1;
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    let (key, measurement) = Self::parse_line(line).map_err(|e| {
-                        cache_err(format!(
-                            "corrupted cache entry at {}:{lineno}: {e}",
-                            path.display()
-                        ))
-                    })?;
-                    index.insert(key, measurement);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(cache_err(format!("open {}: {e}", path.display()))),
-        }
-        if let Some(len) = truncate_to {
-            let file = OpenOptions::new()
-                .write(true)
-                .open(&path)
-                .map_err(|e| cache_err(format!("open {} to repair: {e}", path.display())))?;
-            file.set_len(len)
-                .map_err(|e| cache_err(format!("truncate {}: {e}", path.display())))?;
-        }
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)
             .map_err(|e| cache_err(format!("open {} for append: {e}", path.display())))?;
+        let mut inner = JsonlInner {
+            // aging-lint: allow(no-unordered-iter) lookup-only index; never iterated
+            index: HashMap::new(),
+            file,
+            absorbed: 0,
+            lines: 0,
+        };
+        {
+            let JsonlInner {
+                index,
+                file,
+                absorbed,
+                lines,
+            } = &mut inner;
+            let lock = JournalLock::acquire(file, &path)?;
+            Self::absorb_locked(&path, file, index, absorbed, lines)?;
+            drop(lock);
+        }
         Ok(Self {
             path,
-            inner: Mutex::new(JsonlInner { index, file }),
+            inner: Mutex::new(inner),
         })
+    }
+
+    /// Reads every complete journal line past `absorbed` into the
+    /// index, returning how many distinct new measurements appeared.
+    ///
+    /// Must be called with the journal lock held: under the lock no
+    /// live writer can be mid-append, so a trailing fragment without a
+    /// newline can only be the residue of a writer that died mid-write
+    /// — it is dropped and the file truncated back to the last
+    /// complete entry (the crashed entry recomputes and re-journals
+    /// cleanly).
+    fn absorb_locked(
+        path: &Path,
+        file: &File,
+        // aging-lint: allow(no-unordered-iter) lookup-only index; never iterated
+        index: &mut HashMap<String, CachedMeasurement>,
+        absorbed: &mut u64,
+        lines: &mut usize,
+    ) -> Result<usize, CoreError> {
+        let len = file
+            .metadata()
+            .map_err(|e| cache_err(format!("stat {}: {e}", path.display())))?
+            .len();
+        if len <= *absorbed {
+            return Ok(0);
+        }
+        let mut reader = File::open(path)
+            .map_err(|e| cache_err(format!("open {} to read: {e}", path.display())))?;
+        reader
+            .seek(SeekFrom::Start(*absorbed))
+            .map_err(|e| cache_err(format!("seek {}: {e}", path.display())))?;
+        let mut bytes = Vec::with_capacity((len - *absorbed) as usize);
+        reader
+            .take(len - *absorbed)
+            .read_to_end(&mut bytes)
+            .map_err(|e| cache_err(format!("read {}: {e}", path.display())))?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| cache_err(format!("{}: journal is not valid UTF-8", path.display())))?;
+        let mut consumed = 0usize;
+        let mut added = 0usize;
+        while consumed < text.len() {
+            let rest = text.get(consumed..).unwrap_or("");
+            let Some(nl) = rest.find('\n') else {
+                // No newline: an append died mid-write (we hold the
+                // lock, so no live writer can account for it). Drop
+                // the fragment.
+                file.set_len(*absorbed + consumed as u64)
+                    .map_err(|e| cache_err(format!("truncate {}: {e}", path.display())))?;
+                break;
+            };
+            let line = rest.get(..nl).unwrap_or(rest);
+            *lines += 1;
+            consumed += nl + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (key, measurement) = Self::parse_line(line).map_err(|e| {
+                cache_err(format!(
+                    "corrupted cache entry at {}:{}: {e}",
+                    path.display(),
+                    *lines
+                ))
+            })?;
+            if index.insert(key, measurement).is_none() {
+                added += 1;
+            }
+        }
+        *absorbed += consumed as u64;
+        Ok(added)
     }
 
     /// Opens (or creates) `dir/`[`JsonlCache::FILE_NAME`], creating
@@ -506,23 +619,54 @@ impl ResultCache for JsonlCache {
         measurement: &CachedMeasurement,
     ) -> Result<(), CoreError> {
         let mut inner = relock(self.inner.lock());
+        // Fast path: anything in the index is already on disk, so a
+        // warm single-process sweep never takes the file lock.
         if inner.index.contains_key(fingerprint.canonical()) {
             return Ok(());
         }
+        let JsonlInner {
+            index,
+            file,
+            absorbed,
+            lines,
+        } = &mut *inner;
+        let lock = JournalLock::acquire(file, &self.path)?;
+        // Another process may have journaled this fingerprint since we
+        // last looked; absorbing its appends under the lock keeps the
+        // journal duplicate-free across concurrent writers.
+        Self::absorb_locked(&self.path, file, index, absorbed, lines)?;
+        if index.contains_key(fingerprint.canonical()) {
+            return Ok(());
+        }
         let line = Self::emit_line(fingerprint, measurement);
-        inner
-            .file
+        let mut writer = &*file;
+        writer
             .write_all(line.as_bytes())
-            .and_then(|()| inner.file.flush())
+            .and_then(|()| writer.flush())
             .map_err(|e| cache_err(format!("append {}: {e}", self.path.display())))?;
-        inner
-            .index
-            .insert(fingerprint.canonical().to_string(), measurement.clone());
+        drop(lock);
+        *absorbed += line.len() as u64;
+        *lines += 1;
+        index.insert(fingerprint.canonical().to_string(), measurement.clone());
         Ok(())
     }
 
     fn len(&self) -> usize {
         relock(self.inner.lock()).index.len()
+    }
+
+    fn refresh(&self) -> Result<usize, CoreError> {
+        let mut inner = relock(self.inner.lock());
+        let JsonlInner {
+            index,
+            file,
+            absorbed,
+            lines,
+        } = &mut *inner;
+        let lock = JournalLock::acquire(file, &self.path)?;
+        let added = Self::absorb_locked(&self.path, file, index, absorbed, lines)?;
+        drop(lock);
+        Ok(added)
     }
 }
 
@@ -699,6 +843,39 @@ mod tests {
             std::fs::read_to_string(&path).unwrap(),
             text,
             "the fragment was truncated away, not left to corrupt appends"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_handles_share_one_journal_without_duplicates() {
+        let dir = std::env::temp_dir().join(format!("nbti-rescache-shared-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = JsonlCache::in_dir(&dir).unwrap();
+        let b = JsonlCache::in_dir(&dir).unwrap();
+        a.store(&fp(), &measurement()).unwrap();
+        // b's index predates the append; refresh absorbs it.
+        assert_eq!(b.lookup(&fp()).unwrap(), None);
+        assert_eq!(b.refresh().unwrap(), 1);
+        assert!(b.lookup(&fp()).unwrap().is_some());
+        assert_eq!(b.refresh().unwrap(), 0, "absorbing is incremental");
+        // A second handle re-storing the fingerprint appends nothing.
+        b.store(&fp(), &measurement()).unwrap();
+        // And a handle that has not refreshed still deduplicates by
+        // absorbing under the append lock before writing.
+        let c = JsonlCache::in_dir(&dir).unwrap();
+        let mut other = scenario();
+        other.trace_seed = 9999;
+        let w = WorkloadRegistry::builtin().resolve("sha").unwrap();
+        let fp2 = Fingerprint::for_scenario(&other, w.as_ref());
+        c.store(&fp2, &measurement()).unwrap();
+        c.store(&fp(), &measurement()).unwrap();
+        drop((a, b, c));
+        let text = std::fs::read_to_string(dir.join(JsonlCache::FILE_NAME)).unwrap();
+        assert_eq!(
+            text.lines().count(),
+            2,
+            "one line per distinct fingerprint:\n{text}"
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -268,6 +268,18 @@ impl StudySession {
         self.cache.as_deref()
     }
 
+    /// The session's policy registry (the distribution layer resolves
+    /// manifest scenarios against it).
+    pub(crate) fn policy_registry_ref(&self) -> &PolicyRegistry {
+        &self.policies
+    }
+
+    /// The session's workload registry (the distribution layer
+    /// resolves manifest workload keys against it).
+    pub(crate) fn workload_registry_ref(&self) -> &WorkloadRegistry {
+        &self.workloads
+    }
+
     /// A new [`StudySpec`] pre-wired with the session's policy and
     /// workload registries — the spec-building front door.
     pub fn spec(&self, name: impl Into<String>) -> StudySpec {
@@ -300,7 +312,7 @@ impl StudySession {
                 ctx: &self.ctx,
                 memo: &self.memo,
                 cache: self.cache.as_deref(),
-                exec: self.exec,
+                exec: self.exec.clone(),
                 observer: self.observer.as_deref(),
                 counters: &self.counters,
             },
@@ -415,9 +427,32 @@ fn execute(grid: &ScenarioGrid, env: &ExecEnv<'_>) -> Result<StudyReport, CoreEr
 
     // The spec-level worker cap overrides the session's (threads(1)
     // still forces an in-thread sequential loop, as it always did).
-    let mut exec = env.exec;
+    let mut exec = env.exec.clone();
     if let Some(threads) = grid.threads_cap() {
         exec = exec.with_threads(threads);
+    }
+    // The process backend runs its distribution phase first: shard the
+    // grid across worker processes over the shared journal, then
+    // refresh this process's cache handle so the executor pass below
+    // replays the merged journal instead of recomputing (it computes
+    // only what crashed workers left unfinished).
+    if exec.backend == crate::exec::ExecBackend::Process {
+        let Some(popts) = exec.process.clone() else {
+            return Err(CoreError::Report {
+                message:
+                    "process backend selected without process options (use ExecOptions::process)"
+                        .into(),
+            });
+        };
+        let Some(cache) = env.cache else {
+            return Err(CoreError::Report {
+                message: "process backend requires a result cache over the shared directory \
+                          (attach JsonlCache::in_dir on the same dir)"
+                    .into(),
+            });
+        };
+        crate::distrib::distribute(grid, cache, env.observer, &popts)?;
+        cache.refresh()?;
     }
     exec.build().execute(n, &task);
 

@@ -592,7 +592,7 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         let mut pairs = vec![
             ("id", Json::Num(self.id as f64)),
             ("cache_bytes", Json::Num(self.cache_bytes as f64)),
@@ -638,7 +638,7 @@ impl Scenario {
         }
     }
 
-    fn from_json(v: &Json) -> Result<Self, CoreError> {
+    pub(crate) fn from_json(v: &Json) -> Result<Self, CoreError> {
         let workload_source = match v.get("workload_source") {
             None => None,
             Some(s) => Some(WorkloadSourceInfo {
@@ -692,6 +692,26 @@ impl std::fmt::Debug for ScenarioGrid {
 }
 
 impl ScenarioGrid {
+    /// A grid assembled from pre-expanded parts — the distribution
+    /// layer's path for rebuilding worker subgrids from a manifest.
+    /// Scenarios keep whatever ids they carry (worker subgrids keep
+    /// *global* ids so errors name the right grid point), and the full
+    /// workload axis rides along so `workload_index` stays valid.
+    pub(crate) fn from_parts(
+        name: String,
+        scenarios: Vec<Scenario>,
+        workloads: Vec<Arc<dyn Workload>>,
+        registry: PolicyRegistry,
+    ) -> Self {
+        Self {
+            name,
+            scenarios,
+            workloads,
+            registry,
+            threads: None,
+        }
+    }
+
     /// The grid (study) name.
     pub fn name(&self) -> &str {
         &self.name

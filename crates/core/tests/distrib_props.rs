@@ -1,0 +1,265 @@
+//! Property tests for the lease protocol's decision logic.
+//!
+//! The protocol's *pure* half — shard assignment ([`shard_of`]), scan
+//! order ([`scan_order`], [`partition_ranges`]) and the claim decision
+//! ([`next_claim`] over [`ShardView`]s) — is exactly what the live
+//! workers run; here it drives an in-memory model of the rest (lease
+//! files, heartbeats, a dedup-on-store journal standing in for
+//! `JsonlCache`) through randomized grids, fleet sizes and
+//! claim/expiry/crash interleavings. Invariants, per the distribution
+//! layer's contract:
+//!
+//! * the run terminates (no claim/poll livelock);
+//! * every scenario fingerprint is computed at least once — by a
+//!   worker or by the coordinator's catch-up pass;
+//! * the merged journal holds every fingerprint **exactly once**,
+//!   no matter how claims, expiries and steals interleave;
+//! * with no crashes, the workers alone finish every shard (the
+//!   catch-up pass computes nothing).
+
+use aging_cache::distrib::{next_claim, partition_ranges, scan_order, shard_of, ShardView};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    Idle,
+    /// Computing shard `k`, the next member index to journal.
+    Computing(usize, usize),
+    Exited,
+    Dead,
+}
+
+struct Worker {
+    order: Vec<usize>,
+    attempted: BTreeSet<usize>,
+    phase: Phase,
+}
+
+/// One lease: the holding worker, and — once the holder is dead — a
+/// countdown of scheduler steps until its heartbeat looks stale.
+struct Lease {
+    holder: usize,
+    stale_in: Option<usize>,
+}
+
+struct Model {
+    fps: Vec<String>,
+    /// Scenario indices per shard (the manifest's `shard_sets`).
+    shards: Vec<Vec<usize>>,
+    workers: Vec<Worker>,
+    leases: BTreeMap<usize, Lease>,
+    done: Vec<bool>,
+    /// Append-only journal with dedup-on-store (the `JsonlCache`
+    /// contract: absorb-before-write drops already-present keys).
+    journal: Vec<usize>,
+    journaled: BTreeSet<usize>,
+    computed: Vec<usize>,
+}
+
+impl Model {
+    fn new(grid: usize, fleet: usize, shards_per_worker: usize) -> Self {
+        let fps: Vec<String> = (0..grid)
+            .map(|i| format!("v=engine-v1;prop;k={i}"))
+            .collect();
+        let shard_count = (fleet * shards_per_worker).clamp(1, grid);
+        let mut shards = vec![Vec::new(); shard_count];
+        for (i, fp) in fps.iter().enumerate() {
+            shards[shard_of(fp, shard_count)].push(i);
+        }
+        let ranges: Vec<Range<usize>> = partition_ranges(shard_count, fleet);
+        let workers = ranges
+            .into_iter()
+            .map(|preferred| Worker {
+                order: scan_order(preferred, shard_count),
+                attempted: BTreeSet::new(),
+                phase: Phase::Idle,
+            })
+            .collect();
+        Self {
+            computed: vec![0; grid],
+            done: vec![false; shard_count],
+            fps,
+            shards,
+            workers,
+            leases: BTreeMap::new(),
+            journal: Vec::new(),
+            journaled: BTreeSet::new(),
+        }
+    }
+
+    fn view(&self, k: usize) -> ShardView {
+        if self.done[k] {
+            return ShardView::Done;
+        }
+        match self.leases.get(&k) {
+            None => ShardView::Free,
+            Some(lease) => match lease.stale_in {
+                Some(0) => ShardView::Stale,
+                _ => ShardView::Claimed,
+            },
+        }
+    }
+
+    fn store(&mut self, i: usize) {
+        self.computed[i] += 1;
+        if self.journaled.insert(i) {
+            self.journal.push(i);
+        }
+    }
+
+    /// Advances worker `w` by one protocol step. Mirrors the live
+    /// worker loop: claim (or steal) via `next_claim`, journal one
+    /// member per step, mark done and release on the last one, exit
+    /// when nothing claimable and nothing un-attempted remains.
+    fn step(&mut self, w: usize) {
+        match self.workers[w].phase {
+            Phase::Exited | Phase::Dead => {}
+            Phase::Idle => {
+                let claim = next_claim(&self.workers[w].order, &self.workers[w].attempted, |k| {
+                    self.view(k)
+                });
+                match claim {
+                    Some(k) => {
+                        self.workers[w].attempted.insert(k);
+                        // Atomic create or steal-by-rename; a fresh
+                        // heartbeat starts either way.
+                        self.leases.insert(
+                            k,
+                            Lease {
+                                holder: w,
+                                stale_in: None,
+                            },
+                        );
+                        self.workers[w].phase = Phase::Computing(k, 0);
+                    }
+                    None => {
+                        let undone: Vec<usize> =
+                            (0..self.done.len()).filter(|k| !self.done[*k]).collect();
+                        if undone.is_empty()
+                            || undone.iter().all(|k| self.workers[w].attempted.contains(k))
+                        {
+                            self.workers[w].phase = Phase::Exited;
+                        }
+                        // Otherwise: poll-sleep (a no-op step).
+                    }
+                }
+            }
+            Phase::Computing(k, next) => {
+                if next < self.shards[k].len() {
+                    let member = self.shards[k][next];
+                    self.store(member);
+                    self.workers[w].phase = Phase::Computing(k, next + 1);
+                } else {
+                    // Done marker first, then the lease release —
+                    // matching `finish_shard`'s ordering.
+                    self.done[k] = true;
+                    if self.leases.get(&k).is_some_and(|l| l.holder == w) {
+                        self.leases.remove(&k);
+                    }
+                    self.workers[w].phase = Phase::Idle;
+                }
+            }
+        }
+    }
+
+    /// SIGKILL: the worker stops mid-whatever; a held lease keeps its
+    /// last heartbeat and goes stale `ttl_steps` scheduler steps later.
+    fn kill(&mut self, w: usize, ttl_steps: usize) {
+        if let Phase::Computing(k, _) = self.workers[w].phase {
+            if let Some(lease) = self.leases.get_mut(&k) {
+                if lease.holder == w {
+                    lease.stale_in = Some(ttl_steps);
+                }
+            }
+        }
+        self.workers[w].phase = Phase::Dead;
+    }
+
+    /// One tick of wall time: dead holders' heartbeats age toward
+    /// staleness.
+    fn age_leases(&mut self) {
+        for lease in self.leases.values_mut() {
+            if let Some(n) = lease.stale_in {
+                lease.stale_in = Some(n.saturating_sub(1));
+            }
+        }
+    }
+
+    fn live(&self) -> Vec<usize> {
+        (0..self.workers.len())
+            .filter(|w| !matches!(self.workers[*w].phase, Phase::Exited | Phase::Dead))
+            .collect()
+    }
+
+    /// The coordinator's replay/catch-up pass: compute (and journal)
+    /// whatever no worker finished. Returns how many it computed.
+    fn catch_up(&mut self) -> usize {
+        let missing: Vec<usize> = (0..self.fps.len())
+            .filter(|i| !self.journaled.contains(i))
+            .collect();
+        for &i in &missing {
+            self.store(i);
+        }
+        missing.len()
+    }
+}
+
+#[test]
+fn every_fingerprint_is_computed_and_journaled_exactly_once() {
+    quickprop::cases(200, |g| {
+        let grid = g.usize_in(1..40);
+        let fleet = g.usize_in(1..6);
+        let shards_per_worker = g.usize_in(1..5);
+        let crashes = g.usize_in(0..fleet); // at least one worker survives
+        let mut model = Model::new(grid, fleet, shards_per_worker);
+        let mut remaining_crashes = crashes;
+        let mut steps = 0usize;
+        loop {
+            let live = model.live();
+            if live.is_empty() {
+                break;
+            }
+            steps += 1;
+            assert!(
+                steps < 100_000,
+                "protocol livelocked: grid={grid} fleet={fleet} spw={shards_per_worker} crashes={crashes}"
+            );
+            model.age_leases();
+            // Randomly SIGKILL a live worker mid-run, while more than
+            // one remains.
+            if remaining_crashes > 0 && live.len() > 1 && g.u32_in(0..8) == 0 {
+                let victim = *g.pick(&live);
+                model.kill(victim, g.usize_in(0..6));
+                remaining_crashes -= 1;
+                continue;
+            }
+            let w = *g.pick(&live);
+            model.step(w);
+        }
+
+        assert!(
+            model.workers.iter().any(|w| w.phase == Phase::Exited),
+            "at least one worker must survive to a clean exit"
+        );
+        let caught_up = model.catch_up();
+        if crashes == 0 {
+            assert_eq!(
+                caught_up, 0,
+                "with no crashes the workers alone finish every shard"
+            );
+        }
+        assert_eq!(
+            model.journal.len(),
+            grid,
+            "merged journal holds every fingerprint exactly once"
+        );
+        let mut seen: Vec<usize> = model.journal.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..grid).collect::<Vec<_>>());
+        assert!(
+            model.computed.iter().all(|&c| c >= 1),
+            "every fingerprint computed at least once"
+        );
+    });
+}

@@ -3,7 +3,9 @@
 //! must produce byte-identical `StudyReport` JSON; corrupted journal
 //! entries must be rejected loudly, naming their fingerprint.
 
-use aging_cache::exec::ExecOptions;
+use aging_cache::exec::{ExecOptions, ProcessOptions, WorkerCommand};
+use aging_cache::experiment::ExperimentConfig;
+use aging_cache::presets;
 use aging_cache::rescache::{JsonlCache, MemoryCache};
 use aging_cache::session::StudySession;
 use aging_cache::study::StudySpec;
@@ -45,6 +47,59 @@ fn sequential_threaded_and_cache_warm_reports_are_byte_identical() {
     let stats = cached.stats();
     assert_eq!(stats.cache_hits, 8, "the warm run was all hits");
     assert_eq!(stats.evaluations, 8, "only the cold run evaluated");
+}
+
+#[test]
+fn sequential_threaded_and_multi_process_reports_are_byte_identical() {
+    // The Table II grid (8/16/32 kB × Probing × the full suite), at
+    // test-sized trace length: the paper's headline sweep is the shape
+    // the distribution layer must reproduce bit for bit.
+    let spec = presets::table2(&ExperimentConfig::paper_reference()).trace_cycles(40_000);
+    let n = 3 * 18; // three cache sizes × the 18-workload suite
+
+    let sequential = StudySession::new().exec(ExecOptions::sequential());
+    let reference = sequential.run(&spec).unwrap().to_json();
+
+    let threaded = StudySession::new().exec(ExecOptions::threaded());
+    assert_eq!(threaded.run(&spec).unwrap().to_json(), reference);
+
+    let dir = std::env::temp_dir().join(format!("nbti-exec-mp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let popts = ProcessOptions::new(
+        &dir,
+        2,
+        WorkerCommand::new(env!("CARGO_BIN_EXE_study_worker"), []),
+    );
+
+    // Cold: the workers compute everything, the coordinator replays.
+    let mp = StudySession::new()
+        .cache(JsonlCache::in_dir(&dir).unwrap())
+        .exec(ExecOptions::process(popts.clone()));
+    assert_eq!(
+        mp.run(&spec).unwrap().to_json(),
+        reference,
+        "multi-process cold"
+    );
+    let stats = mp.stats();
+    assert_eq!(stats.evaluations, 0, "the coordinator computed nothing");
+    assert_eq!(stats.cache_hits, n, "the replay pass was all journal hits");
+
+    // Warm: a fresh coordinator over the same journal — byte-identical
+    // again, and no worker has anything to compute.
+    let warm = StudySession::new()
+        .cache(JsonlCache::in_dir(&dir).unwrap())
+        .exec(ExecOptions::process(popts));
+    assert_eq!(
+        warm.run(&spec).unwrap().to_json(),
+        reference,
+        "multi-process warm"
+    );
+    let stats = warm.stats();
+    assert_eq!(stats.evaluations, 0);
+    assert_eq!(stats.simulations, 0);
+    assert_eq!(stats.cache_hits, n);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

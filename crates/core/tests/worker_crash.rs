@@ -1,0 +1,106 @@
+//! Crash tolerance of the distribution layer: a worker SIGKILLed
+//! mid-sweep must not change a single report byte, and a scenario that
+//! panics inside a worker process must surface as
+//! [`CoreError::ScenarioPanicked`] with the *global* scenario id —
+//! across the process boundary.
+
+use aging_cache::error::CoreError;
+use aging_cache::exec::{ExecOptions, ProcessOptions, WorkerCommand};
+use aging_cache::model::{CalibratedModel, Metrics, ModelContext, ModelEval, ModelRegistry};
+use aging_cache::rescache::JsonlCache;
+use aging_cache::session::StudySession;
+use aging_cache::study::StudySpec;
+use std::sync::Arc;
+
+fn grid_spec(session: &StudySession) -> StudySpec {
+    session
+        .spec("crash tolerance")
+        .cache_kb([8, 16])
+        .policies(["probing", "gray"])
+        .workload_names(["sha", "CRC32"])
+        .unwrap()
+        .trace_cycles(40_000)
+}
+
+fn process_options(dir: &std::path::Path) -> ProcessOptions {
+    let mut popts = ProcessOptions::new(
+        dir,
+        2,
+        WorkerCommand::new(env!("CARGO_BIN_EXE_study_worker"), []),
+    );
+    // Fast protocol timing: steals must happen within the test, not
+    // after the default ten-second grace.
+    popts.lease_ttl_ms = 400;
+    popts.poll_ms = 50;
+    popts
+}
+
+#[test]
+fn killed_worker_is_stolen_from_and_the_report_is_byte_identical() {
+    let sequential = StudySession::new().exec(ExecOptions::sequential());
+    let reference = sequential.run(&grid_spec(&sequential)).unwrap().to_json();
+
+    let dir = std::env::temp_dir().join(format!("nbti-worker-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Worker 0 SIGKILLs itself after journaling its first record —
+    // an honest mid-shard crash: lease held, heartbeat thread dead.
+    // Worker 1 (and, for whatever nobody claims, the coordinator's
+    // replay pass) must finish the sweep.
+    let mut popts = process_options(&dir);
+    popts.worker_extra_args = vec![vec!["--die-after".into(), "1".into()], Vec::new()];
+    let session = StudySession::new()
+        .cache(JsonlCache::in_dir(&dir).unwrap())
+        .exec(ExecOptions::process(popts));
+    let report = session.run(&grid_spec(&session)).unwrap();
+    assert_eq!(
+        report.to_json(),
+        reference,
+        "a killed worker must not change a byte"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+struct Bomb;
+
+impl CalibratedModel for Bomb {
+    fn evaluate(&self, _eval: &ModelEval<'_>) -> Result<Metrics, CoreError> {
+        panic!("the bomb model always explodes")
+    }
+}
+
+#[test]
+fn worker_scenario_panic_carries_the_global_id_across_the_process_boundary() {
+    let dir = std::env::temp_dir().join(format!("nbti-worker-bomb-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The coordinator registers the bomb too: calibration (which
+    // succeeds) runs coordinator-side before distribution. The panic
+    // itself only ever happens inside the worker processes, spawned
+    // with `--register-bomb`.
+    let mut registry = ModelRegistry::builtin();
+    registry
+        .register_fn("bomb", "panics on evaluate", "none", || Ok(Arc::new(Bomb)))
+        .unwrap();
+    let mut popts = process_options(&dir);
+    popts.worker_extra_args = vec![vec!["--register-bomb".into()]; 2];
+    let session = StudySession::with_context(ModelContext::with_registry(registry))
+        .cache(JsonlCache::in_dir(&dir).unwrap())
+        .exec(ExecOptions::process(popts));
+    let spec = grid_spec(&session).models(["bomb"]);
+    let e = session.run(&spec).unwrap_err();
+    let CoreError::ScenarioPanicked { scenario, message } = &e else {
+        panic!("expected ScenarioPanicked, got {e:?}");
+    };
+    assert_eq!(
+        *scenario, 0,
+        "lowest global scenario id, not a shard-local slot"
+    );
+    assert!(message.contains("explodes"), "{message}");
+    // The coordinator itself never ran a scenario: the panic came back
+    // through a worker's error file, not from a local recomputation.
+    assert_eq!(session.stats().scenarios, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
