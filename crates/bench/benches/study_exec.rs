@@ -50,13 +50,14 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("nbti-bench-mp-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create bench cache dir");
+    // Pin the small-grid fallback off: this row *measures* the
+    // process-backend overhead the fallback exists to avoid.
+    let mut mp_popts =
+        ProcessOptions::new(&dir, 2, WorkerCommand::new(env!("CARGO_BIN_EXE_study"), []));
+    mp_popts.fallback_threshold = 0;
     let mp_session = repro_bench::session()
         .cache(JsonlCache::in_dir(&dir).expect("open bench journal"))
-        .exec(ExecOptions::process(ProcessOptions::new(
-            &dir,
-            2,
-            WorkerCommand::new(env!("CARGO_BIN_EXE_study"), []),
-        )));
+        .exec(ExecOptions::process(mp_popts));
     let t = Instant::now();
     let mp_report = mp_session.run(&spec).expect("multi-process cold run");
     let mp_cold_s = t.elapsed().as_secs_f64();

@@ -71,15 +71,32 @@
 //!   killed worker's lease goes stale and is stolen, and whatever
 //!   nobody finished is computed in-process at the end — the report is
 //!   byte-identical to a sequential run regardless. `--lease-ttl-ms`
-//!   tunes the staleness threshold. Requires `--cache-dir`.
+//!   tunes the staleness threshold. Requires `--cache-dir`. Grids
+//!   below `--mp-threshold` scenarios (default 128, 0 disables) fall
+//!   back to the threaded backend with a notice — process sharding
+//!   only pays for itself on large sweeps.
+//!
+//! The serving layer is on the command line too:
+//!
+//! * `study serve [--addr <host:port>] [--cache-dir <dir>] [--threads
+//!   <n>] [--shutdown-token <t>] [--addr-file <path>]` runs a
+//!   long-lived HTTP server over the warm journal: `GET /render`,
+//!   `/query` and `POST /compare` answer from cached results with
+//!   **zero simulation** (cold cells answer 409 with the coverage
+//!   gap); `POST /run` computes what is missing, and concurrent
+//!   identical requests coalesce into a single simulation. `POST
+//!   /shutdown?token=…` drains and exits.
+//! * `study fetch <url>` is the matching dependency-free HTTP client:
+//!   response body to stdout byte-for-byte, exit 0 on 2xx — CI smokes
+//!   the server without `curl`.
 
-use aging_cache::analysis::{Axis, Query, Reduce, ReportDiff};
+use aging_cache::analysis::{self, Axis, ReportDiff};
 use aging_cache::distrib::{run_worker, WorkerConfig};
 use aging_cache::exec::{ExecObserver, ExecOptions, ProcessOptions, RecordOrigin, WorkerCommand};
 use aging_cache::model::ModelRegistry;
 use aging_cache::render::{self, Format};
-use aging_cache::report::{pct, years, Table};
-use aging_cache::rescache::{JsonlCache, ResultCache};
+use aging_cache::rescache::{JsonlCache, MemoryCache, ResultCache};
+use aging_cache::serve::{ServeLog, ServeOptions, StudyServer, REPORT_NAME};
 use aging_cache::session::StudySession;
 use aging_cache::study::{ScenarioRecord, StudyReport, StudySpec};
 use aging_cache::{CoreError, PolicyRegistry, WorkloadRegistry};
@@ -112,6 +129,21 @@ impl ExecObserver for Progress {
 
     fn on_worker(&self, worker: &str, computed: usize, cached: usize) {
         eprintln!("[worker {worker}] computed: {computed}, cached: {cached}");
+    }
+
+    fn on_notice(&self, message: &str) {
+        eprintln!("[study] {message}");
+    }
+}
+
+/// Installed for `--workers` runs without `--progress`: backend
+/// notices (e.g. the small-grid fallback to the threaded executor)
+/// must reach the user either way.
+struct Notices;
+
+impl ExecObserver for Notices {
+    fn on_notice(&self, message: &str) {
+        eprintln!("[study] {message}");
     }
 }
 
@@ -226,7 +258,7 @@ impl SpecArgs {
     /// key selection (`None` = keep the default suite). `study check`
     /// resolves the keys itself so each failure becomes a finding.
     fn into_parts(self) -> (StudySpec, Option<Vec<String>>) {
-        let mut spec = self.spec.unwrap_or_else(|| StudySpec::new("cli study"));
+        let mut spec = self.spec.unwrap_or_else(|| StudySpec::new(REPORT_NAME));
         if !self.models.is_empty() {
             spec = spec.models(self.models);
         }
@@ -269,11 +301,19 @@ fn main() {
         check_main(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_main(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("fetch") {
+        fetch_main(&args[1..]);
+        return;
+    }
     if args.iter().any(|a| a == "--worker") {
         worker_main(&args);
         return;
     }
-    let mut spec_args = SpecArgs::new("cli study");
+    let mut spec_args = SpecArgs::new(REPORT_NAME);
     let mut format = Format::Text;
     let mut cache_dir: Option<String> = None;
     let mut group_by: Vec<Axis> = Vec::new();
@@ -283,6 +323,7 @@ fn main() {
     let mut sequential = false;
     let mut workers = 0usize;
     let mut lease_ttl_ms: Option<u64> = None;
+    let mut mp_threshold: Option<usize> = None;
     let mut kill_workers: Vec<(usize, usize)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -361,6 +402,14 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            // Below this many scenarios a --workers run falls back to
+            // the threaded backend (0 = never fall back).
+            "--mp-threshold" => {
+                mp_threshold = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value `{value}` for --mp-threshold");
+                    std::process::exit(2);
+                }));
+            }
             // Undocumented fault-injection hook for the CI smoke and
             // crash drills: `--kill-worker <i>:<n>` makes worker `i`
             // SIGKILL itself after journaling `n` records.
@@ -400,11 +449,13 @@ fn main() {
                      --model --temp --vlow --fail \
                      --trace-cycles --seed --threads --sequential \
                      --cache-dir <dir> --resume --progress \
-                     --workers <n> --lease-ttl-ms <ms> \
+                     --workers <n> --lease-ttl-ms <ms> --mp-threshold <n> \
                      --format <text|md|csv|json> --group-by <axes> --baseline <policy> \
                      --json --list-policies --list-workloads --list-models \
                      (or: study compare <left> <right> [--tol <abs>], \
-                     study check [spec flags] [--journal <dir|file>])"
+                     study check [spec flags] [--journal <dir|file>], \
+                     study serve [--addr <host:port>] [--cache-dir <dir>], \
+                     study fetch <url>)"
                 );
                 std::process::exit(2);
             }
@@ -444,6 +495,9 @@ fn main() {
         if let Some(ttl) = lease_ttl_ms {
             popts.lease_ttl_ms = ttl;
         }
+        if let Some(threshold) = mp_threshold {
+            popts.fallback_threshold = threshold;
+        }
         if !kill_workers.is_empty() {
             popts.worker_extra_args = vec![Vec::new(); workers];
             for (i, n) in kill_workers {
@@ -458,6 +512,8 @@ fn main() {
     }
     if progress {
         session = session.observer(Progress);
+    } else if workers > 0 {
+        session = session.observer(Notices);
     }
     let caching = cache_dir.is_some();
     if let Some(dir) = cache_dir {
@@ -509,188 +565,15 @@ fn main() {
         println!("{}", report.to_json());
         return;
     }
-    let table = if group_by.is_empty() {
-        per_record_table(&report, baseline.as_deref())
-    } else {
-        grouped_table(&report, &group_by, baseline.as_deref())
-    };
-    match table {
+    // The summary tables live in core (`analysis::summary_table`) so
+    // the study server's `/render` serves byte-identical output.
+    match analysis::summary_table(&report, &group_by, baseline.as_deref()) {
         Ok(t) => println!("{}", render::table(&t, format)),
         Err(e) => {
             eprintln!("rendering failed: {e}");
             std::process::exit(1);
         }
     }
-}
-
-/// Per-record baseline gains (`lt_years` vs the baseline policy),
-/// keyed by scenario id; records *at* the baseline have no entry.
-///
-/// Records whose model emits no `lt_years` (e.g. the retention-margin
-/// `drv` model in a mixed-model sweep) are excluded from the join
-/// before it runs — they render `-`, like every other missing metric
-/// in the summary table, instead of aborting the render. Within the
-/// lifetime-bearing subset a missing baseline partner is still a real
-/// error (the grid lacks the comparison the user asked for).
-fn baseline_gains(
-    report: &StudyReport,
-    baseline: &str,
-) -> Result<std::collections::HashMap<usize, f64>, CoreError> {
-    // A sweep with no baseline scenarios at all cannot answer the
-    // comparison the user asked for — that is a misconfiguration to
-    // report, not a column of dashes.
-    if !report
-        .records()
-        .iter()
-        .any(|r| r.scenario.policy == baseline)
-    {
-        return Err(CoreError::Report {
-            message: format!(
-                "--baseline: the sweep contains no `{baseline}` scenarios \
-                 (add it to --policies)"
-            ),
-        });
-    }
-    let with_lt: Vec<_> = report
-        .records()
-        .iter()
-        .filter(|r| r.metric("lt_years").is_some())
-        .cloned()
-        .collect();
-    let has_baseline = with_lt.iter().any(|r| r.scenario.policy == baseline);
-    if with_lt.is_empty() || !has_baseline {
-        return Ok(std::collections::HashMap::new()); // every row renders `-`
-    }
-    let lifetimes = StudyReport::from_records(report.name(), with_lt);
-    Ok(Query::new(&lifetimes)
-        .gain_vs(Axis::Policy, baseline, "lt_years")?
-        .into_iter()
-        .map(|g| (g.record.scenario.id, g.gain))
-        .collect())
-}
-
-/// The historic one-row-per-scenario summary table, with an
-/// `LT x<baseline>` gain column appended when `--baseline` is given.
-fn per_record_table(report: &StudyReport, baseline: Option<&str>) -> Result<Table, CoreError> {
-    let gains = baseline
-        .map(|base| baseline_gains(report, base))
-        .transpose()?;
-    let metric = |v: Option<f64>| match v {
-        Some(v) => years(v),
-        None => "-".into(),
-    };
-    let mut headers = vec![
-        "kB".into(),
-        "line".into(),
-        "M".into(),
-        "model".into(),
-        "policy".into(),
-        "workload".into(),
-        "Esav%".into(),
-        "idl%".into(),
-        "LT0".into(),
-        "LT".into(),
-    ];
-    if let Some(base) = baseline {
-        headers.push(format!("LT x{base}"));
-    }
-    let mut t = Table::new(
-        format!("study: {} scenarios", report.records().len()),
-        headers,
-    );
-    for r in report.records() {
-        let mut row = vec![
-            (r.scenario.cache_bytes / 1024).to_string(),
-            r.scenario.line_bytes.to_string(),
-            r.scenario.banks.to_string(),
-            r.scenario.model.clone(),
-            r.scenario.policy.clone(),
-            r.scenario.workload.clone(),
-            pct(r.esav),
-            pct(r.avg_useful_idleness()),
-            metric(r.metric("lt0_years")),
-            metric(r.metric("lt_years")),
-        ];
-        if let Some(gains) = &gains {
-            row.push(match gains.get(&r.scenario.id) {
-                Some(gain) => format!("{gain:.2}x"),
-                None => "-".into(), // the baseline row itself
-            });
-        }
-        t.push_row(row);
-    }
-    Ok(t)
-}
-
-/// The `--group-by` aggregation: one row per group, mean metrics over
-/// the group's records, plus the geomean baseline-relative lifetime
-/// gain when `--baseline` is given.
-fn grouped_table(
-    report: &StudyReport,
-    group_by: &[Axis],
-    baseline: Option<&str>,
-) -> Result<Table, CoreError> {
-    let gains = baseline
-        .map(|base| baseline_gains(report, base))
-        .transpose()?;
-    let query = Query::new(report).group_by(group_by.iter().copied());
-    let mut headers: Vec<String> = group_by.iter().map(|a| a.name().to_string()).collect();
-    headers.extend([
-        "n".into(),
-        "Esav%".into(),
-        "idl%".into(),
-        "LT0".into(),
-        "LT".into(),
-    ]);
-    if let Some(base) = baseline {
-        headers.push(format!("LT x{base}"));
-    }
-    let groups = query.groups();
-    let mut t = Table::new(
-        format!(
-            "study: {} scenarios in {} groups",
-            report.records().len(),
-            groups.len()
-        ),
-        headers,
-    );
-    for group in groups {
-        // Mean over the records that carry the metric, `-` when none
-        // do — the grouped counterpart of the per-record table's `-`
-        // for a missing metric (a mixed-model sweep must render, not
-        // abort).
-        let mean = |metric: &str, fmt: fn(f64) -> String| -> Result<String, CoreError> {
-            let values: Vec<f64> = group
-                .records
-                .iter()
-                .filter_map(|r| aging_cache::analysis::metric_value(r, metric))
-                .collect();
-            if values.is_empty() {
-                return Ok("-".into());
-            }
-            Ok(fmt(Reduce::Mean.apply(&values)?))
-        };
-        let mut row: Vec<String> = group.key.iter().map(ToString::to_string).collect();
-        row.push(group.records.len().to_string());
-        row.push(mean("esav", pct)?);
-        row.push(mean("useful_idleness", pct)?);
-        row.push(mean("lt0_years", years)?);
-        row.push(mean("lt_years", years)?);
-        if let Some(gains) = &gains {
-            let group_gains: Vec<f64> = group
-                .records
-                .iter()
-                .filter_map(|r| gains.get(&r.scenario.id).copied())
-                .collect();
-            row.push(if group_gains.is_empty() {
-                "-".into() // entirely at the baseline, or no lifetimes
-            } else {
-                format!("{:.2}x", Reduce::Geomean.apply(&group_gains)?)
-            });
-        }
-        t.push_row(row);
-    }
-    Ok(t)
 }
 
 /// One side of a `study compare` invocation.
@@ -796,7 +679,7 @@ fn compare_main(args: &[String]) {
 fn check_main(args: &[String]) {
     use aging_cache::check;
 
-    let mut spec_args = SpecArgs::new("cli study");
+    let mut spec_args = SpecArgs::new(REPORT_NAME);
     let mut journal: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
@@ -851,6 +734,204 @@ fn check_main(args: &[String]) {
     }
     print!("{report}");
     if !report.is_clean() {
+        std::process::exit(1);
+    }
+}
+
+/// `study serve [--addr <host:port>] [--cache-dir <dir>] [--threads
+/// <n>] [--shutdown-token <t>] [--addr-file <path>]`: a long-lived
+/// HTTP server over the study session and its journal. `GET
+/// /render|/query|/compare` answer from the warm cache; `POST /run`
+/// computes what is missing, with concurrent identical requests
+/// coalesced into one simulation. `--addr` defaults to `127.0.0.1:0`
+/// (an OS-assigned port, printed — and written to `--addr-file` —
+/// once bound, so scripts can discover it). Without `--cache-dir` the
+/// results live in memory and die with the server. The process runs
+/// until `POST /shutdown?token=…` (requires `--shutdown-token`)
+/// drains it; then it exits 0.
+fn serve_main(args: &[String]) {
+    let mut options = ServeOptions::default();
+    let mut cache_dir: Option<String> = None;
+    let mut addr_file: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("flag {flag} needs a value");
+            std::process::exit(2);
+        };
+        match flag {
+            "--addr" => options.addr = value.clone(),
+            "--cache-dir" => cache_dir = Some(value.clone()),
+            "--threads" => {
+                options.threads = value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value `{value}` for --threads");
+                    std::process::exit(2);
+                });
+            }
+            "--shutdown-token" => options.shutdown_token = Some(value.clone()),
+            "--addr-file" => addr_file = Some(value.clone()),
+            _ => {
+                eprintln!("unknown flag {flag} for `study serve`");
+                eprintln!(
+                    "usage: study serve [--addr <host:port>] [--cache-dir <dir>] \
+                     [--threads <n>] [--shutdown-token <token>] [--addr-file <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    /// Request log on stderr; stdout stays clean for piping.
+    struct Stderr;
+    impl ServeLog for Stderr {
+        fn request(&self, method: &str, path: &str, status: u16) {
+            eprintln!("[serve] {method} {path} -> {status}");
+        }
+    }
+
+    let fail = |e: CoreError| -> ! {
+        eprintln!("serve failed: {e}");
+        std::process::exit(1);
+    };
+    let server = match &cache_dir {
+        Some(dir) => {
+            let cache = JsonlCache::in_dir(dir).unwrap_or_else(|e| fail(e));
+            eprintln!("[serve] journal: {dir} ({} scenarios warm)", cache.len());
+            StudyServer::bind(cache, options)
+        }
+        None => StudyServer::bind(MemoryCache::new(), options),
+    }
+    .unwrap_or_else(|e| fail(e))
+    .with_log(Stderr);
+    if cache_dir.is_none() {
+        eprintln!("[serve] no --cache-dir: results live in memory and die with the server");
+    }
+    let addr = server.addr();
+    eprintln!("[serve] listening on http://{addr}");
+    if let Some(path) = &addr_file {
+        std::fs::write(path, format!("{addr}\n")).unwrap_or_else(|e| {
+            eprintln!("serve: cannot write --addr-file {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    if let Err(e) = server.serve() {
+        fail(e);
+    }
+    let stats = server.stats();
+    let session = server.session().stats();
+    eprintln!(
+        "[serve] drained: {} requests ({} errors, {} coalesced waits), \
+         {} simulations, {} cache hits",
+        stats.requests,
+        stats.errors,
+        stats.coalesced_waits,
+        session.simulations,
+        session.cache_hits
+    );
+}
+
+/// `study fetch <http://host:port/path?query> [--method GET|POST]
+/// [--body <text> | --body-file <path>]`: a dependency-free HTTP
+/// client for the serve smoke tests (CI needs no `curl`). The
+/// response body goes to stdout *byte-for-byte* — no added newline —
+/// so `cmp` against a CLI rendering works. Exits 0 on a 2xx status,
+/// 1 otherwise (status on stderr), 2 on usage errors.
+fn fetch_main(args: &[String]) {
+    use std::io::{Read, Write};
+
+    let usage = || -> ! {
+        eprintln!(
+            "usage: study fetch <http://host:port/path?query> \
+             [--method GET|POST] [--body <text> | --body-file <path>]"
+        );
+        std::process::exit(2);
+    };
+    let mut url: Option<&String> = None;
+    let mut method: Option<String> = None;
+    let mut body: Vec<u8> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--method" | "--body" | "--body-file" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("flag {arg} needs a value");
+                    std::process::exit(2);
+                };
+                match arg {
+                    "--method" => method = Some(value.to_ascii_uppercase()),
+                    "--body" => body = value.clone().into_bytes(),
+                    _ => {
+                        body = std::fs::read(value).unwrap_or_else(|e| {
+                            eprintln!("fetch: read {value}: {e}");
+                            std::process::exit(2);
+                        });
+                    }
+                }
+                i += 2;
+            }
+            _ if url.is_none() && !arg.starts_with("--") => {
+                url = Some(&args[i]);
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(url) = url else { usage() };
+    let Some(rest) = url.strip_prefix("http://") else {
+        eprintln!("fetch: only http:// URLs are supported, got {url}");
+        std::process::exit(2);
+    };
+    let (host, path) = match rest.find('/') {
+        Some(pos) => (&rest[..pos], &rest[pos..]),
+        None => (rest, "/"),
+    };
+    // A body implies POST unless the method was given explicitly.
+    let method = method.unwrap_or_else(|| if body.is_empty() { "GET" } else { "POST" }.to_string());
+
+    let fail = |what: &str, e: std::io::Error| -> ! {
+        eprintln!("fetch: {what}: {e}");
+        std::process::exit(1);
+    };
+    let mut stream =
+        std::net::TcpStream::connect(host).unwrap_or_else(|e| fail(&format!("connect {host}"), e));
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(&body))
+        .unwrap_or_else(|e| fail("send", e));
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .unwrap_or_else(|e| fail("read", e));
+
+    let Some(split) = response.windows(4).position(|w| w == b"\r\n\r\n") else {
+        eprintln!("fetch: malformed response (no header terminator)");
+        std::process::exit(1);
+    };
+    let head = String::from_utf8_lossy(&response[..split]);
+    let Some(status) = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+    else {
+        eprintln!(
+            "fetch: malformed status line: {}",
+            head.lines().next().unwrap_or_default()
+        );
+        std::process::exit(1);
+    };
+    std::io::stdout()
+        .write_all(&response[split + 4..])
+        .unwrap_or_else(|e| fail("stdout", e));
+    if !(200..300).contains(&status) {
+        eprintln!("fetch: {method} {path} -> {status}");
         std::process::exit(1);
     }
 }

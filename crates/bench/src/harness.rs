@@ -96,9 +96,15 @@ impl Harness {
 }
 
 /// Writes a machine-readable benchmark baseline: one flat JSON object
-/// of named measurements, to `path` (conventionally
-/// `BENCH_<name>.json` in the working directory). Values emit with
-/// shortest-round-trip formatting, so baselines diff cleanly.
+/// of named measurements per bench, one line per bench (JSONL), to
+/// `path` (conventionally `BENCH_<name>.json` in the working
+/// directory). Values emit with shortest-round-trip formatting, so
+/// baselines diff cleanly.
+///
+/// The write **merges by bench name**: an existing line for `bench`
+/// is replaced in place, other benches' lines pass through untouched
+/// — so `study_exec` and `study_serve` can share one baseline file
+/// without clobbering each other, whichever ran last.
 ///
 /// # Errors
 ///
@@ -106,7 +112,22 @@ impl Harness {
 pub fn write_baseline(path: &str, bench: &str, fields: &[(&str, f64)]) -> std::io::Result<()> {
     let mut pairs = vec![("bench", Json::Str(bench.to_string()))];
     pairs.extend(fields.iter().map(|&(k, v)| (k, Json::Num(v))));
-    let mut text = Json::obj(pairs).emit();
+    let line = Json::obj(pairs).emit();
+
+    // `bench` emits first, so a prefix match identifies this bench's
+    // line without parsing the rest.
+    let marker = format!("{{\"bench\":\"{bench}\"");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut lines: Vec<String> = existing
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect();
+    match lines.iter().position(|l| l.starts_with(&marker)) {
+        Some(i) => lines[i] = line,
+        None => lines.push(line),
+    }
+    let mut text = lines.join("\n");
     text.push('\n');
     std::fs::write(path, text)
 }
@@ -135,5 +156,25 @@ mod tests {
         assert_eq!(human(1234.0), "1.23k");
         assert_eq!(human(1.234e7), "12.34M");
         assert_eq!(human(2.5e9), "2.50G");
+    }
+
+    #[test]
+    fn baselines_merge_by_bench_name() {
+        let path = std::env::temp_dir().join(format!("nbti-baseline-{}.json", std::process::id()));
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        write_baseline(path, "alpha", &[("x", 1.0)]).unwrap();
+        write_baseline(path, "beta", &[("y", 2.0)]).unwrap();
+        // Re-running a bench replaces its own line in place, nothing
+        // else — whichever bench runs last.
+        write_baseline(path, "alpha", &[("x", 3.0)]).unwrap();
+
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(
+            text,
+            "{\"bench\":\"alpha\",\"x\":3}\n{\"bench\":\"beta\",\"y\":2}\n"
+        );
+        std::fs::remove_file(path).unwrap();
     }
 }

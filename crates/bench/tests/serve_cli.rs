@@ -1,0 +1,139 @@
+//! End-to-end CLI smoke for the serving layer: warm a journal with
+//! `study`, serve it with `study serve`, and hit it with `study
+//! fetch` — the served Table II markdown must be byte-identical to
+//! the CLI rendering, the exchange must simulate nothing, and a
+//! token-gated shutdown must drain the server to a zero exit.
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn study() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_study"))
+}
+
+/// The Table II headline sweep (8/16/32 kB × Probing × the full
+/// suite) at the test trace horizon, as CLI flags and as the
+/// equivalent serve query string.
+const SPEC_FLAGS: [&str; 8] = [
+    "--cache-kb",
+    "8,16,32",
+    "--policies",
+    "probing",
+    "--workloads",
+    "all",
+    "--trace-cycles",
+    "40000",
+];
+const SPEC_QUERY: &str = "cache-kb=8,16,32&policies=probing&workloads=all&trace-cycles=40000";
+
+#[test]
+fn serve_answers_byte_identical_to_the_cli_and_drains_on_shutdown() {
+    let dir = std::env::temp_dir().join(format!("nbti-serve-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_dir = dir.join("journal");
+    let cache_dir = cache_dir.to_str().unwrap();
+
+    // Warm the journal through the CLI; its stdout is the byte-parity
+    // reference the server must reproduce.
+    let run = study()
+        .args(SPEC_FLAGS)
+        .args(["--format", "md", "--cache-dir", cache_dir])
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let expected = run.stdout;
+    assert!(!expected.is_empty());
+
+    // Serve the warm journal on an OS-assigned port, discovered
+    // through --addr-file (the CI recipe: no port to collide on).
+    let addr_file = dir.join("addr");
+    let mut server = study()
+        .args(["serve", "--cache-dir", cache_dir])
+        .args(["--addr", "127.0.0.1:0"])
+        .args(["--addr-file", addr_file.to_str().unwrap()])
+        .args(["--shutdown-token", "ci-smoke"])
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        let text = std::fs::read_to_string(&addr_file).unwrap_or_default();
+        if !text.trim().is_empty() {
+            break text.trim().to_string();
+        }
+        assert!(Instant::now() < deadline, "server never wrote --addr-file");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let fetch = |target: &str, extra: &[&str]| {
+        study()
+            .arg("fetch")
+            .arg(format!("http://{addr}{target}"))
+            .args(extra)
+            .output()
+            .unwrap()
+    };
+
+    // Served markdown == CLI stdout, byte for byte.
+    let got = fetch(&format!("/render?{SPEC_QUERY}&format=md"), &[]);
+    assert!(
+        got.status.success(),
+        "{}",
+        String::from_utf8_lossy(&got.stderr)
+    );
+    assert_eq!(
+        got.stdout, expected,
+        "served bytes must match the CLI rendering"
+    );
+
+    // A grouped query over the same warm cells works too.
+    let query = fetch(
+        &format!("/query?{SPEC_QUERY}&metric=esav&reduce=mean&group-by=cache"),
+        &[],
+    );
+    assert!(query.status.success());
+    assert!(!query.stdout.is_empty());
+
+    // The report JSON the server serves diffs clean against its own
+    // journal.
+    let report = fetch(&format!("/render?{SPEC_QUERY}&format=json"), &[]);
+    assert!(report.status.success());
+    let report_file = dir.join("report.json");
+    std::fs::write(&report_file, &report.stdout).unwrap();
+    let compare = fetch("/compare", &["--body-file", report_file.to_str().unwrap()]);
+    assert!(
+        compare.status.success(),
+        "{}",
+        String::from_utf8_lossy(&compare.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&compare.stdout).contains("54 scenarios matched"),
+        "{}",
+        String::from_utf8_lossy(&compare.stdout)
+    );
+
+    // The whole exchange replayed from the journal: zero simulations.
+    let stats = fetch("/stats", &[]);
+    let text = String::from_utf8(stats.stdout).unwrap();
+    assert!(text.contains("\"simulations\":0"), "{text}");
+
+    // A wrong token bounces (fetch exits 1) and the server stays up.
+    let bad = fetch("/shutdown?token=wrong", &["--method", "POST"]);
+    assert!(!bad.status.success());
+
+    // The right token drains the server to a clean exit.
+    let ok = fetch("/shutdown?token=ci-smoke", &["--method", "POST"]);
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    assert_eq!(String::from_utf8(ok.stdout).unwrap(), "draining\n");
+    let status = server.wait().unwrap();
+    assert!(status.success(), "serve must exit 0 after a drain");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -65,6 +65,7 @@
 //! ```
 
 use crate::error::CoreError;
+use crate::report::{pct, years, Table};
 use crate::rescache::{CachedMeasurement, Fingerprint, ResultCache};
 use crate::study::{Scenario, ScenarioRecord, StudyReport};
 use crate::workload::WorkloadRegistry;
@@ -966,6 +967,205 @@ impl fmt::Display for ReportDiff {
             writeln!(f, "  >  {key}")?;
         }
         Ok(())
+    }
+}
+
+/// Per-record baseline gains (`lt_years` vs the baseline policy),
+/// keyed by scenario id; records *at* the baseline have no entry.
+///
+/// Records whose model emits no `lt_years` (e.g. the retention-margin
+/// `drv` model in a mixed-model sweep) are excluded from the join
+/// before it runs — they render `-`, like every other missing metric
+/// in the summary table, instead of aborting the render. Within the
+/// lifetime-bearing subset a missing baseline partner is still a real
+/// error (the grid lacks the comparison the user asked for).
+fn baseline_gains(
+    report: &StudyReport,
+    baseline: &str,
+    // aging-lint: allow(no-unordered-iter) keyed gain map, only ever probed by scenario id
+) -> Result<std::collections::HashMap<usize, f64>, CoreError> {
+    // A sweep with no baseline scenarios at all cannot answer the
+    // comparison the user asked for — that is a misconfiguration to
+    // report, not a column of dashes.
+    if !report
+        .records()
+        .iter()
+        .any(|r| r.scenario.policy == baseline)
+    {
+        return Err(CoreError::Report {
+            message: format!(
+                "--baseline: the sweep contains no `{baseline}` scenarios \
+                 (add it to --policies)"
+            ),
+        });
+    }
+    let with_lt: Vec<_> = report
+        .records()
+        .iter()
+        .filter(|r| r.metric("lt_years").is_some())
+        .cloned()
+        .collect();
+    let has_baseline = with_lt.iter().any(|r| r.scenario.policy == baseline);
+    if with_lt.is_empty() || !has_baseline {
+        // aging-lint: allow(no-unordered-iter) keyed gain map, only ever probed by scenario id
+        return Ok(std::collections::HashMap::new()); // every row renders `-`
+    }
+    let lifetimes = StudyReport::from_records(report.name(), with_lt);
+    Ok(Query::new(&lifetimes)
+        .gain_vs(Axis::Policy, baseline, "lt_years")?
+        .into_iter()
+        .map(|g| (g.record.scenario.id, g.gain))
+        .collect())
+}
+
+/// The one-row-per-scenario summary table (the `study` CLI's and the
+/// study server's shared default view), with an `LT x<baseline>` gain
+/// column appended when `baseline` is given.
+fn per_record_table(report: &StudyReport, baseline: Option<&str>) -> Result<Table, CoreError> {
+    let gains = baseline
+        .map(|base| baseline_gains(report, base))
+        .transpose()?;
+    let metric = |v: Option<f64>| match v {
+        Some(v) => years(v),
+        None => "-".into(),
+    };
+    let mut headers = vec![
+        "kB".into(),
+        "line".into(),
+        "M".into(),
+        "model".into(),
+        "policy".into(),
+        "workload".into(),
+        "Esav%".into(),
+        "idl%".into(),
+        "LT0".into(),
+        "LT".into(),
+    ];
+    if let Some(base) = baseline {
+        headers.push(format!("LT x{base}"));
+    }
+    let mut t = Table::new(
+        format!("study: {} scenarios", report.records().len()),
+        headers,
+    );
+    for r in report.records() {
+        let mut row = vec![
+            (r.scenario.cache_bytes / 1024).to_string(),
+            r.scenario.line_bytes.to_string(),
+            r.scenario.banks.to_string(),
+            r.scenario.model.clone(),
+            r.scenario.policy.clone(),
+            r.scenario.workload.clone(),
+            pct(r.esav),
+            pct(r.avg_useful_idleness()),
+            metric(r.metric("lt0_years")),
+            metric(r.metric("lt_years")),
+        ];
+        if let Some(gains) = &gains {
+            row.push(match gains.get(&r.scenario.id) {
+                Some(gain) => format!("{gain:.2}x"),
+                None => "-".into(), // the baseline row itself
+            });
+        }
+        t.push_row(row);
+    }
+    Ok(t)
+}
+
+/// The group-by aggregation: one row per group, mean metrics over
+/// the group's records, plus the geomean baseline-relative lifetime
+/// gain when `baseline` is given.
+fn grouped_table(
+    report: &StudyReport,
+    group_by: &[Axis],
+    baseline: Option<&str>,
+) -> Result<Table, CoreError> {
+    let gains = baseline
+        .map(|base| baseline_gains(report, base))
+        .transpose()?;
+    let query = Query::new(report).group_by(group_by.iter().copied());
+    let mut headers: Vec<String> = group_by.iter().map(|a| a.name().to_string()).collect();
+    headers.extend([
+        "n".into(),
+        "Esav%".into(),
+        "idl%".into(),
+        "LT0".into(),
+        "LT".into(),
+    ]);
+    if let Some(base) = baseline {
+        headers.push(format!("LT x{base}"));
+    }
+    let groups = query.groups();
+    let mut t = Table::new(
+        format!(
+            "study: {} scenarios in {} groups",
+            report.records().len(),
+            groups.len()
+        ),
+        headers,
+    );
+    for group in groups {
+        // Mean over the records that carry the metric, `-` when none
+        // do — the grouped counterpart of the per-record table's `-`
+        // for a missing metric (a mixed-model sweep must render, not
+        // abort).
+        let mean = |metric: &str, fmt: fn(f64) -> String| -> Result<String, CoreError> {
+            let values: Vec<f64> = group
+                .records
+                .iter()
+                .filter_map(|r| metric_value(r, metric))
+                .collect();
+            if values.is_empty() {
+                return Ok("-".into());
+            }
+            Ok(fmt(Reduce::Mean.apply(&values)?))
+        };
+        let mut row: Vec<String> = group.key.iter().map(ToString::to_string).collect();
+        row.push(group.records.len().to_string());
+        row.push(mean("esav", pct)?);
+        row.push(mean("useful_idleness", pct)?);
+        row.push(mean("lt0_years", years)?);
+        row.push(mean("lt_years", years)?);
+        if let Some(gains) = &gains {
+            let group_gains: Vec<f64> = group
+                .records
+                .iter()
+                .filter_map(|r| gains.get(&r.scenario.id).copied())
+                .collect();
+            row.push(if group_gains.is_empty() {
+                "-".into() // entirely at the baseline, or no lifetimes
+            } else {
+                format!("{:.2}x", Reduce::Geomean.apply(&group_gains)?)
+            });
+        }
+        t.push_row(row);
+    }
+    Ok(t)
+}
+
+/// The shared summary view behind the `study` CLI's default output
+/// *and* the study server's `/render` and `/query` endpoints: one row
+/// per scenario (empty `group_by`), or one row per group with mean
+/// metrics. `baseline` appends the `LT x<baseline>` gain column
+/// (per-record, or geomean within each group) derived by a
+/// [`Query::gain_vs`] join over the policy axis.
+///
+/// Both front ends calling this one function is what makes the served
+/// bytes and the CLI bytes provably identical for the same report.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Report`] when the baseline policy has no
+/// scenarios in the report, and propagates reduction errors.
+pub fn summary_table(
+    report: &StudyReport,
+    group_by: &[Axis],
+    baseline: Option<&str>,
+) -> Result<Table, CoreError> {
+    if group_by.is_empty() {
+        per_record_table(report, baseline)
+    } else {
+        grouped_table(report, group_by, baseline)
     }
 }
 

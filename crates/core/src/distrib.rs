@@ -2,7 +2,7 @@
 //! shared [`JsonlCache`] directory, with crash-tolerant shard leases.
 //!
 //! A process-sharded run has two halves. The **coordinator**
-//! ([`distribute`], driven by the session when
+//! (`distribute`, driven by the session when
 //! [`ExecBackend::Process`](crate::exec::ExecBackend::Process) is
 //! selected) expands nothing and computes nothing: it writes the
 //! expanded grid into a manifest (`coord-<digest>/grid.json` under the

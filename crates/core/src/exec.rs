@@ -216,6 +216,14 @@ pub struct ProcessOptions {
     /// Extra argv appended to worker `i`'s command line — the fault
     /// injection hook the crash tests use (e.g. `--die-after 2`).
     pub worker_extra_args: Vec<Vec<String>>,
+    /// Grids smaller than this run on the threaded backend instead of
+    /// sharding across processes (with an
+    /// [`ExecObserver::on_notice`]): process spawn + lease-poll
+    /// overhead dominates small sweeps — the 54-scenario reference
+    /// grid is ~2× *slower* sharded than sequential. `0` disables the
+    /// fallback (the crash drills pin it off to test real process
+    /// execution on small grids). Default 128.
+    pub fallback_threshold: usize,
 }
 
 impl ProcessOptions {
@@ -229,6 +237,7 @@ impl ProcessOptions {
             poll_ms: 250,
             shards_per_worker: 4,
             worker_extra_args: Vec::new(),
+            fallback_threshold: 128,
         }
     }
 }
@@ -361,6 +370,15 @@ pub trait ExecObserver: Send + Sync {
     /// still in the journal).
     fn on_worker(&self, worker: &str, computed: usize, cached: usize) {
         let _ = (worker, computed, cached);
+    }
+
+    /// The session changed how it will execute and the user should
+    /// know why — e.g. a small grid fell back from the process backend
+    /// to the threaded one ([`ProcessOptions::fallback_threshold`]).
+    /// Never fires on the result path: a notice changes *where* work
+    /// runs, not what it produces.
+    fn on_notice(&self, message: &str) {
+        let _ = message;
     }
 }
 

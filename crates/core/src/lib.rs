@@ -136,6 +136,7 @@ pub mod render;
 pub mod report;
 pub mod rescache;
 pub mod selector;
+pub mod serve;
 pub mod session;
 pub mod study;
 pub mod views;
@@ -164,6 +165,7 @@ pub use rescache::{
     CachedMeasurement, Fingerprint, JsonlCache, MemoryCache, ResultCache, ENGINE_VERSION,
 };
 pub use selector::{BlockSelector, Rail};
+pub use serve::{ServeOptions, ServeStats, StudyServer};
 pub use session::{SessionStats, StudySession};
 pub use study::{Scenario, ScenarioGrid, ScenarioRecord, StudyReport, StudySpec};
 pub use workload::{

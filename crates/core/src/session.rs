@@ -444,6 +444,27 @@ fn execute(grid: &ScenarioGrid, env: &ExecEnv<'_>) -> Result<StudyReport, CoreEr
                         .into(),
             });
         };
+        // Small grids are faster in-process: spawn + lease-poll
+        // overhead dominates below the threshold (~2× slower than
+        // sequential at the 54-scenario reference grid), so fall back
+        // to the threaded backend and say so. The report is
+        // byte-identical either way — backends only move work around.
+        if grid.len() < popts.fallback_threshold {
+            if let Some(obs) = env.observer {
+                obs.on_notice(&format!(
+                    "process backend: {} scenarios is below the fallback threshold ({}); \
+                     running threaded instead",
+                    grid.len(),
+                    popts.fallback_threshold
+                ));
+            }
+            exec = crate::exec::ExecOptions::threaded();
+            if let Some(threads) = grid.threads_cap() {
+                exec = exec.with_threads(threads);
+            }
+            exec.build().execute(n, &task);
+            return assemble(grid, slots, env);
+        }
         let Some(cache) = env.cache else {
             return Err(CoreError::Report {
                 message: "process backend requires a result cache over the shared directory \
@@ -455,8 +476,17 @@ fn execute(grid: &ScenarioGrid, env: &ExecEnv<'_>) -> Result<StudyReport, CoreEr
         cache.refresh()?;
     }
     exec.build().execute(n, &task);
+    assemble(grid, slots, env)
+}
 
-    let mut records = Vec::with_capacity(n);
+/// Collects the per-scenario slots into the id-ordered report and
+/// fires the observer's finish callback.
+fn assemble(
+    grid: &ScenarioGrid,
+    slots: Vec<Mutex<Option<Result<ScenarioRecord, CoreError>>>>,
+    env: &ExecEnv<'_>,
+) -> Result<StudyReport, CoreError> {
+    let mut records = Vec::with_capacity(slots.len());
     for slot in slots {
         match slot.into_inner().expect("slot poisoned") {
             Some(Ok(record)) => records.push(record),

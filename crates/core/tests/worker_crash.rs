@@ -32,6 +32,9 @@ fn process_options(dir: &std::path::Path) -> ProcessOptions {
     // after the default ten-second grace.
     popts.lease_ttl_ms = 400;
     popts.poll_ms = 50;
+    // The grid is small; pin the small-grid fallback off so the crash
+    // drills keep spawning (and killing) real worker processes.
+    popts.fallback_threshold = 0;
     popts
 }
 

@@ -10,11 +10,11 @@
 //!
 //! | rule | guards |
 //! |---|---|
-//! | `no-panic-in-lib` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/indexing in the render/report/json/analysis/rescache request paths |
+//! | `no-panic-in-lib` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/indexing in the render/report/json/analysis/rescache/serve request paths |
 //! | `no-wallclock` | no `SystemTime::now`/`Instant::now` outside `crates/bench` |
 //! | `no-unordered-iter` | no `HashMap`/`HashSet` in output/hashing paths without a justification |
 //! | `no-env-in-core` | no `std::env` reads outside bins |
-//! | `registry-doc-coherence` | every registry built-in key appears in DESIGN.md |
+//! | `registry-doc-coherence` | every registry built-in key — and every serve endpoint path — appears in DESIGN.md |
 //!
 //! Findings are suppressed inline with
 //! `// aging-lint: allow(<rule>) <one-line justification>` on the

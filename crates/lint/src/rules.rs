@@ -212,6 +212,7 @@ fn panic_zone(path: &str) -> bool {
         "crates/core/src/json.rs",
         "crates/core/src/analysis.rs",
         "crates/core/src/rescache.rs",
+        "crates/core/src/serve.rs",
     ]
     .contains(&path)
 }
@@ -241,6 +242,7 @@ fn registry_zone(path: &str) -> bool {
         "crates/core/src/registry.rs",
         "crates/core/src/model.rs",
         "crates/core/src/workload.rs",
+        "crates/core/src/serve.rs",
     ]
     .contains(&path)
 }
@@ -427,7 +429,9 @@ fn no_env_in_core(file: &SourceFile, code: &[&Token], diags: &mut Vec<Diagnostic
 }
 
 /// Built-in registry key literals: the first string argument of
-/// `register_fn(` and `ModelKey::parse(` calls in non-test code.
+/// `register_fn(`, `ModelKey::parse(`, and `endpoint(` calls in
+/// non-test code (the serve module's route table is a registry too —
+/// `endpoint()` takes the path first for exactly this check).
 fn registry_doc_coherence(
     file: &SourceFile,
     code: &[&Token],
@@ -436,11 +440,12 @@ fn registry_doc_coherence(
 ) {
     for i in 0..code.len() {
         let registers = is_ident(code.get(i), "register_fn") && is_punct(code.get(i + 1), "(");
+        let routes = is_ident(code.get(i), "endpoint") && is_punct(code.get(i + 1), "(");
         let parses_key = is_ident(code.get(i), "parse")
             && after_path_sep(code, i)
             && is_ident(code.get(i.wrapping_sub(3)), "ModelKey")
             && is_punct(code.get(i + 1), "(");
-        let key_tok = if registers || parses_key {
+        let key_tok = if registers || routes || parses_key {
             code.get(i + 2)
         } else {
             None
@@ -469,10 +474,14 @@ mod tests {
 
     fn run(path: &str, src: &str, rules: &[&'static str]) -> Vec<String> {
         let file = SourceFile::parse(path, src);
-        run_rules(&file, rules, Some("documented-key nbti-45nm"))
-            .into_iter()
-            .map(|d| d.to_string())
-            .collect()
+        run_rules(
+            &file,
+            rules,
+            Some("documented-key nbti-45nm GET /documented-route"),
+        )
+        .into_iter()
+        .map(|d| d.to_string())
+        .collect()
     }
 
     #[test]
@@ -555,6 +564,22 @@ fn builtin(reg: &mut Registry) {
         let out = run("registry.rs", src, &[REGISTRY_DOC_COHERENCE]);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].contains("missing-key"), "{out:?}");
+    }
+
+    #[test]
+    fn endpoint_paths_checked_against_doc() {
+        let src = r#"
+const ROUTES: [Endpoint; 2] = [
+    endpoint("/documented-route", "GET", "fine"),
+    endpoint("/orphan-route", "GET", "undocumented"),
+];
+const fn endpoint(path: &'static str, m: &'static str, h: &'static str) -> Endpoint {
+    Endpoint { path, m, h }
+}
+"#;
+        let out = run("serve.rs", src, &[REGISTRY_DOC_COHERENCE]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains("/orphan-route"), "{out:?}");
     }
 
     #[test]
