@@ -1,0 +1,157 @@
+//! Search-layer benchmark: what adaptive probing buys over the full
+//! sweep — a bisection `Search` and the exhaustive reference over the
+//! same 33-point operating-temperature axis, cold and warm, through
+//! the `StudySession` front door.
+//!
+//! Like `study_exec`, the unit of work is a whole search, so this
+//! bench times single runs instead of looping a closure, and merges
+//! its rows (probes issued vs space cardinality, cold/warm wall
+//! times) into the shared `BENCH_study.json` baseline.
+//!
+//! `cargo bench -p repro-bench --bench study_optimize`
+
+use aging_cache::rescache::MemoryCache;
+use aging_cache::search::{self, Constraint, Driver, Objective, ScenarioSpace, Search};
+use aging_cache::session::StudySession;
+use aging_cache::study::StudySpec;
+use repro_bench::harness::write_baseline;
+use std::time::Instant;
+
+/// Operating-temperature axis: 33 points, 45 °C to 141 °C in 3 °C
+/// steps. Lifetime is strictly monotone along it (NBTI stress grows
+/// with temperature), which is the bisection driver's best case —
+/// and the honest framing for the probes-saved numbers below.
+fn space() -> ScenarioSpace {
+    let temps: Vec<String> = search::steps(45.0, 141.0, 3.0)
+        .expect("temperature axis")
+        .into_iter()
+        .map(|t| format!("nbti:temp={t}"))
+        .collect();
+    ScenarioSpace::grid(
+        StudySpec::new("bench optimize")
+            .models(temps)
+            .workload_names(["sha"])
+            .expect("suite workload")
+            .trace_cycles(40_000),
+    )
+}
+
+fn main() {
+    let objective = || Objective::maximize("lt_years");
+
+    // Cold bisection: endpoints plus the monotonicity audit.
+    let session = StudySession::new().cache(MemoryCache::new());
+    let t = Instant::now();
+    let bisect = Search::new(space(), objective())
+        .driver(Driver::Bisect)
+        .run(&session)
+        .expect("bisect search");
+    let bisect_cold_s = t.elapsed().as_secs_f64();
+    let cold_sims = session.stats().simulations;
+
+    // Warm bisection on the same session: every probe replays from
+    // the result cache — zero simulations, byte-identical report.
+    let t = Instant::now();
+    let warm = Search::new(space(), objective())
+        .driver(Driver::Bisect)
+        .run(&session)
+        .expect("warm bisect search");
+    let bisect_warm_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        session.stats().simulations,
+        cold_sims,
+        "a warm probe simulated"
+    );
+    assert_eq!(
+        warm.to_json(),
+        bisect.to_json(),
+        "warm replay diverged from the cold report"
+    );
+
+    // Cold exhaustive reference, on its own session so the comparison
+    // is cold-vs-cold: the full sweep must crown the same incumbent.
+    let full_session = StudySession::new().cache(MemoryCache::new());
+    let t = Instant::now();
+    let full = Search::new(space(), objective())
+        .run(&full_session)
+        .expect("exhaustive search");
+    let full_cold_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        bisect.incumbent().map(|p| &p.scenario),
+        full.incumbent().map(|p| &p.scenario),
+        "bisect and exhaustive disagree on a monotone axis"
+    );
+
+    // Constrained boundary search — the thermal-headroom question —
+    // exercises the actual bisection loop rather than the endpoint
+    // shortcut. Warm session: only never-probed cells compute.
+    let floor = 3.5;
+    let t = Instant::now();
+    let boundary = Search::new(space(), Objective::minimize("lt_years"))
+        .constraint(Constraint::at_least("lt_years", floor).expect("finite bound"))
+        .driver(Driver::Bisect)
+        .run(&session)
+        .expect("boundary search");
+    let boundary_s = t.elapsed().as_secs_f64();
+    assert!(
+        boundary.incumbent().is_some(),
+        "no feasible operating point above the floor"
+    );
+
+    let space_n = bisect.space_len() as f64;
+    println!();
+    println!("benchmark group: study_optimize (33-point temperature axis)");
+    println!("{:<36} {:>14}", "name", "value");
+    println!("{}", "-".repeat(52));
+    println!("{:<36} {:>14}", "study_optimize/space", bisect.space_len());
+    println!(
+        "{:<36} {:>14}",
+        "study_optimize/bisect-probes",
+        bisect.probes_issued()
+    );
+    println!(
+        "{:<36} {:>14}",
+        "study_optimize/boundary-probes",
+        boundary.probes_issued()
+    );
+    println!(
+        "{:<36} {:>14}",
+        "study_optimize/exhaustive-probes",
+        full.probes_issued()
+    );
+    println!(
+        "{:<36} {:>11.3} s",
+        "study_optimize/bisect-cold", bisect_cold_s
+    );
+    println!(
+        "{:<36} {:>10.3} ms",
+        "study_optimize/bisect-warm",
+        bisect_warm_s * 1e3
+    );
+    println!(
+        "{:<36} {:>11.3} s",
+        "study_optimize/exhaustive-cold", full_cold_s
+    );
+    println!(
+        "{:<36} {:>11.3} s",
+        "study_optimize/boundary-warm-cold", boundary_s
+    );
+
+    let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_study.json");
+    write_baseline(
+        baseline,
+        "study_optimize",
+        &[
+            ("space_scenarios", space_n),
+            ("bisect_probes", bisect.probes_issued() as f64),
+            ("boundary_probes", boundary.probes_issued() as f64),
+            ("exhaustive_probes", full.probes_issued() as f64),
+            ("bisect_cold_wall_s", bisect_cold_s),
+            ("bisect_warm_wall_s", bisect_warm_s),
+            ("exhaustive_cold_wall_s", full_cold_s),
+            ("boundary_wall_s", boundary_s),
+        ],
+    )
+    .expect("write BENCH_study.json");
+    println!("\nwrote {baseline}");
+}

@@ -51,6 +51,27 @@
 //!   content digests re-verify line by line. Zero simulation. Exits 0
 //!   on a clean check, 1 when any error fired.
 //!
+//! The search layer is on the command line too:
+//!
+//! * `study optimize [spec flags] --objective max:lt_years
+//!   [--constraint esav>=0.3] [--driver exhaustive|bisect|refine]
+//!   [--budget <probes>] [--ensemble <seeds>]` searches the declared
+//!   space for the best feasible scenario instead of sweeping all of
+//!   it: `bisect` exploits a monotone varying axis (and falls back to
+//!   exhaustive, with a note, when a monotonicity audit fails),
+//!   `refine` runs coarse-to-fine. `--ensemble N` replicates every
+//!   probe over N trace seeds and decides on mean ± 95% CI. Probes go
+//!   through the same session/cache layers as a run, so with
+//!   `--cache-dir` a warm re-run replays the byte-identical
+//!   `SearchReport` with zero simulations. All `--format` renderers
+//!   apply; the JSON emission round-trips and diffs like a study
+//!   report.
+//! * `study check` accepts the same `--objective`/`--constraint`/
+//!   `--driver`/`--budget` flags and statically validates the search
+//!   on top of the spec: unknown metrics, a bisection driver pointed
+//!   at a categorical or multi-dimensional axis, and zero/short
+//!   budgets all become findings — still zero simulation.
+//!
 //! The execution layer is on the command line too:
 //!
 //! * `--cache-dir <dir>` journals every finished scenario into
@@ -96,6 +117,7 @@ use aging_cache::exec::{ExecObserver, ExecOptions, ProcessOptions, RecordOrigin,
 use aging_cache::model::ModelRegistry;
 use aging_cache::render::{self, Format};
 use aging_cache::rescache::{JsonlCache, MemoryCache, ResultCache};
+use aging_cache::search::{Constraint, Driver, Objective, ScenarioSpace, Search};
 use aging_cache::serve::{ServeLog, ServeOptions, StudyServer, REPORT_NAME};
 use aging_cache::session::StudySession;
 use aging_cache::study::{ScenarioRecord, StudyReport, StudySpec};
@@ -301,6 +323,10 @@ fn main() {
         check_main(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("optimize") {
+        optimize_main(&args[1..]);
+        return;
+    }
     if args.first().map(String::as_str) == Some("serve") {
         serve_main(&args[1..]);
         return;
@@ -453,7 +479,8 @@ fn main() {
                      --format <text|md|csv|json> --group-by <axes> --baseline <policy> \
                      --json --list-policies --list-workloads --list-models \
                      (or: study compare <left> <right> [--tol <abs>], \
-                     study check [spec flags] [--journal <dir|file>], \
+                     study check [spec flags] [--journal <dir|file>] [search flags], \
+                     study optimize [spec flags] --objective <max:|min:><metric> …, \
                      study serve [--addr <host:port>] [--cache-dir <dir>], \
                      study fetch <url>)"
                 );
@@ -681,6 +708,10 @@ fn check_main(args: &[String]) {
 
     let mut spec_args = SpecArgs::new(REPORT_NAME);
     let mut journal: Option<std::path::PathBuf> = None;
+    let mut objective: Option<Objective> = None;
+    let mut constraints: Vec<Constraint> = Vec::new();
+    let mut driver: Option<Driver> = None;
+    let mut budget: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -704,17 +735,55 @@ fn check_main(args: &[String]) {
                     p.to_path_buf()
                 });
             }
+            // The `study optimize` flags are accepted too, so an
+            // optimize invocation turns into its pre-flight check by
+            // swapping the verb. Spelling errors in the flag *values*
+            // (`max:`/`>=` syntax, driver keys) are usage errors;
+            // unknown metrics and driver/axis mismatches become
+            // findings via `check_search`.
+            "--objective" => {
+                objective = Some(Objective::parse(value).unwrap_or_else(|e| {
+                    eprintln!("--objective: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--constraint" => {
+                constraints.push(Constraint::parse(value).unwrap_or_else(|e| {
+                    eprintln!("--constraint: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--driver" => {
+                driver = Some(Driver::parse(value).unwrap_or_else(|e| {
+                    eprintln!("--driver: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--budget" => {
+                budget = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value `{value}` for --budget (a probe count)");
+                    std::process::exit(2);
+                }));
+            }
             _ => {
                 eprintln!("unknown flag {flag} for `study check`");
                 eprintln!(
                     "usage: study check [--cache-kb --line-bytes --banks --update-days \
                      --policies --workloads --trace --profile --model --temp --vlow --fail \
-                     --trace-cycles --seed] [--journal <dir|results.jsonl>]"
+                     --trace-cycles --seed] [--journal <dir|results.jsonl>] \
+                     [--objective <max:|min:><metric>] [--constraint <metric><=|>=><bound>] \
+                     [--driver <key>] [--budget <n>]"
                 );
                 std::process::exit(2);
             }
         }
         i += 2;
+    }
+    if objective.is_none() && (driver.is_some() || !constraints.is_empty() || budget.is_some()) {
+        eprintln!(
+            "--driver/--constraint/--budget need --objective (the search checks hang off it)"
+        );
+        std::process::exit(2);
     }
     let (mut spec, keys) = spec_args.into_parts();
     let mut report = check::CheckReport::default();
@@ -726,7 +795,25 @@ fn check_main(args: &[String]) {
         report.merge(r);
         spec = spec.workload_objects(resolved);
     }
-    report.merge(check::check_spec(&spec, ModelRegistry::global()));
+    match objective {
+        // `check_search` re-runs `check_spec` over every leaf of the
+        // space (here: the one grid), so the plain spec check would
+        // duplicate its findings — run one or the other.
+        Some(objective) => {
+            let mut search = Search::new(ScenarioSpace::grid(spec.clone()), objective);
+            for c in constraints {
+                search = search.constraint(c);
+            }
+            if let Some(d) = driver {
+                search = search.driver(d);
+            }
+            if let Some(b) = budget {
+                search = search.budget(b);
+            }
+            report.merge(check::check_search(&search, ModelRegistry::global()));
+        }
+        None => report.merge(check::check_spec(&spec, ModelRegistry::global())),
+    }
     if let Some(path) = &journal {
         let journal_check = check::check_journal(path);
         report.merge(journal_check.report);
@@ -736,6 +823,199 @@ fn check_main(args: &[String]) {
     if !report.is_clean() {
         std::process::exit(1);
     }
+}
+
+/// Shared usage blurb for `study optimize` errors.
+fn optimize_usage() -> ! {
+    eprintln!(
+        "usage: study optimize [spec flags] --objective <max:|min:><metric> \
+         [--constraint <metric><=|>=><bound>]… [--driver exhaustive|bisect|refine] \
+         [--budget <probes>] [--ensemble <seeds>] \
+         [--cache-dir <dir>] [--resume] [--progress] [--sequential] \
+         [--format <text|md|csv|json>] [--json]"
+    );
+    std::process::exit(2);
+}
+
+/// `study optimize [spec flags] --objective <max:metric|min:metric>
+/// [--constraint …] [--driver …] [--budget <n>] [--ensemble <n>]`:
+/// search the declared scenario space for the best feasible scenario
+/// instead of sweeping all of it. Every probe batch runs through the
+/// same session/cache layers as a plain `study` run, so with
+/// `--cache-dir` a re-run replays warm — zero simulations, and a
+/// byte-identical `SearchReport` (cache counters print on stderr, not
+/// in the report, for exactly that reason).
+fn optimize_main(args: &[String]) {
+    let mut spec_args = SpecArgs::new(REPORT_NAME);
+    let mut objective: Option<Objective> = None;
+    let mut constraints: Vec<Constraint> = Vec::new();
+    let mut driver: Option<Driver> = None;
+    let mut budget: Option<usize> = None;
+    let mut ensemble: Option<usize> = None;
+    let mut format = Format::Text;
+    let mut cache_dir: Option<String> = None;
+    let mut resume = false;
+    let mut progress = false;
+    let mut sequential = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--json" {
+            format = Format::Json;
+            i += 1;
+            continue;
+        }
+        if flag == "--resume" {
+            resume = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--progress" {
+            progress = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--sequential" {
+            sequential = true;
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("flag {flag} needs a value");
+            std::process::exit(2);
+        };
+        if spec_args.apply(flag, value) {
+            i += 2;
+            continue;
+        }
+        match flag {
+            "--objective" => {
+                objective = Some(Objective::parse(value).unwrap_or_else(|e| {
+                    eprintln!("--objective: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            // Repeatable: each --constraint adds one feasibility bound.
+            "--constraint" => {
+                constraints.push(Constraint::parse(value).unwrap_or_else(|e| {
+                    eprintln!("--constraint: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--driver" => {
+                driver = Some(Driver::parse(value).unwrap_or_else(|e| {
+                    eprintln!("--driver: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--budget" => {
+                budget = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value `{value}` for --budget (a probe count)");
+                    std::process::exit(2);
+                }));
+            }
+            "--ensemble" => {
+                ensemble = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value `{value}` for --ensemble (seeds per probe)");
+                    std::process::exit(2);
+                }));
+            }
+            "--cache-dir" => cache_dir = Some(value.clone()),
+            "--format" => {
+                format = Format::parse(value).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            _ => {
+                eprintln!("unknown flag {flag} for `study optimize`");
+                optimize_usage();
+            }
+        }
+        i += 2;
+    }
+    let Some(objective) = objective else {
+        eprintln!(
+            "study optimize needs --objective <max:|min:><metric> \
+             (e.g. --objective max:lt_years)"
+        );
+        optimize_usage();
+    };
+    if resume && cache_dir.is_none() {
+        eprintln!("--resume needs --cache-dir <dir> (there is no journal to resume from)");
+        std::process::exit(2);
+    }
+    let mut search = Search::new(ScenarioSpace::grid(spec_args.finish()), objective);
+    for c in constraints {
+        search = search.constraint(c);
+    }
+    if let Some(d) = driver {
+        search = search.driver(d);
+    }
+    if let Some(b) = budget {
+        search = search.budget(b);
+    }
+    if let Some(n) = ensemble {
+        search = search.ensemble(n);
+    }
+
+    let mut session = StudySession::new();
+    if sequential {
+        session = session.exec(ExecOptions::sequential());
+    }
+    if progress {
+        session = session.observer(Progress);
+    }
+    let caching = cache_dir.is_some();
+    if let Some(dir) = cache_dir {
+        if resume
+            && !std::path::Path::new(&dir)
+                .join(JsonlCache::FILE_NAME)
+                .exists()
+        {
+            eprintln!(
+                "--resume: no journal at {dir}/{} — nothing to resume",
+                JsonlCache::FILE_NAME
+            );
+            std::process::exit(2);
+        }
+        let cache = match JsonlCache::in_dir(&dir) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        if resume {
+            eprintln!("[cache] resuming from {} journaled scenarios", cache.len());
+        }
+        session = session.cache(cache);
+    }
+    let report = match search.run(&session) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("study optimize failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if caching {
+        let stats = session.stats();
+        eprintln!(
+            "[cache] hits: {}, computed: {}, simulations: {}, entries: {}",
+            stats.cache_hits,
+            stats.evaluations,
+            stats.simulations,
+            session.result_cache().map(|c| c.len()).unwrap_or(0)
+        );
+    }
+    if format == Format::Json {
+        // Canonical emission: the probe log and incumbent round-trip
+        // through `SearchReport::from_json`, and a warm re-run must
+        // reproduce these bytes exactly.
+        println!("{}", report.to_json());
+        return;
+    }
+    println!("{}", render::table(&report.table(), format));
 }
 
 /// `study serve [--addr <host:port>] [--cache-dir <dir>] [--threads

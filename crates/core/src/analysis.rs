@@ -246,6 +246,15 @@ pub enum Reduce {
     /// still requires the metric to be present on every record, so a
     /// count never silently includes records a mean would reject).
     Count,
+    /// Half-width of the 95% confidence interval on the group mean
+    /// (`1.96 · s / √n` with the sample standard deviation `s`), the
+    /// decision statistic of the seed-ensemble search drivers
+    /// ([`search`](crate::search)): `mean ± ci95` brackets where the
+    /// true mean plausibly lies, so two configurations only count as
+    /// *really* different when their brackets separate. A singleton
+    /// group reduces to `0.0` — one observation constrains nothing,
+    /// and the driver's tie-breaking handles the rest.
+    CiHalfWidth95,
 }
 
 impl Reduce {
@@ -257,6 +266,7 @@ impl Reduce {
             Reduce::Max => "max",
             Reduce::Geomean => "geomean",
             Reduce::Count => "count",
+            Reduce::CiHalfWidth95 => "ci95",
         }
     }
 
@@ -281,9 +291,10 @@ impl Reduce {
             "max" => Ok(Reduce::Max),
             "geomean" => Ok(Reduce::Geomean),
             "count" | "n" => Ok(Reduce::Count),
+            "ci95" | "ci" | "ci-half-width" => Ok(Reduce::CiHalfWidth95),
             other => Err(CoreError::Report {
                 message: format!(
-                    "unknown reduction `{other}` (known: mean, min, max, geomean, count)"
+                    "unknown reduction `{other}` (known: mean, min, max, geomean, count, ci95)"
                 ),
             }),
         }
@@ -322,8 +333,24 @@ impl Reduce {
                 (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
             }
             Reduce::Count => values.len() as f64,
+            Reduce::CiHalfWidth95 => ci_half_width_95(values),
         })
     }
+}
+
+/// `1.96 · s / √n`: the half-width of the normal-approximation 95%
+/// confidence interval on the mean, with the sample (n−1) standard
+/// deviation `s`. Empty slices are rejected by [`Reduce::apply`]
+/// before this runs; a singleton group returns `0.0` (one observation
+/// constrains nothing); NaN inputs propagate through the sums.
+fn ci_half_width_95(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    1.96 * (var / n).sqrt()
 }
 
 /// The value of a named metric on one record.
@@ -1240,6 +1267,29 @@ mod tests {
         assert_eq!(min[0].value, 3.0);
         let max = q.reduce("lt_years", Reduce::Max).unwrap();
         assert_eq!(max[0].value, 4.5);
+    }
+
+    #[test]
+    fn ci95_half_width_brackets_the_mean() {
+        // Known closed form: {1, 2, 3} has mean 2, sample stddev 1, so
+        // the half-width is 1.96 / √3.
+        let ci = Reduce::CiHalfWidth95.apply(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((ci - 1.96 / 3.0_f64.sqrt()).abs() < 1e-12, "{ci}");
+        // A singleton constrains nothing and an identical ensemble is
+        // perfectly certain; both collapse to zero width.
+        assert_eq!(Reduce::CiHalfWidth95.apply(&[7.0]).unwrap(), 0.0);
+        assert_eq!(Reduce::CiHalfWidth95.apply(&[2.0, 2.0, 2.0]).unwrap(), 0.0);
+        // Empty groups are rejected like every other reduction; NaN
+        // propagates instead of vanishing.
+        assert!(Reduce::CiHalfWidth95.apply(&[]).is_err());
+        assert!(Reduce::CiHalfWidth95
+            .apply(&[1.0, f64::NAN])
+            .unwrap()
+            .is_nan());
+        // And it parses from the CLI spellings.
+        assert_eq!(Reduce::parse("ci95").unwrap(), Reduce::CiHalfWidth95);
+        assert_eq!(Reduce::parse("ci").unwrap(), Reduce::CiHalfWidth95);
+        assert_eq!(Reduce::CiHalfWidth95.name(), "ci95");
     }
 
     #[test]

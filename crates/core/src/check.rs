@@ -22,10 +22,12 @@ use std::sync::Arc;
 
 use cache_sim::CacheGeometry;
 
+use crate::analysis::Axis;
 use crate::error::CoreError;
 use crate::json::Json;
 use crate::model::{self, ModelRegistry};
 use crate::rescache::{digest_hex, CachedMeasurement, Fingerprint, ENGINE_VERSION};
+use crate::search::{self, Driver, Search};
 use crate::study::StudySpec;
 use crate::workload::{Workload, WorkloadRegistry};
 
@@ -534,6 +536,124 @@ pub fn check_coverage(spec: &StudySpec, journal_keys: &[String]) -> CheckReport 
             grid_keys.len(),
             if grid_keys.len() == 1 { "" } else { "s" },
             if orphaned == 1 { "y is" } else { "ies are" },
+        ),
+    );
+    report
+}
+
+/// Statically validates a configured [`Search`]: the leaf specs of
+/// the scenario space (via [`check_spec`]), the objective and
+/// constraint metric names against [`search::KNOWN_METRICS`], the
+/// probe budget, and driver/axis compatibility — bisection demands
+/// exactly one varying axis and that axis must carry an order
+/// (policy and workload are categorical, so bisecting them is an
+/// error, not a wish).
+///
+/// Like every check this is **zero-simulation**: the space is
+/// expanded (pure arithmetic over the axes) but nothing is
+/// calibrated, synthesized or simulated.
+pub fn check_search(search: &Search, models: &ModelRegistry) -> CheckReport {
+    let mut report = CheckReport::default();
+    for spec in search.space().specs() {
+        report.merge(check_spec(spec, models));
+    }
+
+    let mut metrics: Vec<(&'static str, &'static str, &str)> = vec![(
+        "objective",
+        "search-objective",
+        search.objective().metric.as_str(),
+    )];
+    for c in search.constraints_list() {
+        metrics.push(("constraint", "search-constraint", c.metric.as_str()));
+    }
+    for (what, code, metric) in metrics {
+        if !search::KNOWN_METRICS.contains(&metric) {
+            report.error(
+                code,
+                format!(
+                    "{what} metric `{metric}` is not a measured output or a built-in \
+                     model metric (known: {})",
+                    search::KNOWN_METRICS.join(", ")
+                ),
+            );
+        }
+    }
+
+    if search.budget_cap() == Some(0) {
+        report.error(
+            "search-budget",
+            "budget 0 probes nothing; drop --budget or raise it".to_string(),
+        );
+    }
+
+    let grid = match search.space().expand() {
+        Ok(grid) => grid,
+        Err(e) => {
+            // Leaf-spec findings above usually explain why; a
+            // composition-level failure (empty filter result, union
+            // registry mismatch) surfaces here.
+            if report.errors() == 0 {
+                report.error("search-space", format!("space does not expand: {e}"));
+            }
+            return report;
+        }
+    };
+    let varying = search::varying_axes(&grid);
+    if search.driver_kind() == Driver::Bisect {
+        match varying.as_slice() {
+            [axis] if matches!(axis, Axis::Policy | Axis::Workload) => {
+                report.error(
+                    "search-driver",
+                    format!(
+                        "bisect on axis `{}`: categorical axes have no order to \
+                         bisect (use exhaustive)",
+                        axis.name()
+                    ),
+                );
+            }
+            [_] => {}
+            [] => {
+                report.error(
+                    "search-driver",
+                    "bisect: no axis varies across the space (use exhaustive)".to_string(),
+                );
+            }
+            many => {
+                let names: Vec<&str> = many.iter().map(|a| a.name()).collect();
+                report.error(
+                    "search-driver",
+                    format!(
+                        "bisect: needs exactly one varying axis, space has {}: {} \
+                         (use refine or exhaustive)",
+                        many.len(),
+                        names.join(", ")
+                    ),
+                );
+            }
+        }
+        let floor = (grid.len().max(2) as f64).log2().ceil() as usize + 3;
+        if search.budget_cap().is_some_and(|b| b > 0 && b < floor) {
+            report.warning(
+                "search-budget",
+                format!(
+                    "budget {} is below the ~{floor} probes bisection needs over {} \
+                     points; the driver will stop early",
+                    search.budget_cap().unwrap_or(0),
+                    grid.len()
+                ),
+            );
+        }
+    }
+    report.info(
+        "search-space",
+        format!(
+            "space expands to {} scenario{}; driver `{}` under budget {}",
+            grid.len(),
+            if grid.len() == 1 { "" } else { "s" },
+            search.driver_kind().key(),
+            search
+                .budget_cap()
+                .map_or_else(|| "unlimited".to_string(), |b| b.to_string()),
         ),
     );
     report

@@ -49,6 +49,14 @@
 //!   [`analysis::ReportDiff`] between reports (or a report and a
 //!   result-cache journal), and the [`render::Format`] renderer
 //!   family (text / Markdown / CSV / canonical JSON);
+//! * [`search`] — the search layer over the input side: declarative
+//!   [`search::ScenarioSpace`] compositions (grid / filter / union /
+//!   stepped and log-spaced ranges) searched by adaptive drivers
+//!   (exhaustive, monotone-axis bisection, coarse-to-fine
+//!   refinement) under a [`search::Objective`] with feasibility
+//!   [`search::Constraint`]s, every probe journaled through the
+//!   session so `study optimize` re-runs replay warm with zero
+//!   simulations;
 //! * [`presets`] / [`views`] / [`experiment`] / [`report`] — the
 //!   paper's tables as ~10-line presets over the grid runner, rendered
 //!   by pure views with the published values embedded for side-by-side
@@ -135,6 +143,7 @@ pub mod registry;
 pub mod render;
 pub mod report;
 pub mod rescache;
+pub mod search;
 pub mod selector;
 pub mod serve;
 pub mod session;
@@ -163,6 +172,10 @@ pub use registry::{IndexingPolicy, PolicyRegistry};
 pub use render::Format;
 pub use rescache::{
     CachedMeasurement, Fingerprint, JsonlCache, MemoryCache, ResultCache, ENGINE_VERSION,
+};
+pub use search::{
+    Constraint, Direction, Driver, Objective, ProbeBatch, ProbeOutcome, ScenarioSpace, Search,
+    SearchReport,
 };
 pub use selector::{BlockSelector, Rail};
 pub use serve::{ServeOptions, ServeStats, StudyServer};

@@ -841,7 +841,7 @@ impl ScenarioRecord {
         self.metrics.get(model::METRIC_LT).unwrap_or(f64::NAN)
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         let mut pairs = vec![
             ("scenario", self.scenario.to_json()),
             ("sim_cycles", Json::Num(self.sim_cycles as f64)),
@@ -860,7 +860,7 @@ impl ScenarioRecord {
         Json::obj(pairs)
     }
 
-    fn from_json(v: &Json) -> Result<Self, CoreError> {
+    pub(crate) fn from_json(v: &Json) -> Result<Self, CoreError> {
         let nums = |key: &str| -> Result<Vec<f64>, CoreError> {
             v.field(key)?
                 .as_arr(key)?

@@ -213,6 +213,7 @@ fn panic_zone(path: &str) -> bool {
         "crates/core/src/analysis.rs",
         "crates/core/src/rescache.rs",
         "crates/core/src/serve.rs",
+        "crates/core/src/search.rs",
     ]
     .contains(&path)
 }
@@ -243,6 +244,7 @@ fn registry_zone(path: &str) -> bool {
         "crates/core/src/model.rs",
         "crates/core/src/workload.rs",
         "crates/core/src/serve.rs",
+        "crates/core/src/search.rs",
     ]
     .contains(&path)
 }

@@ -1,0 +1,103 @@
+//! The search layer as a library: find the best operating point for
+//! cache lifetime *without* sweeping the whole axis, then verify the
+//! adaptive answer against the exhaustive one.
+//!
+//! Mirrors the "Optimize instead of sweep" walkthrough in
+//! EXPERIMENTS.md, which drives the same machinery from the `study`
+//! CLI (`study optimize --objective … --driver bisect`).
+//!
+//! ```sh
+//! cargo run --release --example optimize_lifetime
+//! ```
+
+use nbti_cache_repro::arch::search::{self, Constraint, Driver, Objective, ScenarioSpace, Search};
+use nbti_cache_repro::arch::session::StudySession;
+use nbti_cache_repro::arch::study::StudySpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Declare the space: the paper's reference cache across eight
+    //    die temperatures, 45 °C to 150 °C. `search::steps` /
+    //    `log_steps` feed any numeric axis; `ScenarioSpace` composes
+    //    (filter / union) but a single grid is the common case.
+    let temps: Vec<String> = search::steps(45.0, 150.0, 15.0)?
+        .into_iter()
+        .map(|t| format!("nbti:temp={t}"))
+        .collect();
+    let spec = StudySpec::new("operating-point search")
+        .models(temps)
+        .workload_names(["sha"])?
+        .trace_cycles(40_000);
+    let space = ScenarioSpace::grid(spec);
+
+    // 2. Search it: NBTI stress grows with temperature, so lifetime
+    //    is strictly monotone along this axis — exactly what the
+    //    bisection driver exploits, and *audits*, falling back to
+    //    exhaustive with a note if a probe contradicts the assumption.
+    let session = StudySession::new();
+    let report = Search::new(space.clone(), Objective::maximize("lt_years"))
+        .driver(Driver::Bisect)
+        .run(&session)?;
+    println!("{report}");
+    println!(
+        "bisect probed {} of {} candidates\n",
+        report.probes_issued(),
+        report.space_len()
+    );
+
+    // 3. Trust, but verify: the exhaustive driver is the reference
+    //    answer, and the adaptive incumbent must match it exactly —
+    //    same scenario, same value, fewer probes. (The property suite
+    //    asserts this for every space; here it is just visible.)
+    let full = Search::new(space.clone(), Objective::maximize("lt_years")).run(&session)?;
+    let (best, reference) = match (report.incumbent(), full.incumbent()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err("search found no feasible candidate".into()),
+    };
+    assert_eq!(best.scenario, reference.scenario);
+    println!(
+        "exhaustive agrees: {} -> {:.3} years ({} vs {} probes)\n",
+        best.scenario.model,
+        best.value,
+        report.probes_issued(),
+        full.probes_issued()
+    );
+
+    // 4. Constraints turn the same machinery into boundary-finding —
+    //    the thermal headroom question: how hot can this cache run
+    //    and still clear a lifetime floor? The hottest feasible point
+    //    is the least-lifetime feasible point, so minimize the metric
+    //    subject to its own floor and bisection homes in on the
+    //    boundary. Every probe above was journaled through the
+    //    session, so overlapping points replay from cache, not
+    //    simulation.
+    let values: Vec<f64> = full
+        .batches()
+        .iter()
+        .flat_map(|b| b.probes.iter().map(|p| p.value))
+        .collect();
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // Lifetime decays exponentially with temperature, so the midpoint
+    // that puts the feasibility boundary mid-axis is the geometric one.
+    let floor = (lo * hi).sqrt();
+    let constrained = Search::new(space, Objective::minimize("lt_years"))
+        .constraint(Constraint::at_least("lt_years", floor)?)
+        .driver(Driver::Bisect)
+        .run(&session)?;
+    match constrained.incumbent() {
+        Some(hottest) => println!(
+            "hottest operating point with lt_years >= {floor:.3}: {} \
+             ({:.3} years, {} probes)",
+            hottest.scenario.model,
+            hottest.value,
+            constrained.probes_issued()
+        ),
+        None => println!("no operating point clears lt_years >= {floor:.3}"),
+    }
+    let stats = session.stats();
+    println!(
+        "session totals: {} evaluations, {} simulations, {} memo hits",
+        stats.evaluations, stats.simulations, stats.sim_memo_hits
+    );
+    Ok(())
+}
