@@ -8,7 +8,12 @@
 //! ```
 //!
 //! Axes default to the paper's reference point; `--workloads all` (the
-//! default) runs the full 18-benchmark suite. The workload axis also
+//! default) runs the full 18-benchmark suite. The geometry axis is
+//! open: `--ways 1,4` sweeps associativity (`--replacement lru,mru`
+//! picks the victim policy), and `--l2-kb 64 --l2-ways 4` composes a
+//! two-level hierarchy whose L2 sees exactly the L1 miss stream
+//! (records gain `sleep_fraction_l2` / `lt_years_l2` metrics). The
+//! workload axis also
 //! takes external trace files — `--trace csv:/path/to/trace.csv`
 //! (formats: `csv`, `din`, `lackey`, or `file:` to infer from the
 //! extension; repeat the flag for several traces) — whose format and
@@ -27,7 +32,8 @@
 //!   text (default, the historic stdout), paper-style Markdown, CSV,
 //!   or the canonical report JSON (`--json` is the historic alias);
 //! * `--group-by <axes>` (comma-separated: `policy`, `banks`,
-//!   `cache`, `line`, `update`, `workload`, `model`) aggregates the
+//!   `cache`, `line`, `ways`, `replacement`, `l2`, `l2-ways`,
+//!   `update`, `workload`, `model`) aggregates the
 //!   per-scenario rows into one row per group — mean Esav / idleness /
 //!   lifetimes over the group's records;
 //! * `--baseline <policy>` derives the baseline-relative lifetime gain
@@ -226,6 +232,10 @@ impl SpecArgs {
             "--cache-kb" => spec.cache_kb(parse_list(value, flag)),
             "--line-bytes" => spec.line_bytes(parse_list(value, flag)),
             "--banks" => spec.banks(parse_list(value, flag)),
+            "--ways" => spec.ways(parse_list(value, flag)),
+            "--replacement" => spec.replacement(value.split(',').map(str::trim)),
+            "--l2-kb" => spec.l2_cache_kb(parse_list(value, flag)),
+            "--l2-ways" => spec.l2_ways(parse_list(value, flag)),
             "--update-days" => spec.update_days(parse_list(value, flag)),
             "--policies" => spec.policies(value.split(',').map(str::trim)),
             "--workloads" if value == "all" => {
@@ -470,7 +480,8 @@ fn main() {
             _ => {
                 eprintln!("unknown flag {flag}");
                 eprintln!(
-                    "flags: --cache-kb --line-bytes --banks --update-days --policies \
+                    "flags: --cache-kb --line-bytes --banks --ways --replacement \
+                     --l2-kb --l2-ways --update-days --policies \
                      --workloads --trace <format:path> --profile <s0,s1,…> \
                      --model --temp --vlow --fail \
                      --trace-cycles --seed --threads --sequential \
@@ -768,7 +779,8 @@ fn check_main(args: &[String]) {
             _ => {
                 eprintln!("unknown flag {flag} for `study check`");
                 eprintln!(
-                    "usage: study check [--cache-kb --line-bytes --banks --update-days \
+                    "usage: study check [--cache-kb --line-bytes --banks --ways \
+                     --replacement --l2-kb --l2-ways --update-days \
                      --policies --workloads --trace --profile --model --temp --vlow --fail \
                      --trace-cycles --seed] [--journal <dir|results.jsonl>] \
                      [--objective <max:|min:><metric>] [--constraint <metric><=|>=><bound>] \

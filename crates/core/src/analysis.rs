@@ -82,6 +82,14 @@ pub enum Axis {
     LineBytes,
     /// Bank count `M`.
     Banks,
+    /// Set-associative ways per set (`1` = direct-mapped).
+    Ways,
+    /// Replacement-policy registry name.
+    Replacement,
+    /// L2 capacity in bytes (`0` = no L2).
+    L2CacheBytes,
+    /// L2 ways per set.
+    L2Ways,
     /// Days between re-indexing updates.
     UpdateDays,
     /// Indexing-policy registry name.
@@ -94,10 +102,14 @@ pub enum Axis {
 
 impl Axis {
     /// Every axis, in canonical grid order (outermost first).
-    pub const ALL: [Axis; 7] = [
+    pub const ALL: [Axis; 11] = [
         Axis::CacheBytes,
         Axis::LineBytes,
         Axis::Banks,
+        Axis::Ways,
+        Axis::Replacement,
+        Axis::L2CacheBytes,
+        Axis::L2Ways,
         Axis::UpdateDays,
         Axis::Policy,
         Axis::Workload,
@@ -111,6 +123,10 @@ impl Axis {
             Axis::CacheBytes => "cache_bytes",
             Axis::LineBytes => "line_bytes",
             Axis::Banks => "banks",
+            Axis::Ways => "ways",
+            Axis::Replacement => "replacement",
+            Axis::L2CacheBytes => "l2_cache_bytes",
+            Axis::L2Ways => "l2_ways",
             Axis::UpdateDays => "update_days",
             Axis::Policy => "policy",
             Axis::Workload => "workload",
@@ -143,6 +159,12 @@ impl Axis {
             }
             "line_bytes" | "line-bytes" | "line" => Ok(Axis::LineBytes),
             "banks" | "m" => Ok(Axis::Banks),
+            "ways" | "assoc" | "associativity" => Ok(Axis::Ways),
+            "replacement" | "repl" => Ok(Axis::Replacement),
+            "l2_cache_bytes" | "l2-cache-bytes" | "l2" | "l2_kb" | "l2-kb" => {
+                Ok(Axis::L2CacheBytes)
+            }
+            "l2_ways" | "l2-ways" | "l2w" => Ok(Axis::L2Ways),
             "update_days" | "update-days" | "update" => Ok(Axis::UpdateDays),
             "policy" | "policies" => Ok(Axis::Policy),
             "workload" | "workloads" | "bench" => Ok(Axis::Workload),
@@ -162,6 +184,10 @@ impl Axis {
             Axis::CacheBytes => AxisValue::Num(s.cache_bytes as f64),
             Axis::LineBytes => AxisValue::Num(s.line_bytes as f64),
             Axis::Banks => AxisValue::Num(s.banks as f64),
+            Axis::Ways => AxisValue::Num(s.ways as f64),
+            Axis::Replacement => AxisValue::Str(s.replacement.clone()),
+            Axis::L2CacheBytes => AxisValue::Num(s.l2_cache_bytes as f64),
+            Axis::L2Ways => AxisValue::Num(s.l2_ways as f64),
             Axis::UpdateDays => AxisValue::Num(s.update_days),
             Axis::Policy => AxisValue::Str(s.policy.clone()),
             Axis::Workload => AxisValue::Str(s.workload.clone()),
@@ -1208,6 +1234,10 @@ mod tests {
                 cache_bytes: kb * 1024,
                 line_bytes: 16,
                 banks,
+                ways: 1,
+                replacement: "lru".into(),
+                l2_cache_bytes: 0,
+                l2_ways: 1,
                 update_days: 1.0,
                 policy: policy.into(),
                 workload: workload.into(),

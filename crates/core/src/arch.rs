@@ -6,7 +6,10 @@ use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use crate::registry::PolicyRegistry;
 use crate::selector::BlockSelector;
-use cache_sim::{Access, CacheGeometry, SimConfig, SimOutcome, Simulator};
+use cache_sim::{
+    Access, CacheGeometry, CacheHierarchy, HierarchyOutcome, ReplacementRegistry, SimConfig,
+    SimOutcome, Simulator, DEFAULT_REPLACEMENT,
+};
 use trace_synth::{IterSource, TraceSource, BATCH_ACCESSES};
 
 /// When to pulse the dynamic-indexing `update` signal during a simulated
@@ -50,6 +53,8 @@ pub struct PartitionedCache {
     geometry: CacheGeometry,
     registry: PolicyRegistry,
     policy_name: String,
+    replacement_name: String,
+    replacement_registry: ReplacementRegistry,
     seed: u64,
 }
 
@@ -94,6 +99,8 @@ impl PartitionedCache {
             geometry,
             registry,
             policy_name: policy_name.to_string(),
+            replacement_name: DEFAULT_REPLACEMENT.to_string(),
+            replacement_registry: ReplacementRegistry::global().clone(),
             seed: 1,
         })
     }
@@ -105,6 +112,32 @@ impl PartitionedCache {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Selects a victim-selection (replacement) policy by registry
+    /// name, resolved against `registry` — the open entry point that
+    /// admits custom replacement policies, mirroring
+    /// [`PartitionedCache::new_named`]. Irrelevant for direct-mapped
+    /// geometries; the default (`lru`) keeps the historic victim order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`cache_sim::SimError::UnknownReplacement`] (wrapped in
+    /// [`CoreError::Sim`]) for an unregistered name.
+    pub fn with_replacement(
+        mut self,
+        name: &str,
+        registry: ReplacementRegistry,
+    ) -> Result<Self, CoreError> {
+        registry.resolve(name)?;
+        self.replacement_name = name.to_string();
+        self.replacement_registry = registry;
+        Ok(self)
+    }
+
+    /// The replacement policy's registry name (`lru` by default).
+    pub fn replacement_name(&self) -> &str {
+        &self.replacement_name
     }
 
     /// The cache geometry.
@@ -129,6 +162,18 @@ impl PartitionedCache {
     fn build_mapping(&self) -> Result<Box<dyn cache_sim::BankMapping>, CoreError> {
         self.registry
             .build(&self.policy_name, self.geometry.banks(), self.seed)
+    }
+
+    /// Builds the fully configured per-level [`Simulator`]: geometry,
+    /// replacement policy (the `lru` default takes the simulator's
+    /// historic built-in path, byte-for-byte) and bank mapping.
+    fn build_simulator(&self) -> Result<Simulator, CoreError> {
+        let mut config = SimConfig::new(self.geometry)?;
+        if self.replacement_name != DEFAULT_REPLACEMENT {
+            let policy = self.replacement_registry.resolve(&self.replacement_name)?;
+            config = config.with_replacement(Some(policy));
+        }
+        Ok(Simulator::new(config, self.build_mapping()?)?)
     }
 
     /// Sizes the Block Control for this geometry (counter widths etc.).
@@ -165,9 +210,7 @@ impl PartitionedCache {
         trace: impl IntoIterator<Item = Access>,
         update: UpdateSchedule,
     ) -> Result<SimOutcome, CoreError> {
-        let config = SimConfig::new(self.geometry)?;
-        let mapping = self.build_mapping()?;
-        let mut sim = Simulator::new(config, mapping)?;
+        let mut sim = self.build_simulator()?;
         for access in trace {
             sim.step(access);
             if let UpdateSchedule::EveryCycles(n) = update {
@@ -216,9 +259,7 @@ impl PartitionedCache {
         limit: Option<u64>,
         update: UpdateSchedule,
     ) -> Result<SimOutcome, CoreError> {
-        let config = SimConfig::new(self.geometry)?;
-        let mapping = self.build_mapping()?;
-        let mut sim = Simulator::new(config, mapping)?;
+        let mut sim = self.build_simulator()?;
         let mut buf: Vec<Access> = Vec::with_capacity(BATCH_ACCESSES);
         let mut remaining = limit;
         loop {
@@ -262,6 +303,71 @@ impl PartitionedCache {
             }
         }
         Ok(sim.finish())
+    }
+
+    /// Streams a [`TraceSource`] through a two-level hierarchy built
+    /// from `self` (the L1) and `l2`, on the batched fast path: the L2
+    /// access stream is exactly the L1 miss stream
+    /// ([`CacheHierarchy`]), and the composition is bitwise-identical
+    /// to stepping the hierarchy scalar access by access.
+    ///
+    /// Each level keeps its own policy, seed and replacement; updates
+    /// fire on both levels at the same cycle boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from either level (including an
+    /// L2 smaller than the L1), update errors, and trace decode errors.
+    pub fn simulate_hierarchy_source(
+        &self,
+        l2: &PartitionedCache,
+        source: &mut dyn TraceSource,
+        limit: Option<u64>,
+        update: UpdateSchedule,
+    ) -> Result<HierarchyOutcome, CoreError> {
+        let mut hier = CacheHierarchy::new(self.build_simulator()?, l2.build_simulator()?)?;
+        let mut buf: Vec<Access> = Vec::with_capacity(BATCH_ACCESSES);
+        let mut remaining = limit;
+        loop {
+            let mut room = BATCH_ACCESSES as u64;
+            if let UpdateSchedule::EveryCycles(n) = update {
+                if n > 0 {
+                    room = room.min(n - hier.l1().cycles() % n);
+                }
+            }
+            if let Some(rem) = remaining {
+                room = room.min(rem);
+            }
+            if room == 0 {
+                break;
+            }
+            buf.clear();
+            let got = source.next_batch(&mut buf, room as usize)?;
+            if got == 0 {
+                break;
+            }
+            // Same hard contract as `simulate_source`: an overshooting
+            // source would fire updates on the wrong cycles.
+            if got as u64 > room || got != buf.len() {
+                return Err(CoreError::Report {
+                    message: format!(
+                        "trace source violated next_batch contract: \
+                         appended {got} accesses (buffer {}) for max {room}",
+                        buf.len()
+                    ),
+                });
+            }
+            hier.step_batch(&buf);
+            if let Some(rem) = &mut remaining {
+                *rem -= got as u64;
+            }
+            if let UpdateSchedule::EveryCycles(n) = update {
+                if n > 0 && hier.l1().cycles() % n == 0 {
+                    hier.update_mapping()?;
+                }
+            }
+        }
+        Ok(hier.finish())
     }
 }
 

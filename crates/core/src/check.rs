@@ -153,6 +153,10 @@ pub fn check_spec(spec: &StudySpec, models: &ModelRegistry) -> CheckReport {
         ("cache_bytes", spec.cache_bytes.len()),
         ("line_bytes", spec.line_bytes.len()),
         ("banks", spec.banks.len()),
+        ("ways", spec.ways.len()),
+        ("replacements", spec.replacements.len()),
+        ("l2_cache_bytes", spec.l2_cache_bytes.len()),
+        ("l2_ways", spec.l2_ways.len()),
         ("update_days", spec.update_days.len()),
         ("policies", spec.policies.len()),
         ("workloads", spec.workloads.len()),
@@ -178,6 +182,22 @@ pub fn check_spec(spec: &StudySpec, models: &ModelRegistry) -> CheckReport {
         &mut report,
         "policy",
         spec.policies.iter().map(String::as_str),
+    );
+    for name in &spec.replacements {
+        if spec.replacement_registry.get(name).is_none() {
+            report.error(
+                "spec-replacement",
+                format!(
+                    "unknown replacement policy `{name}` (known: {})",
+                    spec.replacement_registry.names().join(", ")
+                ),
+            );
+        }
+    }
+    duplicate_warnings(
+        &mut report,
+        "replacement",
+        spec.replacements.iter().map(String::as_str),
     );
 
     for &days in &spec.update_days {
@@ -255,12 +275,48 @@ pub fn check_spec(spec: &StudySpec, models: &ModelRegistry) -> CheckReport {
     for &bytes in &spec.cache_bytes {
         for &line in &spec.line_bytes {
             for &banks in &spec.banks {
-                if let Err(e) = CacheGeometry::direct_mapped(bytes, line, banks) {
-                    report.error(
-                        "spec-geometry",
-                        format!("cache={bytes}B line={line}B banks={banks}: {e}"),
-                    );
+                for &ways in &spec.ways {
+                    if let Err(e) = CacheGeometry::new(bytes, line, ways, banks) {
+                        report.error(
+                            "spec-geometry",
+                            format!("cache={bytes}B line={line}B ways={ways} banks={banks}: {e}"),
+                        );
+                    }
                 }
+            }
+        }
+    }
+    // The L2 shares the line size and bank count; its capacity and
+    // associativity are axes of their own. `0` means no L2 and needs
+    // no geometry (it also collapses the l2_ways axis).
+    for &l2_bytes in &spec.l2_cache_bytes {
+        if l2_bytes == 0 {
+            continue;
+        }
+        for &line in &spec.line_bytes {
+            for &banks in &spec.banks {
+                for &l2_ways in &spec.l2_ways {
+                    if let Err(e) = CacheGeometry::new(l2_bytes, line, l2_ways, banks) {
+                        report.error(
+                            "spec-geometry",
+                            format!(
+                                "l2_cache_bytes={l2_bytes}B line={line}B l2_ways={l2_ways} \
+                                 banks={banks}: {e}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        for &bytes in &spec.cache_bytes {
+            if l2_bytes < bytes {
+                report.error(
+                    "spec-geometry",
+                    format!(
+                        "l2_cache_bytes={l2_bytes}B is smaller than cache_bytes={bytes}B \
+                         (the L2 must be at least as large as the L1)"
+                    ),
+                );
             }
         }
     }
@@ -292,7 +348,19 @@ pub fn check_spec(spec: &StudySpec, models: &ModelRegistry) -> CheckReport {
         .composed_model_keys()
         .map(|k| k.len())
         .unwrap_or(spec.models.len());
-    let geometries = spec.cache_bytes.len() * spec.line_bytes.len() * spec.banks.len();
+    // No-L2 grid points collapse the l2_ways axis (expand emits one
+    // scenario, not one per l2_ways value).
+    let l2_points: usize = spec
+        .l2_cache_bytes
+        .iter()
+        .map(|&b| if b == 0 { 1 } else { spec.l2_ways.len() })
+        .sum();
+    let geometries = spec.cache_bytes.len()
+        * spec.line_bytes.len()
+        * spec.banks.len()
+        * spec.ways.len()
+        * spec.replacements.len()
+        * l2_points;
     let scenarios = geometries
         * models_len
         * spec.update_days.len()
@@ -783,7 +851,7 @@ mod tests {
         let warm_key = Fingerprint::for_scenario(scenario, workload.as_ref())
             .canonical()
             .to_string();
-        let keys = vec![warm_key, "v=engine-v1;not-in-grid".to_string()];
+        let keys = vec![warm_key, format!("v={ENGINE_VERSION};not-in-grid")];
         let report = check_coverage(&spec, &keys);
         let text = report.to_string();
         assert!(text.contains("coverage: 1/2"), "{text}");

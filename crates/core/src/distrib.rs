@@ -883,6 +883,7 @@ fn run_shard(
         scenarios,
         workloads.to_vec(),
         session.policy_registry_ref().clone(),
+        session.replacement_registry_ref().clone(),
     );
     match session.run_grid(&sub) {
         Ok(_) => finish_shard(coord, k, heartbeat),

@@ -55,7 +55,11 @@ use trace_synth::source::Fnv64;
 /// simulator semantics, model physics, seed derivation — and every
 /// existing cache entry stops matching, instead of silently replaying
 /// stale numbers.
-pub const ENGINE_VERSION: &str = "engine-v1";
+///
+/// `engine-v2`: the geometry axis opened (ways / replacement / L2
+/// hierarchy joined the fingerprint), so `engine-v1` journals are
+/// cleanly stale rather than ambiguous about fields they never named.
+pub const ENGINE_VERSION: &str = "engine-v2";
 
 /// The stable identity of a workload for caching purposes, plus
 /// whether the trace seed participates in it.
@@ -98,10 +102,14 @@ impl Fingerprint {
         let mut canonical = String::new();
         let _ = write!(
             canonical,
-            "v={ENGINE_VERSION};cache={};line={};banks={};update={};policy={}#{};model={};workload={};seed=",
+            "v={ENGINE_VERSION};cache={};line={};banks={};ways={};repl={};l2={};l2ways={};update={};policy={}#{};model={};workload={};seed=",
             scenario.cache_bytes,
             scenario.line_bytes,
             scenario.banks,
+            scenario.ways,
+            scenario.replacement,
+            scenario.l2_cache_bytes,
+            scenario.l2_ways,
             scenario.update_days,
             scenario.policy,
             scenario.policy_seed,
@@ -682,6 +690,10 @@ mod tests {
             cache_bytes: 16 * 1024,
             line_bytes: 16,
             banks: 4,
+            ways: 1,
+            replacement: "lru".into(),
+            l2_cache_bytes: 0,
+            l2_ways: 1,
             update_days: 1.0,
             policy: "probing".into(),
             workload: "sha".into(),

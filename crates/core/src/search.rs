@@ -109,13 +109,15 @@ pub const ENSEMBLE_STRIDE: u64 = 1_000_003;
 /// emitting custom metrics must be searched with a metric the check
 /// cannot vet, in which case skip the static check and let the first
 /// probe surface the missing metric as a typed error.
-pub const KNOWN_METRICS: [&str; 12] = [
+pub const KNOWN_METRICS: [&str; 14] = [
     "esav",
     "miss_rate",
     "sim_cycles",
     "useful_idleness",
     "sleep_fractions",
+    "sleep_fraction_l2",
     "lt_years",
+    "lt_years_l2",
     "lt0_years",
     "lt0_q10_years",
     "drv_fresh_v",
@@ -341,6 +343,7 @@ impl ScenarioSpace {
             parts.scenarios,
             parts.workloads,
             parts.registry,
+            parts.replacement_registry,
         ))
     }
 }
@@ -352,6 +355,7 @@ struct SpaceParts {
     scenarios: Vec<Scenario>,
     workloads: Vec<Arc<dyn Workload>>,
     registry: PolicyRegistry,
+    replacement_registry: cache_sim::ReplacementRegistry,
 }
 
 fn expand_node(node: &SpaceNode) -> Result<SpaceParts, CoreError> {
@@ -363,6 +367,7 @@ fn expand_node(node: &SpaceNode) -> Result<SpaceParts, CoreError> {
                 scenarios: grid.scenarios().to_vec(),
                 workloads: grid.workloads().to_vec(),
                 registry: grid.policy_registry().clone(),
+                replacement_registry: grid.replacement_registry().clone(),
             })
         }
         SpaceNode::Filter { inner, pred } => {
@@ -393,6 +398,13 @@ fn expand_node(node: &SpaceNode) -> Result<SpaceParts, CoreError> {
                         "union: right operand policy `{}` is unknown to the left \
                          operand's policy registry",
                         s.policy
+                    ));
+                }
+                if left.replacement_registry.get(&s.replacement).is_none() {
+                    return report_err(format!(
+                        "union: right operand replacement policy `{}` is unknown to \
+                         the left operand's replacement registry",
+                        s.replacement
                     ));
                 }
                 let mut s = s.clone();
@@ -1315,6 +1327,7 @@ impl Prober<'_> {
             members,
             self.grid.workloads().to_vec(),
             self.grid.policy_registry().clone(),
+            self.grid.replacement_registry().clone(),
         );
         let report = self.session.run_grid(&batch_grid)?;
 

@@ -613,6 +613,10 @@ impl Params {
                 "cache-kb" => spec.cache_kb(parse_csv::<u64>(value, &k)?),
                 "line-bytes" => spec.line_bytes(parse_csv::<u32>(value, &k)?),
                 "banks" => spec.banks(parse_csv::<u32>(value, &k)?),
+                "ways" => spec.ways(parse_csv::<u32>(value, &k)?),
+                "replacement" => spec.replacement(value.split(',').map(str::trim)),
+                "l2-kb" => spec.l2_cache_kb(parse_csv::<u64>(value, &k)?),
+                "l2-ways" => spec.l2_ways(parse_csv::<u32>(value, &k)?),
                 "update-days" => spec.update_days(parse_csv::<f64>(value, &k)?),
                 "policies" => spec.policies(value.split(',').map(str::trim)),
                 "workloads" if value == "all" => {
@@ -1216,8 +1220,9 @@ fn session_stats_json(stats: &crate::session::SessionStats) -> Json {
 fn help_text() -> String {
     let mut out = String::from(
         "aging-cache study server — spec params mirror the study CLI flags \
-         (cache-kb, line-bytes, banks, update-days, policies, workloads, trace, \
-         profile, model, temp, vlow, fail, trace-cycles, seed, threads)\n\n",
+         (cache-kb, line-bytes, banks, ways, replacement, l2-kb, l2-ways, \
+         update-days, policies, workloads, trace, profile, model, temp, vlow, \
+         fail, trace-cycles, seed, threads)\n\n",
     );
     for e in &ENDPOINTS {
         out.push_str(&format!("{:5} {:10} {}\n", e.method, e.path, e.help));

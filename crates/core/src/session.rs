@@ -88,15 +88,19 @@ pub(crate) struct SimMeasurement {
     miss_rate: f64,
     useful_idleness: Vec<f64>,
     sleep_fractions: Vec<f64>,
+    /// Per-bank L2 sleep fractions for hierarchy scenarios
+    /// (`l2_cache_bytes > 0`); `None` for single-level runs.
+    l2_sleep_fractions: Option<Vec<f64>>,
 }
 
-/// `(cache_bytes, line_bytes, banks, workload identity, trace_seed,
-/// trace_cycles)` → memoized simulation. The workload identity string
-/// (name, or format + content hash for files — see
-/// [`workload_identity`]) replaces the historic per-grid workload
-/// *index*, so the memo is meaningful across grids within a session.
-/// Seed-independent workloads (files, pinned profiles) key seed 0.
-type SimKey = (u64, u32, u32, String, u64, u64);
+/// `(cache_bytes, line_bytes, banks, ways, replacement, l2_cache_bytes,
+/// l2_ways, workload identity, trace_seed, trace_cycles)` → memoized
+/// simulation. The workload identity string (name, or format + content
+/// hash for files — see [`workload_identity`]) replaces the historic
+/// per-grid workload *index*, so the memo is meaningful across grids
+/// within a session. Seed-independent workloads (files, pinned
+/// profiles) key seed 0.
+type SimKey = (u64, u32, u32, u32, String, u64, u32, String, u64, u64);
 
 /// The session-scoped simulation memo. Shared across workers and runs;
 /// a racing double-compute always stores the same value, so
@@ -175,6 +179,7 @@ pub struct StudySession {
     ctx: ModelContext,
     policies: PolicyRegistry,
     workloads: WorkloadRegistry,
+    replacements: cache_sim::ReplacementRegistry,
     memo: SimMemo,
     cache: Option<Box<dyn ResultCache>>,
     exec: ExecOptions,
@@ -212,6 +217,7 @@ impl StudySession {
             ctx,
             policies: PolicyRegistry::builtin(),
             workloads: WorkloadRegistry::builtin(),
+            replacements: cache_sim::ReplacementRegistry::global().clone(),
             memo: Mutex::new(HashMap::new()), // aging-lint: allow(no-unordered-iter) keyed memo
             cache: None,
             exec: ExecOptions::default(),
@@ -257,6 +263,15 @@ impl StudySession {
         self
     }
 
+    /// Replaces the session's replacement-policy registry (used by
+    /// [`StudySession::spec`] and by distribution workers rebuilding
+    /// manifest subgrids).
+    #[must_use]
+    pub fn replacement_registry(mut self, registry: cache_sim::ReplacementRegistry) -> Self {
+        self.replacements = registry;
+        self
+    }
+
     /// The model context (registry + calibration memo) this session
     /// owns.
     pub fn context(&self) -> &ModelContext {
@@ -280,12 +295,20 @@ impl StudySession {
         &self.workloads
     }
 
-    /// A new [`StudySpec`] pre-wired with the session's policy and
-    /// workload registries — the spec-building front door.
+    /// The session's replacement-policy registry (the distribution
+    /// layer resolves manifest replacement names against it).
+    pub(crate) fn replacement_registry_ref(&self) -> &cache_sim::ReplacementRegistry {
+        &self.replacements
+    }
+
+    /// A new [`StudySpec`] pre-wired with the session's policy,
+    /// workload and replacement registries — the spec-building front
+    /// door.
     pub fn spec(&self, name: impl Into<String>) -> StudySpec {
         StudySpec::new(name)
             .registry(self.policies.clone())
             .workload_registry(self.workloads.clone())
+            .replacement_registry(self.replacements.clone())
     }
 
     /// Expands and runs a spec through this session.
@@ -523,13 +546,18 @@ fn run_one(
         }
     }
 
-    let measured = simulate(scenario, workload.as_ref(), env)?;
+    let measured = simulate(
+        scenario,
+        workload.as_ref(),
+        grid.replacement_registry(),
+        env,
+    )?;
     let model = &models[scenario.model.as_str()];
     let policy_builder = || {
         grid.policy_registry()
             .build(&scenario.policy, scenario.banks, scenario.policy_seed)
     };
-    let metrics = model.evaluate(&ModelEval {
+    let mut metrics = model.evaluate(&ModelEval {
         sleep_fractions: &measured.sleep_fractions,
         p0: workload.p0(),
         update_days: scenario.update_days,
@@ -538,9 +566,14 @@ fn run_one(
     env.counters.evaluations.fetch_add(1, Ordering::Relaxed);
     // Metrics inline as top-level record fields in JSON, so a metric
     // shadowing a record field would emit a duplicate key and vanish
-    // on parse — reject it loudly instead.
+    // on parse — reject it loudly instead. Hierarchy scenarios append
+    // `sleep_fraction_l2` / `lt_years_l2` below, so those names are
+    // reserved too when an L2 is present.
     for name in metrics.names() {
-        if ScenarioRecord::RESERVED_FIELDS.contains(&name) {
+        if ScenarioRecord::RESERVED_FIELDS.contains(&name)
+            || (measured.l2_sleep_fractions.is_some()
+                && (name == "sleep_fraction_l2" || name == "lt_years_l2"))
+        {
             return Err(CoreError::Report {
                 message: format!(
                     "model `{}` emits metric `{name}`, which shadows a record field",
@@ -548,6 +581,25 @@ fn run_one(
                 ),
             });
         }
+    }
+    // Hierarchy scenarios carry the L2's view as two extra metrics:
+    // the average L2 sleep fraction (the induced-idleness headline) and
+    // the L2 lifetime under the same device model. Both ride the open
+    // metrics map, so pre-hierarchy readers parse them like any other
+    // model output.
+    if let Some(l2_fractions) = &measured.l2_sleep_fractions {
+        let avg = l2_fractions.iter().sum::<f64>() / l2_fractions.len().max(1) as f64;
+        let l2_metrics = model.evaluate(&ModelEval {
+            sleep_fractions: l2_fractions,
+            p0: workload.p0(),
+            update_days: scenario.update_days,
+            policy: &policy_builder,
+        })?;
+        metrics.push("sleep_fraction_l2", avg);
+        metrics.push(
+            "lt_years_l2",
+            l2_metrics.get(crate::model::METRIC_LT).unwrap_or(f64::NAN),
+        );
     }
 
     let record = ScenarioRecord {
@@ -576,6 +628,7 @@ fn run_one(
 fn simulate(
     scenario: &Scenario,
     workload: &dyn Workload,
+    replacements: &cache_sim::ReplacementRegistry,
     env: &ExecEnv<'_>,
 ) -> Result<Arc<SimMeasurement>, CoreError> {
     if let Some(profile) = workload.pinned_profile() {
@@ -585,6 +638,7 @@ fn simulate(
             miss_rate: f64::NAN,
             useful_idleness: profile.to_vec(),
             sleep_fractions: profile.to_vec(),
+            l2_sleep_fractions: None,
         }));
     }
     let (identity, seeded) = workload_identity(workload);
@@ -592,6 +646,10 @@ fn simulate(
         scenario.cache_bytes,
         scenario.line_bytes,
         scenario.banks,
+        scenario.ways,
+        scenario.replacement.clone(),
+        scenario.l2_cache_bytes,
+        scenario.l2_ways,
         identity,
         if seeded { scenario.trace_seed } else { 0 },
         scenario.trace_cycles,
@@ -600,18 +658,44 @@ fn simulate(
         env.counters.sim_memo_hits.fetch_add(1, Ordering::Relaxed);
         return Ok(Arc::clone(hit));
     }
-    let geom =
-        CacheGeometry::direct_mapped(scenario.cache_bytes, scenario.line_bytes, scenario.banks)?;
-    let arch = PartitionedCache::new_named(geom, "identity", PolicyRegistry::global().clone())?;
+    let geom = CacheGeometry::new(
+        scenario.cache_bytes,
+        scenario.line_bytes,
+        scenario.ways,
+        scenario.banks,
+    )?;
+    let arch = PartitionedCache::new_named(geom, "identity", PolicyRegistry::global().clone())?
+        .with_replacement(&scenario.replacement, replacements.clone())?;
     // Stream the workload through the batched fast path: synthetic
     // generators and multi-GB trace files both run in constant
     // memory, with bitwise-identical outcomes to the scalar loop.
     let mut source = workload.open(scenario.trace_seed)?;
-    let out = arch.simulate_source(
-        source.as_mut(),
-        Some(scenario.trace_cycles),
-        UpdateSchedule::Never,
-    )?;
+    let (out, l2_out) = if scenario.l2_cache_bytes > 0 {
+        let l2_geom = CacheGeometry::new(
+            scenario.l2_cache_bytes,
+            scenario.line_bytes,
+            scenario.l2_ways,
+            scenario.banks,
+        )?;
+        let l2 =
+            PartitionedCache::new_named(l2_geom, "identity", PolicyRegistry::global().clone())?
+                .with_replacement(&scenario.replacement, replacements.clone())?;
+        let out = arch.simulate_hierarchy_source(
+            &l2,
+            source.as_mut(),
+            Some(scenario.trace_cycles),
+            UpdateSchedule::Never,
+        )?;
+        debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
+        (out.l1, Some(out.l2))
+    } else {
+        let out = arch.simulate_source(
+            source.as_mut(),
+            Some(scenario.trace_cycles),
+            UpdateSchedule::Never,
+        )?;
+        (out, None)
+    };
     if out.accesses == 0 {
         return Err(CoreError::Report {
             message: format!(
@@ -628,6 +712,7 @@ fn simulate(
         miss_rate: out.miss_rate(),
         useful_idleness: out.useful_idleness_all(),
         sleep_fractions: out.sleep_fraction_all(),
+        l2_sleep_fractions: l2_out.map(|l2| l2.sleep_fraction_all()),
     });
     // A racing worker may have inserted meanwhile; identical inputs
     // give identical outputs, so either value is fine to keep.

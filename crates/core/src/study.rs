@@ -106,7 +106,7 @@ use crate::model::{self, Metrics, ModelContext, ModelParams};
 use crate::registry::{derive_policy_seed, PolicyRegistry};
 use crate::session;
 use crate::workload::{SyntheticWorkload, Workload, WorkloadRegistry, WorkloadSourceInfo};
-use cache_sim::CacheGeometry;
+use cache_sim::{CacheGeometry, ReplacementRegistry, SimError, DEFAULT_REPLACEMENT};
 use std::sync::Arc;
 use trace_synth::{suite, WorkloadProfile};
 
@@ -131,6 +131,10 @@ pub struct StudySpec {
     pub(crate) cache_bytes: Vec<u64>,
     pub(crate) line_bytes: Vec<u32>,
     pub(crate) banks: Vec<u32>,
+    pub(crate) ways: Vec<u32>,
+    pub(crate) replacements: Vec<String>,
+    pub(crate) l2_cache_bytes: Vec<u64>,
+    pub(crate) l2_ways: Vec<u32>,
     pub(crate) update_days: Vec<f64>,
     pub(crate) policies: Vec<String>,
     pub(crate) workloads: Vec<Arc<dyn Workload>>,
@@ -144,6 +148,7 @@ pub struct StudySpec {
     pub(crate) threads: Option<usize>,
     pub(crate) registry: PolicyRegistry,
     pub(crate) workload_registry: WorkloadRegistry,
+    pub(crate) replacement_registry: ReplacementRegistry,
 }
 
 impl std::fmt::Debug for StudySpec {
@@ -153,6 +158,10 @@ impl std::fmt::Debug for StudySpec {
             .field("cache_bytes", &self.cache_bytes)
             .field("line_bytes", &self.line_bytes)
             .field("banks", &self.banks)
+            .field("ways", &self.ways)
+            .field("replacements", &self.replacements)
+            .field("l2_cache_bytes", &self.l2_cache_bytes)
+            .field("l2_ways", &self.l2_ways)
             .field("update_days", &self.update_days)
             .field("policies", &self.policies)
             .field(
@@ -177,6 +186,10 @@ impl StudySpec {
             cache_bytes: vec![16 * 1024],
             line_bytes: vec![16],
             banks: vec![4],
+            ways: vec![1],
+            replacements: vec![DEFAULT_REPLACEMENT.into()],
+            l2_cache_bytes: vec![0],
+            l2_ways: vec![1],
             update_days: vec![1.0],
             policies: vec!["probing".into()],
             // Suite order (not registry name order): the historic
@@ -195,6 +208,7 @@ impl StudySpec {
             threads: None,
             registry: PolicyRegistry::builtin(),
             workload_registry: WorkloadRegistry::builtin(),
+            replacement_registry: ReplacementRegistry::global().clone(),
         }
     }
 
@@ -223,6 +237,62 @@ impl StudySpec {
     #[must_use]
     pub fn banks(mut self, banks: impl IntoIterator<Item = u32>) -> Self {
         self.banks = banks.into_iter().collect();
+        self
+    }
+
+    /// Sets the associativity axis (ways per set, `1` = direct-mapped);
+    /// one or many values.
+    #[must_use]
+    pub fn ways(mut self, ways: impl IntoIterator<Item = u32>) -> Self {
+        self.ways = ways.into_iter().collect();
+        self
+    }
+
+    /// Sets the replacement-policy axis by registry name (`"lru"`,
+    /// `"mru"`, or a name registered in the spec's
+    /// [`ReplacementRegistry`] — see
+    /// [`StudySpec::replacement_registry`]); one or many values. Only
+    /// meaningful for set-associative geometries (`ways > 1`): with one
+    /// way there is nothing to choose a victim among.
+    #[must_use]
+    pub fn replacement<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.replacements = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the L2-capacity axis (kB); `0` means no L2 (single-level,
+    /// the default). A non-zero value composes a two-level hierarchy
+    /// where the L2 access stream is exactly the L1 miss stream; the
+    /// record then carries `sleep_fraction_l2` / `lt_years_l2` metrics.
+    #[must_use]
+    pub fn l2_cache_kb(mut self, kb: impl IntoIterator<Item = u64>) -> Self {
+        self.l2_cache_bytes = kb.into_iter().map(|k| k * 1024).collect();
+        self
+    }
+
+    /// Sets the L2-capacity axis in raw bytes (`0` = no L2).
+    #[must_use]
+    pub fn l2_cache_bytes(mut self, bytes: impl IntoIterator<Item = u64>) -> Self {
+        self.l2_cache_bytes = bytes.into_iter().collect();
+        self
+    }
+
+    /// Sets the L2 associativity axis; one or many values. Applies only
+    /// to grid points with an L2 (`l2_cache_bytes > 0`): no-L2 points
+    /// collapse this axis to a single scenario.
+    #[must_use]
+    pub fn l2_ways(mut self, ways: impl IntoIterator<Item = u32>) -> Self {
+        self.l2_ways = ways.into_iter().collect();
+        self
+    }
+
+    /// Replaces the replacement-policy registry (to resolve custom
+    /// replacement policies by name in [`StudySpec::replacement`]) —
+    /// the same hook shape as [`StudySpec::registry`] for indexing
+    /// policies.
+    #[must_use]
+    pub fn replacement_registry(mut self, registry: ReplacementRegistry) -> Self {
+        self.replacement_registry = registry;
         self
     }
 
@@ -416,21 +486,28 @@ impl StudySpec {
     /// Expands the axes into the cartesian scenario grid.
     ///
     /// Expansion order (outermost to innermost): cache size, line size,
-    /// banks, device model, update period, policy, workload. Scenario
-    /// ids number that order, so the innermost workload axis matches
-    /// the historic `seed + i` suite loop (and single-model grids keep
-    /// their pre-model-axis ids).
+    /// banks, ways, replacement policy, L2 size, L2 ways, device model,
+    /// update period, policy, workload. Scenario ids number that order,
+    /// so the innermost workload axis matches the historic `seed + i`
+    /// suite loop (and grids that leave the geometry axes at their
+    /// defaults keep their pre-geometry-axis ids).
     ///
     /// # Errors
     ///
-    /// Rejects empty axes, unknown policy names, malformed model keys,
-    /// invalid geometries and profile/bank-count mismatches up front,
-    /// so `run` can only fail on model-level errors.
+    /// Rejects empty axes, unknown policy or replacement names,
+    /// malformed model keys, invalid geometries (including `ways` that
+    /// don't divide the line capacity and an L2 smaller than the L1)
+    /// and profile/bank-count mismatches up front, so `run` can only
+    /// fail on model-level errors.
     pub fn expand(&self) -> Result<ScenarioGrid, CoreError> {
         for (axis, len) in [
             ("cache_bytes", self.cache_bytes.len()),
             ("line_bytes", self.line_bytes.len()),
             ("banks", self.banks.len()),
+            ("ways", self.ways.len()),
+            ("replacements", self.replacements.len()),
+            ("l2_cache_bytes", self.l2_cache_bytes.len()),
+            ("l2_ways", self.l2_ways.len()),
             ("update_days", self.update_days.len()),
             ("policies", self.policies.len()),
             ("workloads", self.workloads.len()),
@@ -449,6 +526,9 @@ impl StudySpec {
                     known: self.registry.names().join(", "),
                 });
             }
+        }
+        for name in &self.replacements {
+            self.replacement_registry.resolve(name)?;
         }
         for &days in &self.update_days {
             if days <= 0.0 || days.is_nan() {
@@ -491,43 +571,82 @@ impl StudySpec {
         for &bytes in &self.cache_bytes {
             for &line in &self.line_bytes {
                 for &banks in &self.banks {
-                    // Validate the geometry once per (size, line, banks).
-                    CacheGeometry::direct_mapped(bytes, line, banks)?;
-                    for w in &self.workloads {
-                        if let Some(profile) = w.pinned_profile() {
-                            if profile.len() != banks as usize {
-                                return Err(CoreError::Report {
-                                    message: format!(
+                    for &ways in &self.ways {
+                        // Validate the L1 geometry once per
+                        // (size, line, ways, banks).
+                        CacheGeometry::new(bytes, line, ways, banks)?;
+                        for w in &self.workloads {
+                            if let Some(profile) = w.pinned_profile() {
+                                if profile.len() != banks as usize {
+                                    return Err(CoreError::Report {
+                                        message: format!(
                                         "workload `{}` pins {} banks but the grid asks for {banks}",
                                         w.name(),
                                         profile.len()
                                     ),
-                                });
+                                    });
+                                }
                             }
                         }
-                    }
-                    for model in &model_keys {
-                        for &days in &self.update_days {
-                            for policy in &self.policies {
-                                for (wi, w) in self.workloads.iter().enumerate() {
-                                    let id = scenarios.len();
-                                    scenarios.push(Scenario {
-                                        id,
-                                        cache_bytes: bytes,
-                                        line_bytes: line,
-                                        banks,
-                                        update_days: days,
-                                        policy: policy.clone(),
-                                        workload: w.name().to_string(),
-                                        workload_index: wi,
-                                        workload_source: w.source_info(),
-                                        model: model.clone(),
-                                        trace_cycles: self.trace_cycles,
-                                        trace_seed: self.base_seed + wi as u64,
-                                        policy_seed: self.policy_seed.unwrap_or_else(|| {
-                                            derive_policy_seed(self.base_seed, id as u64, policy)
-                                        }),
-                                    });
+                        for replacement in &self.replacements {
+                            for &l2_bytes in &self.l2_cache_bytes {
+                                for (l2wi, &l2_ways_raw) in self.l2_ways.iter().enumerate() {
+                                    // Without an L2 there is no L2 geometry to
+                                    // sweep: collapse the l2_ways axis to a
+                                    // single scenario instead of emitting
+                                    // duplicate grid points.
+                                    if l2_bytes == 0 && l2wi > 0 {
+                                        continue;
+                                    }
+                                    let l2_ways = if l2_bytes == 0 { 1 } else { l2_ways_raw };
+                                    if l2_bytes > 0 {
+                                        CacheGeometry::new(l2_bytes, line, l2_ways, banks)?;
+                                        if l2_bytes < bytes {
+                                            return Err(CoreError::Sim(
+                                                SimError::InvalidGeometry {
+                                                    name: "l2_cache_bytes",
+                                                    value: l2_bytes,
+                                                    expected: "an L2 at least as large as the L1",
+                                                },
+                                            ));
+                                        }
+                                    }
+                                    for model in &model_keys {
+                                        for &days in &self.update_days {
+                                            for policy in &self.policies {
+                                                for (wi, w) in self.workloads.iter().enumerate() {
+                                                    let id = scenarios.len();
+                                                    scenarios.push(Scenario {
+                                                        id,
+                                                        cache_bytes: bytes,
+                                                        line_bytes: line,
+                                                        banks,
+                                                        ways,
+                                                        replacement: replacement.clone(),
+                                                        l2_cache_bytes: l2_bytes,
+                                                        l2_ways,
+                                                        update_days: days,
+                                                        policy: policy.clone(),
+                                                        workload: w.name().to_string(),
+                                                        workload_index: wi,
+                                                        workload_source: w.source_info(),
+                                                        model: model.clone(),
+                                                        trace_cycles: self.trace_cycles,
+                                                        trace_seed: self.base_seed + wi as u64,
+                                                        policy_seed: self
+                                                            .policy_seed
+                                                            .unwrap_or_else(|| {
+                                                                derive_policy_seed(
+                                                                    self.base_seed,
+                                                                    id as u64,
+                                                                    policy,
+                                                                )
+                                                            }),
+                                                    });
+                                                }
+                                            }
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -540,6 +659,7 @@ impl StudySpec {
             scenarios,
             workloads: self.workloads.clone(),
             registry: self.registry.clone(),
+            replacement_registry: self.replacement_registry.clone(),
             threads: self.threads,
         })
     }
@@ -568,6 +688,17 @@ pub struct Scenario {
     pub line_bytes: u32,
     /// Number of uniform banks `M`.
     pub banks: u32,
+    /// Set-associative ways per set (`1` = direct-mapped, the historic
+    /// reference point).
+    pub ways: u32,
+    /// Registry name of the replacement policy
+    /// ([`DEFAULT_REPLACEMENT`] unless the spec set the axis).
+    pub replacement: String,
+    /// L2 capacity in bytes; `0` means no L2 (a single-level study).
+    pub l2_cache_bytes: u64,
+    /// L2 ways per set (`1` unless swept; only meaningful when
+    /// `l2_cache_bytes > 0`).
+    pub l2_ways: u32,
     /// Days between re-indexing updates.
     pub update_days: f64,
     /// Registry name of the indexing policy.
@@ -608,6 +739,22 @@ impl Scenario {
             ("trace_seed", Json::Str(self.trace_seed.to_string())),
             ("policy_seed", Json::Str(self.policy_seed.to_string())),
         ];
+        // Every geometry field below is omitted at its default, so
+        // reports written before the geometry axis opened parse (and
+        // emit) unchanged — and a ways=1 single-level study emits the
+        // exact historic bytes.
+        if self.ways != 1 {
+            pairs.push(("ways", Json::Num(self.ways as f64)));
+        }
+        if self.replacement != DEFAULT_REPLACEMENT {
+            pairs.push(("replacement", Json::Str(self.replacement.clone())));
+        }
+        if self.l2_cache_bytes != 0 {
+            pairs.push(("l2_cache_bytes", Json::Num(self.l2_cache_bytes as f64)));
+            if self.l2_ways != 1 {
+                pairs.push(("l2_ways", Json::Num(self.l2_ways as f64)));
+            }
+        }
         // Omitted for the reference model, so reports written before
         // the model axis opened parse (and emit) unchanged.
         if self.model != model::DEFAULT_MODEL {
@@ -657,6 +804,22 @@ impl Scenario {
             cache_bytes: v.field("cache_bytes")?.as_num("cache_bytes")? as u64,
             line_bytes: v.field("line_bytes")?.as_num("line_bytes")? as u32,
             banks: v.field("banks")?.as_num("banks")? as u32,
+            ways: match v.get("ways") {
+                Some(n) => n.as_num("ways")? as u32,
+                None => 1,
+            },
+            replacement: match v.get("replacement") {
+                Some(r) => r.as_str("replacement")?.to_string(),
+                None => DEFAULT_REPLACEMENT.to_string(),
+            },
+            l2_cache_bytes: match v.get("l2_cache_bytes") {
+                Some(n) => n.as_num("l2_cache_bytes")? as u64,
+                None => 0,
+            },
+            l2_ways: match v.get("l2_ways") {
+                Some(n) => n.as_num("l2_ways")? as u32,
+                None => 1,
+            },
             update_days: v.field("update_days")?.as_num("update_days")?,
             policy: v.field("policy")?.as_str("policy")?.to_string(),
             workload: v.field("workload")?.as_str("workload")?.to_string(),
@@ -675,6 +838,7 @@ pub struct ScenarioGrid {
     scenarios: Vec<Scenario>,
     workloads: Vec<Arc<dyn Workload>>,
     registry: PolicyRegistry,
+    replacement_registry: ReplacementRegistry,
     threads: Option<usize>,
 }
 
@@ -702,12 +866,14 @@ impl ScenarioGrid {
         scenarios: Vec<Scenario>,
         workloads: Vec<Arc<dyn Workload>>,
         registry: PolicyRegistry,
+        replacement_registry: ReplacementRegistry,
     ) -> Self {
         Self {
             name,
             scenarios,
             workloads,
             registry,
+            replacement_registry,
             threads: None,
         }
     }
@@ -731,6 +897,12 @@ impl ScenarioGrid {
     /// The policy registry scenarios build their mappings from.
     pub(crate) fn policy_registry(&self) -> &PolicyRegistry {
         &self.registry
+    }
+
+    /// The replacement-policy registry scenarios resolve their
+    /// `replacement` names from.
+    pub(crate) fn replacement_registry(&self) -> &ReplacementRegistry {
+        &self.replacement_registry
     }
 
     /// The spec-level worker cap, if one was set.
@@ -1092,6 +1264,10 @@ mod tests {
             cache_bytes: 16 * 1024,
             line_bytes: 16,
             banks: 4,
+            ways: 1,
+            replacement: DEFAULT_REPLACEMENT.into(),
+            l2_cache_bytes: 0,
+            l2_ways: 1,
             update_days: 1.0,
             policy: "probing".into(),
             workload: "sha".into(),
@@ -1122,9 +1298,90 @@ mod tests {
             "{text}"
         );
         assert!(!text.contains("\"model\""), "{text}");
+        // Default geometry fields are omitted too: the historic layout.
+        for absent in [
+            "\"ways\"",
+            "\"replacement\"",
+            "\"l2_cache_bytes\"",
+            "\"l2_ways\"",
+        ] {
+            assert!(!text.contains(absent), "{absent} leaked into {text}");
+        }
         let back = StudyReport::from_json(&text).unwrap();
         assert_eq!(back, report);
         assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn geometry_axes_expand_and_roundtrip() {
+        let grid = tiny_spec()
+            .ways([1, 4])
+            .replacement(["lru", "mru"])
+            .l2_cache_kb([0, 64])
+            .l2_ways([4])
+            .expand()
+            .unwrap();
+        // 2 ways × 2 replacements × 2 L2 sizes × 1 l2_ways × 2 workloads.
+        assert_eq!(grid.len(), 16);
+        let s = grid.scenarios();
+        assert_eq!((s[0].ways, s[0].l2_cache_bytes, s[0].l2_ways), (1, 0, 1));
+        assert_eq!(
+            (s[2].ways, s[2].l2_cache_bytes, s[2].l2_ways),
+            (1, 64 * 1024, 4)
+        );
+        assert_eq!(s[4].replacement, "mru");
+        assert_eq!(s[8].ways, 4);
+        // Non-default geometry survives the record JSON round-trip.
+        let record = ScenarioRecord {
+            scenario: s[10].clone(),
+            sim_cycles: 10,
+            esav: 0.1,
+            miss_rate: 0.2,
+            useful_idleness: vec![0.5; 4],
+            sleep_fractions: vec![0.4; 4],
+            metrics: Metrics::new(),
+        };
+        let report = StudyReport::from_records("geom", vec![record]);
+        let text = report.to_json();
+        assert!(text.contains("\"ways\":4"), "{text}");
+        assert!(text.contains("\"l2_cache_bytes\":65536"), "{text}");
+        assert!(text.contains("\"l2_ways\":4"), "{text}");
+        let back = StudyReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn no_l2_collapses_the_l2_ways_axis() {
+        let grid = tiny_spec().l2_ways([2, 4, 8]).expand().unwrap();
+        // No L2 on the grid: the l2_ways axis contributes nothing.
+        assert_eq!(grid.len(), 2);
+        assert!(grid.scenarios().iter().all(|s| s.l2_ways == 1));
+    }
+
+    #[test]
+    fn bad_geometry_axes_are_rejected_at_expansion() {
+        // ways exceeding the line capacity of one bank's worth of sets.
+        let e = tiny_spec().cache_bytes([1024]).ways([128]).expand();
+        assert!(matches!(e, Err(CoreError::Sim(_))), "{e:?}");
+        // An L2 smaller than the L1.
+        let e = tiny_spec().l2_cache_kb([4]).expand();
+        assert!(
+            matches!(
+                e,
+                Err(CoreError::Sim(SimError::InvalidGeometry {
+                    name: "l2_cache_bytes",
+                    ..
+                }))
+            ),
+            "{e:?}"
+        );
+        // An unknown replacement policy.
+        let e = tiny_spec().replacement(["belady"]).expand();
+        assert!(
+            matches!(e, Err(CoreError::Sim(SimError::UnknownReplacement { .. }))),
+            "{e:?}"
+        );
     }
 
     #[test]

@@ -736,6 +736,10 @@ mod tests {
                 cache_bytes: kb * 1024,
                 line_bytes: 16,
                 banks,
+                ways: 1,
+                replacement: "lru".into(),
+                l2_cache_bytes: 0,
+                l2_ways: 1,
                 update_days: 1.0,
                 policy: policy.into(),
                 workload: workload.into(),

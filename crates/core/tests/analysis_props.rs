@@ -17,12 +17,24 @@ const MODELS: [&str; 3] = ["nbti-45nm", "nbti:temp=105", "variation:30"];
 fn random_record(g: &mut Gen, id: usize) -> ScenarioRecord {
     let banks = *g.pick(&[2u32, 4, 8]);
     let nan_sim = g.f64_unit() < 0.1;
+    // l2_ways is only serialized alongside an L2, so pin it to 1 when
+    // there is none (exactly what `expand` produces).
+    let l2_bytes = *g.pick(&[0u64, 64, 128]) * 1024;
+    let l2_ways = if l2_bytes == 0 {
+        1
+    } else {
+        *g.pick(&[1u32, 4])
+    };
     ScenarioRecord {
         scenario: Scenario {
             id,
             cache_bytes: *g.pick(&[8u64, 16, 32]) * 1024,
             line_bytes: *g.pick(&[16u32, 32]),
             banks,
+            ways: *g.pick(&[1u32, 2, 4]),
+            replacement: g.pick(&["lru", "mru"]).to_string(),
+            l2_cache_bytes: l2_bytes,
+            l2_ways,
             update_days: *g.pick(&[0.5f64, 1.0, 7.0]),
             policy: g.pick(&POLICIES).to_string(),
             workload: g.pick(&WORKLOADS).to_string(),

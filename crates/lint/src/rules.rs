@@ -214,6 +214,7 @@ fn panic_zone(path: &str) -> bool {
         "crates/core/src/rescache.rs",
         "crates/core/src/serve.rs",
         "crates/core/src/search.rs",
+        "crates/sim/src/hierarchy.rs",
     ]
     .contains(&path)
 }
@@ -245,6 +246,7 @@ fn registry_zone(path: &str) -> bool {
         "crates/core/src/workload.rs",
         "crates/core/src/serve.rs",
         "crates/core/src/search.rs",
+        "crates/sim/src/replacement.rs",
     ]
     .contains(&path)
 }

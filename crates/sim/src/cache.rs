@@ -1,7 +1,10 @@
-//! Tag-array cache model: direct-mapped and set-associative (LRU).
+//! Tag-array cache model: direct-mapped and set-associative with a
+//! pluggable replacement policy (LRU by default).
 
 use crate::error::SimError;
 use crate::geometry::CacheGeometry;
+use crate::replacement::ReplacementPolicy;
+use std::sync::Arc;
 
 /// Type of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,16 +54,37 @@ struct Way {
 /// assert!(cache.access(set, tag, AccessKind::Read).hit);  // now warm
 /// # Ok::<(), cache_sim::SimError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CacheArray {
     geometry: CacheGeometry,
     ways: Vec<Way>,
     clock: u64,
     flushes: u64,
+    /// `None` = the built-in LRU fast path (byte-for-byte the historic
+    /// victim order); `Some` = a registered policy choosing among full
+    /// sets. Invalid ways are always filled first either way.
+    replacement: Option<Arc<dyn ReplacementPolicy>>,
+    /// Scratch stamp buffer handed to the policy (no per-miss alloc).
+    stamp_buf: Vec<u64>,
+}
+
+impl std::fmt::Debug for CacheArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheArray")
+            .field("geometry", &self.geometry)
+            .field("clock", &self.clock)
+            .field("flushes", &self.flushes)
+            .field(
+                "replacement",
+                &self.replacement.as_deref().map_or("lru", |p| p.name()),
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 impl CacheArray {
-    /// Creates an empty (all-invalid) cache for `geometry`.
+    /// Creates an empty (all-invalid) cache for `geometry` with the
+    /// built-in LRU replacement.
     pub fn new(geometry: CacheGeometry) -> Self {
         let n = (geometry.sets() * geometry.ways() as u64) as usize;
         Self {
@@ -68,7 +92,23 @@ impl CacheArray {
             ways: vec![Way::default(); n],
             clock: 0,
             flushes: 0,
+            replacement: None,
+            stamp_buf: Vec::new(),
         }
+    }
+
+    /// Creates an empty cache that evicts via a registered
+    /// [`ReplacementPolicy`] instead of the built-in LRU.
+    pub fn with_replacement(geometry: CacheGeometry, policy: Arc<dyn ReplacementPolicy>) -> Self {
+        let mut array = Self::new(geometry);
+        array.stamp_buf = Vec::with_capacity(geometry.ways() as usize);
+        array.replacement = Some(policy);
+        array
+    }
+
+    /// The active replacement policy's registry name.
+    pub fn replacement_name(&self) -> &str {
+        self.replacement.as_deref().map_or("lru", |p| p.name())
     }
 
     /// The geometry this array was built for.
@@ -110,13 +150,24 @@ impl CacheArray {
                 };
             }
         }
-        // Miss: fill the invalid or LRU way.
-        let victim = slots
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| if w.valid { w.stamp + 1 } else { 0 })
-            .map(|(i, _)| i)
-            .expect("at least one way");
+        // Miss: fill the first invalid way, else ask the policy (the
+        // built-in LRU path keeps its historic one-expression form).
+        let victim = match &self.replacement {
+            None => slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| if w.valid { w.stamp + 1 } else { 0 })
+                .map(|(i, _)| i)
+                .expect("at least one way"),
+            Some(policy) => match slots.iter().position(|w| !w.valid) {
+                Some(invalid) => invalid,
+                None => {
+                    self.stamp_buf.clear();
+                    self.stamp_buf.extend(slots.iter().map(|w| w.stamp));
+                    policy.victim(&self.stamp_buf).min(ways - 1)
+                }
+            },
+        };
         let evicted_tag = slots[victim].valid.then_some(slots[victim].tag);
         let writeback = slots[victim].valid && slots[victim].dirty;
         slots[victim] = Way {
@@ -280,6 +331,58 @@ mod tests {
         c.access_addr(s, AccessKind::Read);
         assert!(c.probe(g.set_of(s), t));
         assert!(!c.probe(g.set_of(s), t + 1));
+    }
+
+    #[test]
+    fn registered_lru_matches_builtin_victim_order() {
+        use crate::replacement::ReplacementRegistry;
+        let g = CacheGeometry::new(4096, 16, 4, 1).unwrap();
+        let mut builtin = CacheArray::new(g);
+        let lru = ReplacementRegistry::global().resolve("lru").unwrap();
+        let mut registered = CacheArray::with_replacement(g, lru);
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = x % (16 * 4096);
+            let kind = if x.is_multiple_of(3) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            assert_eq!(
+                builtin.access_addr(addr, kind),
+                registered.access_addr(addr, kind),
+                "registered lru must reproduce the built-in victim order"
+            );
+        }
+    }
+
+    #[test]
+    fn mru_diverges_from_lru_on_a_looping_working_set() {
+        use crate::replacement::ReplacementRegistry;
+        // A cyclic loop one line larger than the associativity: LRU
+        // misses every access (classic thrash), MRU retains most of the
+        // loop, so their hit counts must differ.
+        let g = CacheGeometry::new(4 * 16, 16, 4, 1).unwrap(); // 1 set, 4 ways
+        let reg = ReplacementRegistry::global();
+        let mut lru = CacheArray::with_replacement(g, reg.resolve("lru").unwrap());
+        let mut mru = CacheArray::with_replacement(g, reg.resolve("mru").unwrap());
+        let period = g.size_bytes();
+        let (mut lru_hits, mut mru_hits) = (0u64, 0u64);
+        for _round in 0..100u64 {
+            for line in 0..5u64 {
+                let addr = 0x100 + line * period; // 5 tags, same single set
+                lru_hits += u64::from(lru.access_addr(addr, AccessKind::Read).hit);
+                mru_hits += u64::from(mru.access_addr(addr, AccessKind::Read).hit);
+            }
+        }
+        assert_eq!(lru_hits, 0, "LRU thrashes a loop of ways + 1 lines");
+        assert!(
+            mru_hits > 300,
+            "MRU keeps the loop mostly resident: {mru_hits}"
+        );
     }
 
     #[test]

@@ -44,8 +44,10 @@ pub mod bank;
 pub mod cache;
 pub mod error;
 pub mod geometry;
+pub mod hierarchy;
 pub mod idle;
 pub mod mapping;
+pub mod replacement;
 pub mod run;
 pub mod stats;
 
@@ -53,7 +55,9 @@ pub use bank::{BankPower, BankState};
 pub use cache::{AccessKind, AccessResult, CacheArray};
 pub use error::SimError;
 pub use geometry::CacheGeometry;
+pub use hierarchy::{CacheHierarchy, HierarchyOutcome};
 pub use idle::{IdleStats, IdleTracker};
 pub use mapping::{is_bijective, BankMapping, FnMapping, IdentityMapping};
+pub use replacement::{ReplacementPolicy, ReplacementRegistry, DEFAULT_REPLACEMENT};
 pub use run::{Access, SimConfig, Simulator};
 pub use stats::{BankStats, SimOutcome};

@@ -6,8 +6,10 @@ use crate::error::SimError;
 use crate::geometry::CacheGeometry;
 use crate::idle::IdleTracker;
 use crate::mapping::{is_bijective, BankMapping};
+use crate::replacement::ReplacementPolicy;
 use crate::stats::{BankStats, SimOutcome};
 use sram_power::{BreakevenAnalysis, EnergyLedger, EnergyModel, PartitionOverhead, Technology};
+use std::sync::Arc;
 
 /// One trace element: an address plus read/write kind, one per cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,12 +39,28 @@ impl Access {
 }
 
 /// Everything a [`Simulator`] needs besides the mapping policy.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SimConfig {
     geometry: CacheGeometry,
     energy: EnergyModel,
     overhead: PartitionOverhead,
     breakeven: BreakevenAnalysis,
+    replacement: Option<Arc<dyn ReplacementPolicy>>,
+}
+
+impl std::fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("geometry", &self.geometry)
+            .field("energy", &self.energy)
+            .field("overhead", &self.overhead)
+            .field("breakeven", &self.breakeven)
+            .field(
+                "replacement",
+                &self.replacement.as_deref().map_or("lru", |p| p.name()),
+            )
+            .finish()
+    }
 }
 
 impl SimConfig {
@@ -71,6 +89,7 @@ impl SimConfig {
             energy,
             overhead,
             breakeven,
+            replacement: None,
         })
     }
 
@@ -79,6 +98,19 @@ impl SimConfig {
     pub fn with_breakeven(mut self, breakeven: BreakevenAnalysis) -> Self {
         self.breakeven = breakeven;
         self
+    }
+
+    /// Selects a victim-selection policy for set-associative geometries
+    /// (`None` restores the built-in LRU). Irrelevant when `ways == 1`.
+    #[must_use]
+    pub fn with_replacement(mut self, policy: Option<Arc<dyn ReplacementPolicy>>) -> Self {
+        self.replacement = policy;
+        self
+    }
+
+    /// The configured replacement policy (`None` = built-in LRU).
+    pub fn replacement(&self) -> Option<&Arc<dyn ReplacementPolicy>> {
+        self.replacement.as_ref()
     }
 
     /// The cache geometry.
@@ -186,8 +218,12 @@ impl Simulator {
         let leak_drowsy_fj = em.leak_fj_per_cycle_drowsy(&bank_array);
         let leak_overhead_factor = config.overhead().leakage_factor() - 1.0;
         let breakeven = config.breakeven().cycles();
+        let cache = match config.replacement() {
+            Some(policy) => CacheArray::with_replacement(*config.geometry(), Arc::clone(policy)),
+            None => CacheArray::new(*config.geometry()),
+        };
         Ok(Self {
-            cache: CacheArray::new(*config.geometry()),
+            cache,
             power: BankPower::new(banks, breakeven),
             idle: IdleTracker::new(banks, breakeven),
             mapping,
@@ -281,6 +317,15 @@ impl Simulator {
     /// The two paths are interchangeable: scalar `step` calls may
     /// precede or follow batches on the same simulator.
     pub fn step_batch(&mut self, batch: &[Access]) {
+        self.step_batch_map(batch, |_, _| {});
+    }
+
+    /// [`Simulator::step_batch`] with a per-access observer: `on_access`
+    /// is called once per batch element, in batch order, with the
+    /// element's index and whether it hit. This is the hook a cache
+    /// *hierarchy* needs — the observer lets the caller reconstruct the
+    /// exact miss stream without leaving the batched hot path.
+    pub fn step_batch_map(&mut self, batch: &[Access], mut on_access: impl FnMut(usize, bool)) {
         let geom = *self.config.geometry();
         let banks = geom.banks();
         self.lut.clear();
@@ -330,6 +375,7 @@ impl Simulator {
             let access = batch[i];
             let physical_bank = phys[i];
             let result = cache.access(phys_sets[i], geom.tag_of(access.addr), access.kind);
+            on_access(i, result.hit);
             if result.hit {
                 *hits += 1;
             } else {

@@ -5,7 +5,9 @@
 
 use nbti_cache_repro::arch::arch::{PartitionedCache, UpdateSchedule};
 use nbti_cache_repro::arch::PolicyRegistry;
-use nbti_cache_repro::sim::{CacheGeometry, SimOutcome};
+use nbti_cache_repro::sim::{
+    CacheGeometry, CacheHierarchy, IdentityMapping, SimConfig, SimOutcome, Simulator,
+};
 use nbti_cache_repro::traces::formats::{write_csv, write_din, write_lackey, TraceFormat};
 use nbti_cache_repro::traces::suite;
 
@@ -61,6 +63,85 @@ fn batched_equals_per_access_under_updates() {
         assert_eq!(scalar.updates, (CYCLES as u64) / period);
         assert_identical(&scalar, &batched, &format!("{policy}/{period}"));
     }
+}
+
+fn hierarchy(l1_ways: u32, l2_ways: u32) -> CacheHierarchy {
+    let sim = |size: u64, ways: u32| {
+        let geom = CacheGeometry::new(size, 16, ways, 4).unwrap();
+        Simulator::new(SimConfig::new(geom).unwrap(), Box::new(IdentityMapping)).unwrap()
+    };
+    CacheHierarchy::new(sim(16 * 1024, l1_ways), sim(64 * 1024, l2_ways)).unwrap()
+}
+
+#[test]
+fn hierarchy_batched_equals_per_access_on_both_levels() {
+    // The two-level contract: batch sizes that are not miss-aligned
+    // with anything (odd chunks included) produce the same bits on the
+    // L1 *and* on the induced L2 miss stream as stepping one access at
+    // a time.
+    let profile = suite::by_name("dijkstra").unwrap();
+    let accesses: Vec<_> = profile.trace(9).take(CYCLES).collect();
+    for chunk in [1usize, 7, 997, 4096] {
+        let mut scalar = hierarchy(4, 4);
+        for &a in &accesses {
+            scalar.step(a);
+        }
+        let scalar = scalar.finish();
+        scalar.validate().unwrap();
+
+        let mut batched = hierarchy(4, 4);
+        for batch in accesses.chunks(chunk) {
+            batched.step_batch(batch);
+        }
+        let batched = batched.finish();
+        batched.validate().unwrap();
+
+        assert_identical(&scalar.l1, &batched.l1, &format!("L1/chunk={chunk}"));
+        assert_identical(&scalar.l2, &batched.l2, &format!("L2/chunk={chunk}"));
+    }
+}
+
+#[test]
+fn hierarchy_source_path_matches_the_scalar_composition() {
+    // The study session drives hierarchies through the arch-level
+    // `simulate_hierarchy_source` (batched, file- or stream-backed);
+    // it must land bit-for-bit on the hand-composed scalar hierarchy.
+    let profile = suite::by_name("CRC32").unwrap();
+    let accesses: Vec<_> = profile.trace(13).take(CYCLES).collect();
+
+    let mut scalar = hierarchy(2, 4);
+    for &a in &accesses {
+        scalar.step(a);
+    }
+    let scalar = scalar.finish();
+
+    let dir = std::env::temp_dir().join("nbti-hierarchy-equivalence");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut text = String::new();
+    write_din(&mut text, &accesses);
+    let path = dir.join("t.din");
+    std::fs::write(&path, &text).unwrap();
+
+    let l1 = PartitionedCache::new_named(
+        CacheGeometry::new(16 * 1024, 16, 2, 4).unwrap(),
+        "identity",
+        PolicyRegistry::builtin(),
+    )
+    .unwrap();
+    let l2 = PartitionedCache::new_named(
+        CacheGeometry::new(64 * 1024, 16, 4, 4).unwrap(),
+        "identity",
+        PolicyRegistry::builtin(),
+    )
+    .unwrap();
+    let mut source = nbti_cache_repro::traces::formats::open_path(TraceFormat::Din, &path).unwrap();
+    let from_source = l1
+        .simulate_hierarchy_source(&l2, source.as_mut(), None, UpdateSchedule::Never)
+        .unwrap();
+    from_source.validate().unwrap();
+
+    assert_identical(&scalar.l1, &from_source.l1, "L1/source");
+    assert_identical(&scalar.l2, &from_source.l2, "L2/source");
 }
 
 #[test]
